@@ -1,0 +1,107 @@
+// Experiment E7 (DESIGN.md): the memdb substrate's join algorithms.
+//
+// Not a claim from the paper itself — the paper assumes capable data
+// sources exist; this bench characterizes ours (google-benchmark): the
+// nested-loop / hash / sort-merge crossover as cardinalities grow, plus
+// scan and MiniSQL parse costs.
+//
+//   build/bench/bench_memdb
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sources/memdb/database.hpp"
+#include "sources/memdb/engine.hpp"
+
+namespace {
+
+using namespace disco;
+using namespace disco::memdb;
+
+Database make_join_db(int64_t rows, uint64_t seed) {
+  Database db("bench");
+  SplitMix64 rng(seed);
+  auto& l = db.create_table("l", {{"k", ColumnType::Int},
+                                  {"v", ColumnType::Int}});
+  auto& r = db.create_table("r", {{"k", ColumnType::Int},
+                                  {"v", ColumnType::Int}});
+  for (int64_t i = 0; i < rows; ++i) {
+    l.insert({Value::integer(rng.next_in(0, rows)), Value::integer(i)});
+    r.insert({Value::integer(rng.next_in(0, rows)), Value::integer(i)});
+  }
+  return db;
+}
+
+void BM_JoinStrategy(benchmark::State& state, JoinStrategy strategy) {
+  Database db = make_join_db(state.range(0), 42);
+  Engine engine(&db);
+  engine.set_join_strategy(strategy);
+  for (auto _ : state) {
+    ResultSet rs = engine.execute_sql("SELECT * FROM l, r WHERE l.k = r.k");
+    benchmark::DoNotOptimize(rs.rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+
+void BM_Scan(benchmark::State& state) {
+  Database db = make_join_db(state.range(0), 42);
+  Engine engine(&db);
+  for (auto _ : state) {
+    ResultSet rs = engine.execute_sql("SELECT * FROM l WHERE v > 10");
+    benchmark::DoNotOptimize(rs.rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_MiniSqlParse(benchmark::State& state) {
+  const std::string query =
+      "SELECT a.name, b.pay AS salary FROM people a, payroll b "
+      "WHERE a.id = b.pid AND a.age > 21 AND (b.pay >= 1000 OR NOT "
+      "a.dept = \"sales\")";
+  for (auto _ : state) {
+    Query q = parse_minisql(query);
+    benchmark::DoNotOptimize(q.tables.size());
+  }
+}
+
+void BM_ThreeWayJoin(benchmark::State& state) {
+  Database db("bench");
+  SplitMix64 rng(7);
+  int64_t n = state.range(0);
+  auto& a = db.create_table("a", {{"k", ColumnType::Int}});
+  auto& b = db.create_table("b", {{"k", ColumnType::Int},
+                                  {"j", ColumnType::Int}});
+  auto& c = db.create_table("c", {{"j", ColumnType::Int}});
+  for (int64_t i = 0; i < n; ++i) {
+    a.insert({Value::integer(i)});
+    b.insert({Value::integer(i), Value::integer(rng.next_in(0, n))});
+    c.insert({Value::integer(i)});
+  }
+  Engine engine(&db);
+  for (auto _ : state) {
+    ResultSet rs = engine.execute_sql(
+        "SELECT * FROM a, b, c WHERE a.k = b.k AND b.j = c.j");
+    benchmark::DoNotOptimize(rs.rows.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_JoinStrategy, nested_loop, JoinStrategy::NestedLoop)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_JoinStrategy, hash, JoinStrategy::Hash)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(BM_JoinStrategy, merge, JoinStrategy::Merge)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(8192);
+BENCHMARK(BM_Scan)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_MiniSqlParse);
+BENCHMARK(BM_ThreeWayJoin)->Arg(256)->Arg(2048);
+
+BENCHMARK_MAIN();

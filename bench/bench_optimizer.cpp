@@ -1,0 +1,113 @@
+// Experiment E5 (DESIGN.md): optimizer search behaviour (§3.1).
+//
+// Paper claim: the optimizer transforms a query into several alternative
+// expressions, costs them, and executes the cheapest. Measured: planning
+// wall time and alternatives considered as query complexity grows
+// (number of join bindings, number of sources a type distributes over).
+//
+//   build/bench/bench_optimizer
+#include <cstdio>
+
+#include "optimizer/optimizer.hpp"
+#include "oql/parser.hpp"
+#include "worlds.hpp"
+
+int main() {
+  using namespace disco;
+  using namespace disco::bench;
+
+  std::printf("E5a: planning cost vs number of join bindings "
+              "(explicit extents, all in distinct repositories)\n");
+  std::printf("%10s %16s %16s %14s\n", "bindings", "plans considered",
+              "optimize ms", "est rows");
+  {
+    ScaledWorld world(8, 100);
+    optimizer::Optimizer opt(
+        &world.mediator.catalog(),
+        [&world](const std::string& name) {
+          return world.mediator.wrapper_by_name(name);
+        },
+        &world.mediator.cost_history());
+    for (int k = 1; k <= 6; ++k) {
+      std::string query = "select struct(";
+      for (int b = 0; b < k; ++b) {
+        query += (b ? ", " : "");
+        query += "f" + std::to_string(b) + ": v" + std::to_string(b) +
+                 ".name";
+      }
+      query += ") from ";
+      for (int b = 0; b < k; ++b) {
+        query += (b ? ", " : "");
+        query += "v" + std::to_string(b) + " in person" + std::to_string(b);
+      }
+      query += " where ";
+      for (int b = 0; b + 1 < k; ++b) {
+        query += (b ? " and " : "");
+        query += "v" + std::to_string(b) + ".id = v" +
+                 std::to_string(b + 1) + ".id";
+      }
+      if (k == 1) query += "v0.salary > 10";
+
+      Stopwatch wall;
+      auto result = opt.optimize(oql::parse(query));
+      double ms = wall.seconds() * 1e3;
+      std::printf("%10d %16zu %16.3f %14.1f\n", k,
+                  result.plans_considered, ms, result.estimated.rows);
+    }
+  }
+
+  std::printf("\nE5b: planning cost vs sources behind the implicit extent "
+              "(query: select x.name from x in person where x.salary > 10)\n");
+  std::printf("%10s %16s %16s\n", "sources", "plans considered",
+              "optimize ms");
+  for (size_t n : {1, 4, 16, 64, 256}) {
+    ScaledWorld world(n, 10);
+    optimizer::Optimizer opt(
+        &world.mediator.catalog(),
+        [&world](const std::string& name) {
+          return world.mediator.wrapper_by_name(name);
+        },
+        &world.mediator.cost_history());
+    Stopwatch wall;
+    auto result = opt.optimize(oql::parse(
+        "select x.name from x in person where x.salary > 10"));
+    std::printf("%10zu %16zu %16.3f\n", n, result.plans_considered,
+                wall.seconds() * 1e3);
+  }
+
+  std::printf("\nE5c: ablation — cost-based choice vs maximal pushdown "
+              "(enable_*_pushdown toggles)\n");
+  {
+    struct Config {
+      const char* label;
+      optimizer::OptimizerOptions options;
+    };
+    optimizer::OptimizerOptions all;
+    optimizer::OptimizerOptions no_push;
+    no_push.enable_select_pushdown = false;
+    no_push.enable_project_pushdown = false;
+    no_push.enable_join_merge = false;
+    optimizer::OptimizerOptions greedy;
+    greedy.cost_based = false;
+    std::printf("%-22s %16s %14s\n", "configuration", "plans considered",
+                "est total ms");
+    for (const Config& config :
+         {Config{"full enumeration", all},
+          Config{"pushdown disabled", no_push},
+          Config{"greedy (first push)", greedy}}) {
+      ScaledWorld world(4, 100);
+      optimizer::Optimizer opt(
+          &world.mediator.catalog(),
+          [&world](const std::string& name) {
+            return world.mediator.wrapper_by_name(name);
+          },
+          &world.mediator.cost_history(), config.options);
+      auto result = opt.optimize(oql::parse(
+          "select x.name from x in person where x.salary > 10"));
+      std::printf("%-22s %16zu %14.3f\n", config.label,
+                  result.plans_considered,
+                  result.estimated.total() * 1e3);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Experiment E8 (DESIGN.md): OQL closure costs (§4).
+//
+// Answers-are-queries means partial answers are *printed* and later
+// *re-parsed*; this google-benchmark binary prices that round trip:
+// parse, print, evaluate, and the literal-data embedding that dominates
+// large partial answers.
+//
+//   build/bench/bench_oql
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "oql/eval.hpp"
+#include "oql/parser.hpp"
+#include "oql/printer.hpp"
+
+namespace {
+
+using namespace disco;
+using namespace disco::oql;
+
+const char* kPaperQuery =
+    "select struct(name: x.name, salary: sum(select z.salary from z in "
+    "person where x.id = z.id)) from x in person* "
+    "where x.salary > 10 and not (x.name = \"nobody\" or x.salary < 0)";
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    ExprPtr e = parse(kPaperQuery);
+    benchmark::DoNotOptimize(e.get());
+  }
+}
+
+void BM_Print(benchmark::State& state) {
+  ExprPtr e = parse(kPaperQuery);
+  for (auto _ : state) {
+    std::string text = to_oql(e);
+    benchmark::DoNotOptimize(text.data());
+  }
+}
+
+void BM_RoundTrip(benchmark::State& state) {
+  ExprPtr e = parse(kPaperQuery);
+  for (auto _ : state) {
+    ExprPtr back = parse(to_oql(e));
+    benchmark::DoNotOptimize(back.get());
+  }
+}
+
+Value rows_bag(int64_t n) {
+  SplitMix64 rng(3);
+  std::vector<Value> rows;
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Value::strct(
+        {{"name", Value::string("p" + std::to_string(i))},
+         {"salary", Value::integer(rng.next_in(0, 1000))}}));
+  }
+  return Value::bag(std::move(rows));
+}
+
+/// Partial answer embedding: union(residual query, <n-row literal bag>).
+void BM_PartialAnswerPrintParse(benchmark::State& state) {
+  ExprPtr answer = call(
+      "union",
+      {parse("select x.name from x in person0 where x.salary > 10"),
+       literal(rows_bag(state.range(0)))});
+  for (auto _ : state) {
+    ExprPtr back = parse(to_oql(answer));
+    benchmark::DoNotOptimize(back.get());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_EvaluateSelect(benchmark::State& state) {
+  MapResolver resolver;
+  resolver.bind("person", rows_bag(state.range(0)));
+  Evaluator eval(&resolver);
+  ExprPtr query =
+      parse("select x.name from x in person where x.salary > 500");
+  for (auto _ : state) {
+    Value v = eval.eval(query);
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_EvaluateCorrelatedSubquery(benchmark::State& state) {
+  MapResolver resolver;
+  resolver.bind("person", rows_bag(state.range(0)));
+  Evaluator eval(&resolver);
+  ExprPtr query = parse(
+      "select struct(n: x.name, t: sum(select z.salary from z in person "
+      "where z.name = x.name)) from x in person");
+  for (auto _ : state) {
+    Value v = eval.eval(query);
+    benchmark::DoNotOptimize(v.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Parse);
+BENCHMARK(BM_Print);
+BENCHMARK(BM_RoundTrip);
+BENCHMARK(BM_PartialAnswerPrintParse)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_EvaluateSelect)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_EvaluateCorrelatedSubquery)->Arg(32)->Arg(128);
+
+BENCHMARK_MAIN();

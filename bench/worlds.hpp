@@ -1,0 +1,81 @@
+// Workload generators shared by the experiment harnesses (DESIGN.md §4).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/disco.hpp"
+
+namespace disco::bench {
+
+/// A mediator over `n_sources` person databases, one repository each,
+/// all served by one MiniSQL wrapper with configurable capabilities —
+/// the paper's running schema scaled up.
+struct ScaledWorld {
+  ScaledWorld(size_t n_sources, size_t rows_per_source,
+              grammar::CapabilitySet caps =
+                  grammar::CapabilitySet{.get = true,
+                                         .project = true,
+                                         .select = true,
+                                         .join = true,
+                                         .compose = true},
+              net::LatencyModel latency = {0.010, 0.00002, 0},
+              uint64_t seed = 7) {
+    SplitMix64 rng(seed);
+    auto w = std::make_shared<wrapper::MemDbWrapper>(caps);
+    wrapper = w.get();
+    mediator.execute_odl(R"(
+      interface Person (extent person) {
+        attribute Long id;
+        attribute String name;
+        attribute Short salary; };
+    )");
+    for (size_t s = 0; s < n_sources; ++s) {
+      auto db = std::make_unique<memdb::Database>("db" + std::to_string(s));
+      std::string extent = "person" + std::to_string(s);
+      auto& table = db->create_table(
+          extent, {{"id", memdb::ColumnType::Int},
+                   {"name", memdb::ColumnType::Text},
+                   {"salary", memdb::ColumnType::Int}});
+      for (size_t r = 0; r < rows_per_source; ++r) {
+        table.insert({Value::integer(static_cast<int64_t>(r)),
+                      Value::string("p" + std::to_string(s) + "_" +
+                                    std::to_string(r)),
+                      Value::integer(rng.next_in(0, 1000))});
+      }
+      std::string repo = "r" + std::to_string(s);
+      w->attach_database(repo, db.get());
+      databases.push_back(std::move(db));
+      mediator.register_repository(
+          catalog::Repository{repo, "host" + std::to_string(s), "db",
+                              "10.0.0." + std::to_string(s)},
+          latency);
+      if (s == 0) mediator.register_wrapper("w0", w);
+      mediator.execute_odl("extent " + extent +
+                           " of Person wrapper w0 repository " + repo + ";");
+    }
+  }
+
+  std::vector<std::unique_ptr<memdb::Database>> databases;
+  Mediator mediator;
+  wrapper::MemDbWrapper* wrapper = nullptr;
+};
+
+/// Wall-clock stopwatch in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace disco::bench

@@ -1,0 +1,165 @@
+// Interactive DISCO shell — Prototype 0 as a program you can type at.
+//
+//   build/examples/disco_shell
+//
+// Starts with the paper's two-source person world loaded. Type OQL to
+// query, ODL to administrate, or dot-commands to drive the simulation:
+//
+//   select x.name from x in person where x.salary > 10
+//   extent person2 of Person wrapper w0 repository r2;
+//   .down r0            take a repository offline
+//   .up r0              bring it back
+//   .deadline 15        set the query deadline (ms; 0 = none)
+//   .explain <query>    show the chosen physical plan
+//   .sources            list extents and repository state
+//   .help / .quit
+//
+// Partial answers print with a [partial] tag; paste them back in to
+// resubmit (§4).
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/disco.hpp"
+
+namespace {
+
+using namespace disco;
+
+struct ShellWorld {
+  ShellWorld() {
+    auto make_db = [this](const std::string& table, int64_t id,
+                          const std::string& name, int64_t salary) {
+      auto db = std::make_unique<memdb::Database>(table);
+      auto& t = db->create_table(table,
+                                 {{"id", memdb::ColumnType::Int},
+                                  {"name", memdb::ColumnType::Text},
+                                  {"salary", memdb::ColumnType::Int}});
+      t.insert({Value::integer(id), Value::string(name),
+                Value::integer(salary)});
+      databases.push_back(std::move(db));
+      return databases.back().get();
+    };
+    auto w0 = std::make_shared<wrapper::MemDbWrapper>();
+    w0->attach_database("r0", make_db("person0", 1, "Mary", 200));
+    w0->attach_database("r1", make_db("person1", 2, "Sam", 50));
+    w0->attach_database("r2", make_db("person2", 3, "Lou", 75));
+    wrapper = w0.get();
+    mediator.register_wrapper("w0", std::move(w0));
+    for (const char* repo : {"r0", "r1", "r2"}) {
+      mediator.register_repository(
+          catalog::Repository{repo, std::string("host-") + repo, "db",
+                              "10.0.0.1"},
+          net::LatencyModel{0.010, 0.0001, 0});
+    }
+    mediator.execute_odl(R"(
+      interface Person (extent person) {
+        attribute Long id;
+        attribute String name;
+        attribute Short salary; };
+      extent person0 of Person wrapper w0 repository r0;
+      extent person1 of Person wrapper w0 repository r1;
+    )");
+  }
+  std::vector<std::unique_ptr<memdb::Database>> databases;
+  Mediator mediator;
+  wrapper::MemDbWrapper* wrapper = nullptr;
+};
+
+bool looks_like_odl(const std::string& line) {
+  std::istringstream in(line);
+  std::string first;
+  in >> first;
+  for (char& c : first) c = static_cast<char>(std::tolower(c));
+  if (first == "interface" || first == "extent" || first == "define" ||
+      first == "drop") {
+    return true;
+  }
+  // `name := Ctor(...)` assignments.
+  return line.find(":=") != std::string::npos;
+}
+
+void print_help() {
+  std::cout <<
+      "  OQL        select x.name from x in person where x.salary > 10\n"
+      "  ODL        extent person2 of Person wrapper w0 repository r2;\n"
+      "  .down R    take repository R offline     .up R   restore it\n"
+      "  .deadline N  query deadline in ms (0 = unlimited)\n"
+      "  .explain Q   show the optimized physical plan for query Q\n"
+      "  .sources     list extents / repositories / availability\n"
+      "  .help  .quit\n";
+}
+
+}  // namespace
+
+int main() {
+  ShellWorld world;
+  double deadline_ms = 0;
+  std::cout << "DISCO shell — two person sources loaded (r0, r1); r2 is "
+               "provisioned but has no extent yet.\nType .help for help.\n";
+
+  std::string line;
+  while (true) {
+    std::cout << "disco> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed = disco::trim(line);
+    if (trimmed.empty()) continue;
+    try {
+      if (trimmed[0] == '.') {
+        std::istringstream in(trimmed);
+        std::string command;
+        in >> command;
+        if (command == ".quit" || command == ".exit") break;
+        if (command == ".help") {
+          print_help();
+        } else if (command == ".down" || command == ".up") {
+          std::string repo;
+          in >> repo;
+          world.mediator.network().set_availability(
+              repo, command == ".down" ? net::Availability::always_down()
+                                       : net::Availability::always_up());
+          std::cout << repo << " is now "
+                    << (command == ".down" ? "down" : "up") << "\n";
+        } else if (command == ".deadline") {
+          in >> deadline_ms;
+          std::cout << "deadline = " << deadline_ms << " ms\n";
+        } else if (command == ".explain") {
+          std::string query;
+          std::getline(in, query);
+          std::cout << world.mediator.explain(disco::trim(query));
+        } else if (command == ".sources") {
+          const Value extents = world.mediator.catalog().metaextent_rows();
+          for (const Value& row : extents.items()) {
+            std::cout << "  extent " << row.field("name").as_string()
+                      << " of " << row.field("interface").as_string()
+                      << " @ " << row.field("repository").as_string()
+                      << "\n";
+          }
+        } else {
+          std::cout << "unknown command; .help lists commands\n";
+        }
+        continue;
+      }
+      if (looks_like_odl(trimmed)) {
+        world.mediator.execute_odl(trimmed);
+        std::cout << "ok\n";
+        continue;
+      }
+      QueryOptions options;
+      if (deadline_ms > 0) options.deadline_s = deadline_ms / 1e3;
+      Answer answer = world.mediator.query(trimmed, options);
+      if (answer.complete()) {
+        std::cout << answer.data().to_oql() << "\n";
+      } else {
+        std::cout << "[partial] " << answer.to_oql() << "\n";
+      }
+      std::cout << "  (" << answer.stats().run.exec_calls << " submits, "
+                << answer.stats().run.rows_fetched << " rows, "
+                << answer.stats().run.elapsed_s * 1e3 << " ms virtual)\n";
+    } catch (const disco::DiscoError& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// The paper's motivating application (§1): "an environmental application
+// for the control of water quality. Multiple databases, distributed
+// geographically, contain measurements of water quality at the physical
+// site of the database. All of these measurements have the same type."
+//
+//   build/examples/water_quality
+//
+// Twelve monitoring stations: ten memdb databases, one CSV logger with a
+// get-only wrapper, and one station whose schema uses different column
+// names, reconciled with a type map (§2.2.2). A view computes per-site
+// averages across every station (§2.2.3).
+#include <iomanip>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "core/disco.hpp"
+
+int main() {
+  using namespace disco;
+  SplitMix64 rng(2026);
+
+  Mediator mediator;
+  mediator.execute_odl(R"(
+    interface Measurement (extent measurements) {
+      attribute String site;
+      attribute Double ph;
+      attribute Double temperature; };
+  )");
+
+  // Ten identical relational stations along the river.
+  std::vector<std::unique_ptr<memdb::Database>> stations;
+  auto wrapper = std::make_shared<wrapper::MemDbWrapper>();
+  for (int s = 0; s < 10; ++s) {
+    auto db = std::make_unique<memdb::Database>("station" + std::to_string(s));
+    std::string relation = "station" + std::to_string(s);
+    auto& table = db->create_table(
+        relation, {{"site", memdb::ColumnType::Text},
+                   {"ph", memdb::ColumnType::Real},
+                   {"temperature", memdb::ColumnType::Real}});
+    for (int day = 0; day < 30; ++day) {
+      table.insert({Value::string("km" + std::to_string(s * 10)),
+                    Value::real(6.5 + rng.next_double()),
+                    Value::real(8 + 6 * rng.next_double())});
+    }
+    std::string repo = "river" + std::to_string(s);
+    wrapper->attach_database(repo, db.get());
+    stations.push_back(std::move(db));
+    mediator.register_repository(
+        catalog::Repository{repo, "site-" + std::to_string(s), "wq",
+                            "10.1.0." + std::to_string(s)},
+        net::LatencyModel{0.008 + 0.002 * s, 0.0001, 0});
+  }
+  mediator.register_wrapper("wsql", wrapper);
+  for (int s = 0; s < 10; ++s) {
+    mediator.execute_odl("extent station" + std::to_string(s) +
+                         " of Measurement wrapper wsql repository river" +
+                         std::to_string(s) + ";");
+  }
+
+  // Station 10: a field logger that only exports CSV — its wrapper can
+  // only hand back everything (capability {get}).
+  auto csv_wrapper = std::make_shared<wrapper::CsvWrapper>();
+  csv_wrapper->attach_table(
+      "logger", csv::parse_csv("station10",
+                               "site,ph,temperature\n"
+                               "km100,7.05,9.4\n"
+                               "km100,6.91,10.2\n"
+                               "km100,7.22,11.0\n"));
+  mediator.register_wrapper("wcsv", csv_wrapper);
+  mediator.register_repository(
+      catalog::Repository{"logger", "field-logger", "csv", "10.1.0.100"},
+      net::LatencyModel{0.050, 0.0005, 0});
+  mediator.execute_odl(
+      "extent station10 of Measurement wrapper wcsv repository logger;");
+
+  // Station 11: same data, different vocabulary — reconciled by a map.
+  memdb::Database legacy("legacy");
+  auto& lt = legacy.create_table("messungen",
+                                 {{"ort", memdb::ColumnType::Text},
+                                  {"saeure", memdb::ColumnType::Real},
+                                  {"temp", memdb::ColumnType::Real}});
+  lt.insert({Value::string("km110"), Value::real(6.7), Value::real(9.9)});
+  lt.insert({Value::string("km110"), Value::real(6.8), Value::real(10.4)});
+  auto legacy_wrapper = std::make_shared<wrapper::MemDbWrapper>();
+  legacy_wrapper->attach_database("archiv", &legacy);
+  mediator.register_wrapper("wlegacy", legacy_wrapper);
+  mediator.register_repository(
+      catalog::Repository{"archiv", "altes-system", "db", "10.1.0.110"});
+  mediator.execute_odl(R"(
+    extent station11 of Measurement wrapper wlegacy repository archiv
+      map ((messungen=station11),(ort=site),(saeure=ph),(temp=temperature));
+  )");
+
+  // One query ranges over all twelve heterogeneous stations.
+  Answer count = mediator.query("count(measurements)");
+  std::cout << "measurements across all stations: "
+            << count.data().to_oql() << "\n";
+
+  // §2.2.3-style reconciliation view: per-site pH averages.
+  mediator.execute_odl(R"(
+    define site_ph as
+      select struct(site: s, ph: avg(select m.ph from m in measurements
+                                     where m.site = s))
+      from s in (select distinct m.site from m in measurements);
+  )");
+  Answer sites = mediator.query("site_ph");
+  std::cout << "\nper-site average pH (" << sites.data().size()
+            << " sites):\n";
+  for (const Value& row : sites.data().items()) {
+    std::cout << "  " << std::setw(6) << row.field("site").as_string()
+              << "  " << std::fixed << std::setprecision(2)
+              << row.field("ph").as_double() << "\n";
+  }
+
+  // Alerts, pushed to the sources where the wrappers allow it.
+  const std::string alert =
+      "select struct(site: m.site, ph: m.ph) from m in measurements "
+      "where m.ph > 7.3";
+  Answer alerts = mediator.query(alert);
+  std::cout << "\nalkaline alerts: " << alerts.data().size() << " readings\n";
+
+  // A storm takes out three stations mid-query: the answer degrades into
+  // a query instead of failing (§4).
+  mediator.network().set_availability("river3",
+                                      net::Availability::always_down());
+  mediator.network().set_availability("river7",
+                                      net::Availability::always_down());
+  mediator.network().set_availability("logger",
+                                      net::Availability::always_down());
+  Answer partial = mediator.query(alert);
+  std::cout << "\nstorm: " << partial.residual_queries().size()
+            << " stations unreachable; partial answer has "
+            << partial.data().size() << " readings\n";
+  std::cout << "resubmittable answer:\n  " << partial.to_oql() << "\n";
+
+  // Power returns; the saved answer-query completes.
+  mediator.network().set_availability("river3",
+                                      net::Availability::always_up());
+  mediator.network().set_availability("river7",
+                                      net::Availability::always_up());
+  mediator.network().set_availability("logger",
+                                      net::Availability::always_up());
+  Answer recovered = mediator.query(partial.to_oql());
+  std::cout << "\nafter recovery the resubmitted answer is "
+            << (recovered.complete() ? "complete" : "still partial")
+            << " with " << recovered.data().size() << " readings (original "
+            << alerts.data().size() << ")\n";
+  return 0;
+}

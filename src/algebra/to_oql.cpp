@@ -1,0 +1,135 @@
+#include "algebra/to_oql.hpp"
+
+#include "common/error.hpp"
+
+namespace disco::algebra {
+
+namespace {
+
+struct Decomposed {
+  std::vector<oql::Binding> bindings;
+  std::vector<oql::ExprPtr> conjuncts;
+};
+
+/// Turns an env-shaped subtree (Get/Filter/Join/Submit/Const over
+/// environments) into from-bindings plus predicate conjuncts.
+void decompose(const LogicalPtr& node, Decomposed& out) {
+  switch (node->op) {
+    case LOp::Get:
+      out.bindings.push_back(
+          oql::Binding{node->var, oql::ident(node->extent)});
+      return;
+    case LOp::Submit:
+      decompose(node->child, out);
+      return;
+    case LOp::Filter: {
+      decompose(node->child, out);
+      for (const oql::ExprPtr& part : oql::split_conjuncts(node->predicate)) {
+        out.conjuncts.push_back(part);
+      }
+      return;
+    }
+    case LOp::Join: {
+      decompose(node->left, out);
+      decompose(node->right, out);
+      if (node->predicate != nullptr) {
+        for (const oql::ExprPtr& part :
+             oql::split_conjuncts(node->predicate)) {
+          out.conjuncts.push_back(part);
+        }
+      }
+      return;
+    }
+    case LOp::Const: {
+      // A materialized env-bag: struct(x: row) items. When the env holds a
+      // single variable we can strip the wrapper and bind the variable
+      // over the raw rows, which is what a human-readable answer needs.
+      const Value& data = node->data;
+      if (data.is_collection() && !data.items().empty() &&
+          data.items().front().kind() == ValueKind::Struct &&
+          data.items().front().fields().size() == 1) {
+        const std::string var = data.items().front().fields()[0].first;
+        std::vector<Value> rows;
+        rows.reserve(data.items().size());
+        bool uniform = true;
+        for (const Value& item : data.items()) {
+          if (item.kind() != ValueKind::Struct ||
+              item.fields().size() != 1 || item.fields()[0].first != var) {
+            uniform = false;
+            break;
+          }
+          rows.push_back(item.fields()[0].second);
+        }
+        if (uniform) {
+          out.bindings.push_back(oql::Binding{
+              var, oql::literal(Value::bag(std::move(rows)))});
+          return;
+        }
+      }
+      if (data.is_collection() && data.items().empty()) {
+        // Empty env-bag: bind a throwaway variable over an empty bag.
+        out.bindings.push_back(
+            oql::Binding{"__empty", oql::literal(Value::bag({}))});
+        return;
+      }
+      throw InternalError(
+          "cannot decompose a multi-variable materialized environment "
+          "into from-bindings");
+    }
+    case LOp::Project:
+    case LOp::Union:
+      throw InternalError(
+          std::string("unexpected ") + to_string(node->op) +
+          " inside an environment-shaped subtree");
+  }
+}
+
+oql::ExprPtr select_over(const Decomposed& parts, oql::ExprPtr projection,
+                         bool distinct) {
+  return oql::select(distinct, std::move(projection), parts.bindings,
+                     oql::conjoin(parts.conjuncts));
+}
+
+}  // namespace
+
+oql::ExprPtr reconstruct(const LogicalPtr& expr) {
+  internal_check(expr != nullptr, "cannot reconstruct a null expression");
+  switch (expr->op) {
+    case LOp::Const:
+      return oql::literal(expr->data);
+    case LOp::Union: {
+      std::vector<oql::ExprPtr> args;
+      args.reserve(expr->children.size());
+      for (const LogicalPtr& child : expr->children) {
+        args.push_back(reconstruct(child));
+      }
+      return oql::call("union", std::move(args));
+    }
+    case LOp::Submit:
+      return reconstruct(expr->child);
+    case LOp::Project: {
+      Decomposed parts;
+      decompose(expr->child, parts);
+      return select_over(parts, expr->projection, expr->distinct);
+    }
+    case LOp::Get:
+    case LOp::Filter:
+    case LOp::Join: {
+      Decomposed parts;
+      decompose(expr, parts);
+      std::vector<std::pair<std::string, oql::ExprPtr>> fields;
+      for (const oql::Binding& binding : parts.bindings) {
+        if (binding.var == "__empty") continue;
+        fields.emplace_back(binding.var, oql::ident(binding.var));
+      }
+      oql::ExprPtr projection =
+          fields.empty()
+              ? oql::literal(Value::null())
+              : oql::struct_ctor(std::move(fields));
+      return select_over(parts, std::move(projection), false);
+    }
+  }
+  throw InternalError("corrupt logical expression in reconstruct");
+}
+
+}  // namespace disco::algebra

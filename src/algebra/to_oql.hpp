@@ -1,0 +1,30 @@
+// Logical algebra -> OQL reconstruction (§4 of the paper).
+//
+// "The physical expression is transformed back into a high level query.
+//  This transformation is possible because each physical operation has a
+//  corresponding logical operation, and each logical operation has a
+//  corresponding OQL expression."
+//
+// This is the piece that makes partial answers *queries*: the runtime
+// keeps the logical form of every unavailable subtree and calls
+// reconstruct() to embed it in the answer. It is also how the
+// mediator-as-data-source wrapper forwards pushed-down algebra to another
+// mediator: it reconstructs OQL text and submits it.
+#pragma once
+
+#include "algebra/logical.hpp"
+#include "oql/ast.hpp"
+
+namespace disco::algebra {
+
+/// Rebuilds an OQL expression equivalent to `expr`.
+///
+/// Project nodes become select-from-where; env-shaped nodes (Get / Filter
+/// / Join without a Project on top) become
+///   select struct(v1: v1, ..., vn: vn) from ... where ...
+/// so that their value equals the operator's environment-struct output.
+/// Submit nodes are transparent (their argument is already in the
+/// mediator name space, §3.2). Const nodes become literals.
+oql::ExprPtr reconstruct(const LogicalPtr& expr);
+
+}  // namespace disco::algebra

@@ -1,0 +1,64 @@
+#include "catalog/type_map.hpp"
+
+#include "common/error.hpp"
+
+namespace disco::catalog {
+
+TypeMap::TypeMap(std::string source_relation,
+                 std::vector<std::pair<std::string, std::string>> fields)
+    : source_relation_(std::move(source_relation)),
+      fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    for (size_t j = i + 1; j < fields_.size(); ++j) {
+      if (fields_[i].first == fields_[j].first ||
+          fields_[i].second == fields_[j].second) {
+        throw CatalogError("type map has duplicate field mapping for '" +
+                           fields_[i].first + "'/'" + fields_[i].second +
+                           "'");
+      }
+    }
+  }
+}
+
+std::string TypeMap::source_relation(const std::string& extent_name) const {
+  return source_relation_.empty() ? extent_name : source_relation_;
+}
+
+std::string TypeMap::to_source_attribute(
+    const std::string& mediator_name) const {
+  for (const auto& [source, mediator] : fields_) {
+    if (mediator == mediator_name) return source;
+  }
+  return mediator_name;
+}
+
+std::string TypeMap::to_mediator_attribute(
+    const std::string& source_name) const {
+  for (const auto& [source, mediator] : fields_) {
+    if (source == source_name) return mediator;
+  }
+  return source_name;
+}
+
+Value TypeMap::rename_row_to_mediator(const Value& source_row) const {
+  if (fields_.empty()) return source_row;
+  std::vector<std::pair<std::string, Value>> renamed;
+  renamed.reserve(source_row.fields().size());
+  for (const auto& [name, value] : source_row.fields()) {
+    renamed.emplace_back(to_mediator_attribute(name), value);
+  }
+  return Value::strct(std::move(renamed));
+}
+
+std::string TypeMap::to_odl(const std::string& extent_name) const {
+  if (is_identity()) return "";
+  std::string out = "((" + source_relation(extent_name) + "=" + extent_name +
+                    ")";
+  for (const auto& [source, mediator] : fields_) {
+    out += ",(" + source + "=" + mediator + ")";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace disco::catalog

@@ -1,0 +1,51 @@
+// Deterministic random number generation for workload generators and the
+// network simulator. splitmix64 is small, fast and reproducible across
+// platforms, which matters because partial-evaluation tests assert on the
+// exact set of sources that time out.
+#pragma once
+
+#include <cstdint>
+
+namespace disco {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t next_in(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// 64-bit FNV-1a over a byte range; used for cost-model signatures.
+inline uint64_t fnv1a(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace disco

@@ -1,0 +1,122 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace disco {
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool iequals(std::string_view text, std::string_view keyword) {
+  if (text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string quote_string(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buffer[64];
+  auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value,
+                    std::chars_format::general, 17);
+  std::string out(buffer, end);
+  // Shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    auto [short_end, short_ec] = std::to_chars(
+        buffer, buffer + sizeof(buffer), value, std::chars_format::general,
+        precision);
+    std::string candidate(buffer, short_end);
+    double parsed = 0;
+    std::from_chars(candidate.data(), candidate.data() + candidate.size(),
+                    parsed);
+    if (parsed == value) {
+      out = candidate;
+      break;
+    }
+  }
+  if (out.find('.') == std::string::npos &&
+      out.find('e') == std::string::npos &&
+      out.find("inf") == std::string::npos &&
+      out.find("nan") == std::string::npos) {
+    out += ".0";
+  }
+  return out;
+}
+
+}  // namespace disco

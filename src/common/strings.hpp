@@ -1,0 +1,34 @@
+// Small string helpers used across parsers and printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace disco {
+
+/// Joins `parts` with `separator` ("a", "b" -> "a, b" for separator ", ").
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits on `separator`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trim(std::string_view text);
+
+/// ASCII lower-casing (OQL keywords are case-insensitive).
+std::string to_lower(std::string_view text);
+
+/// True when `text` equals `keyword` ignoring ASCII case.
+bool iequals(std::string_view text, std::string_view keyword);
+
+/// Renders `text` as a double-quoted OQL string literal, escaping
+/// backslash, quote, newline and tab.
+std::string quote_string(std::string_view text);
+
+/// Formats a double the way the OQL printer needs it: round-trippable and
+/// always distinguishable from an integer literal (keeps a '.' or 'e').
+std::string format_double(double value);
+
+}  // namespace disco

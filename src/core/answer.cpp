@@ -1,0 +1,50 @@
+#include "core/answer.hpp"
+
+#include "common/error.hpp"
+#include "oql/printer.hpp"
+
+namespace disco {
+
+Answer Answer::complete_answer(Value data, QueryStats stats) {
+  return Answer(std::move(data), {}, std::move(stats));
+}
+
+Answer Answer::partial_answer(Value data,
+                              std::vector<oql::ExprPtr> residuals,
+                              QueryStats stats) {
+  internal_check(!residuals.empty(),
+                 "a partial answer needs at least one residual");
+  return Answer(std::move(data), std::move(residuals), std::move(stats));
+}
+
+std::vector<std::string> Answer::residual_queries() const {
+  std::vector<std::string> out;
+  out.reserve(residuals_.size());
+  for (const oql::ExprPtr& residual : residuals_) {
+    out.push_back(oql::to_oql(residual));
+  }
+  return out;
+}
+
+oql::ExprPtr Answer::as_expr() const {
+  if (complete()) {
+    return oql::literal(data_);
+  }
+  std::vector<oql::ExprPtr> parts = residuals_;
+  // §4: "The first part contains a query on the unavailable data sources
+  // and the second part contains data." Drop an empty data part so the
+  // single-residual case prints as a plain query.
+  bool has_data = data_.is_collection() ? !data_.items().empty()
+                                        : !data_.is_null();
+  if (has_data) {
+    parts.push_back(oql::literal(data_));
+  }
+  if (parts.size() == 1) {
+    return parts.front();
+  }
+  return oql::call("union", std::move(parts));
+}
+
+std::string Answer::to_oql() const { return oql::to_oql(as_expr()); }
+
+}  // namespace disco

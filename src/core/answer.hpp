@@ -1,0 +1,68 @@
+// Query answers with partial-evaluation semantics (§4 of the paper).
+//
+// "DISCO uses partial evaluation semantics to return partial answers to
+//  queries ... Thus, the answer to a query may be another query."
+//
+// An Answer carries a data part and zero or more residual queries. Its
+// to_oql() text is the paper's two-part form
+//
+//     union(select x.name from x in person0, bag("Sam"))
+//
+// which is *itself a legal query*: feeding it back to Mediator::query()
+// when the missing sources are up produces the complete answer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "oql/ast.hpp"
+#include "optimizer/cost.hpp"
+#include "physical/runtime.hpp"
+#include "value/value.hpp"
+
+namespace disco {
+
+struct QueryStats {
+  physical::RunStats run;
+  size_t plans_considered = 0;
+  optimizer::Cost estimated;
+  bool local_mode = false;
+};
+
+class Answer {
+ public:
+  /// Complete answer.
+  static Answer complete_answer(Value data, QueryStats stats);
+  /// Partial answer: available data + residual queries.
+  static Answer partial_answer(Value data,
+                               std::vector<oql::ExprPtr> residuals,
+                               QueryStats stats);
+
+  /// True when every data source answered: the data IS the result.
+  bool complete() const { return residuals_.empty(); }
+
+  /// The data part (for complete answers, the full result).
+  const Value& data() const { return data_; }
+
+  /// The residual queries over unavailable sources, as OQL text.
+  std::vector<std::string> residual_queries() const;
+
+  /// The whole answer as one OQL expression (§4's union(query, data)).
+  /// For complete answers this is the data literal.
+  oql::ExprPtr as_expr() const;
+  std::string to_oql() const;
+
+  const QueryStats& stats() const { return stats_; }
+
+ private:
+  Answer(Value data, std::vector<oql::ExprPtr> residuals, QueryStats stats)
+      : data_(std::move(data)),
+        residuals_(std::move(residuals)),
+        stats_(std::move(stats)) {}
+
+  Value data_;
+  std::vector<oql::ExprPtr> residuals_;
+  QueryStats stats_;
+};
+
+}  // namespace disco

@@ -1,0 +1,247 @@
+#include "core/mediator.hpp"
+
+#include "algebra/to_oql.hpp"
+#include "common/error.hpp"
+#include "odl/odl.hpp"
+#include "oql/eval.hpp"
+#include "oql/parser.hpp"
+#include "oql/printer.hpp"
+#include "physical/runtime.hpp"
+
+namespace disco {
+
+Mediator::Mediator() : Mediator(Options{}) {}
+
+Mediator::Mediator(Options options)
+    : options_(std::move(options)), network_(options_.network_seed) {}
+
+void Mediator::register_wrapper(const std::string& name,
+                                std::shared_ptr<wrapper::Wrapper> wrapper) {
+  internal_check(wrapper != nullptr, "null wrapper");
+  if (wrappers_.contains(name)) {
+    throw CatalogError("wrapper '" + name + "' is already defined");
+  }
+  wrappers_[name] = std::move(wrapper);
+}
+
+void Mediator::register_wrapper_factory(
+    const std::string& constructor,
+    std::function<std::shared_ptr<wrapper::Wrapper>()> factory) {
+  internal_check(static_cast<bool>(factory), "null wrapper factory");
+  factories_[constructor] = std::move(factory);
+}
+
+void Mediator::register_repository(catalog::Repository repository,
+                                   net::LatencyModel latency,
+                                   net::Availability availability) {
+  net::Endpoint endpoint;
+  endpoint.name = repository.name;
+  endpoint.latency = latency;
+  endpoint.availability = availability;
+  catalog_.define_repository(std::move(repository));
+  network_.add_endpoint(std::move(endpoint));
+}
+
+wrapper::Wrapper* Mediator::wrapper_by_name(const std::string& name) const {
+  auto it = wrappers_.find(name);
+  if (it == wrappers_.end()) {
+    throw CatalogError("unknown wrapper '" + name + "'");
+  }
+  return it->second.get();
+}
+
+void Mediator::execute_odl(const std::string& text) {
+  for (const odl::Statement& statement : odl::parse_odl(text)) {
+    if (const auto* interface_def = std::get_if<odl::InterfaceDef>(&statement)) {
+      catalog_.types().define(interface_def->type);
+    } else if (const auto* extent_def =
+                   std::get_if<odl::ExtentDef>(&statement)) {
+      // The wrapper object must exist so the optimizer can ask for its
+      // capabilities.
+      wrapper_by_name(extent_def->extent.wrapper);
+      catalog_.define_extent(extent_def->extent);
+    } else if (const auto* drop = std::get_if<odl::DropExtent>(&statement)) {
+      catalog_.drop_extent(drop->name);
+    } else if (const auto* view_def =
+                   std::get_if<odl::ViewDefStmt>(&statement)) {
+      catalog_.define_view(view_def->name, view_def->query);
+    } else if (const auto* assignment =
+                   std::get_if<odl::Assignment>(&statement)) {
+      if (assignment->constructor == "Repository") {
+        catalog::Repository repository;
+        repository.name = assignment->var;
+        for (const auto& [key, value] : assignment->args) {
+          if (key == "host") {
+            repository.host = value;
+          } else if (key == "name") {
+            repository.db_name = value;
+          } else if (key == "address") {
+            repository.address = value;
+          } else {
+            throw CatalogError("Repository has no attribute '" + key + "'");
+          }
+        }
+        register_repository(std::move(repository),
+                            options_.default_latency);
+      } else {
+        auto factory = factories_.find(assignment->constructor);
+        if (factory == factories_.end()) {
+          throw CatalogError("unknown constructor '" +
+                             assignment->constructor + "'");
+        }
+        register_wrapper(assignment->var, factory->second());
+      }
+    }
+  }
+}
+
+optimizer::Optimizer Mediator::make_optimizer() const {
+  return optimizer::Optimizer(
+      &catalog_,
+      [this](const std::string& name) { return wrapper_by_name(name); },
+      &history_, options_.optimizer);
+}
+
+physical::ExecContext Mediator::make_context(
+    const oql::CollectionResolver* resolver, double deadline_s) {
+  physical::ExecContext context;
+  context.catalog = &catalog_;
+  context.network = &network_;
+  context.clock = &clock_;
+  context.wrapper_by_name = [this](const std::string& name) {
+    return wrapper_by_name(name);
+  };
+  context.resolver = resolver;
+  context.deadline_s = deadline_s;
+  context.validate_rows = options_.validate_source_rows;
+  context.record_exec = [this](const std::string& repository,
+                               const algebra::LogicalPtr& remote,
+                               double time_s, size_t rows) {
+    history_.record(repository, remote, time_s, rows);
+  };
+  return context;
+}
+
+Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
+  if (!options_.enable_plan_cache) {
+    return query(oql::parse(oql_text), options);
+  }
+  // §3.3: cached plans are recomputed when the catalog changes.
+  if (plan_cache_version_ != catalog_.version()) {
+    plan_cache_.clear();
+    plan_cache_version_ = catalog_.version();
+    ++plan_cache_stats_.invalidations;
+  }
+  auto it = plan_cache_.find(oql_text);
+  if (it == plan_cache_.end()) {
+    ++plan_cache_stats_.misses;
+    optimizer::Optimizer::Result planned =
+        make_optimizer().optimize(oql::parse(oql_text));
+    it = plan_cache_.emplace(oql_text, std::move(planned)).first;
+  } else {
+    ++plan_cache_stats_.hits;
+  }
+  return run_planned(it->second, options);
+}
+
+Answer Mediator::query(const oql::ExprPtr& query_expr,
+                       QueryOptions options) {
+  optimizer::Optimizer::Result planned =
+      make_optimizer().optimize(query_expr);
+  return run_planned(planned, options);
+}
+
+Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
+                             QueryOptions options) {
+
+  QueryStats stats;
+  stats.plans_considered = planned.plans_considered;
+  stats.estimated = planned.estimated;
+  stats.local_mode = planned.plan == nullptr;
+
+  // Materialize auxiliary collections (extents referenced from nested
+  // subqueries, or everything in local mode). If any auxiliary source is
+  // unavailable, the whole query is the residual answer — finer-grained
+  // partial evaluation only applies to the main plan's branches.
+  oql::MapResolver resolver;
+  bool aux_incomplete = false;
+  auto materialize = [&](const std::vector<std::pair<
+                             std::string, physical::PhysicalPtr>>& plans,
+                         bool closure) {
+    for (const auto& [name, plan] : plans) {
+      physical::Runtime runtime(make_context(nullptr, options.deadline_s));
+      physical::RunResult run = runtime.run(plan);
+      stats.run.exec_calls += run.stats.exec_calls;
+      stats.run.unavailable_calls += run.stats.unavailable_calls;
+      stats.run.rows_fetched += run.stats.rows_fetched;
+      stats.run.elapsed_s += run.stats.elapsed_s;
+      if (!run.complete()) {
+        aux_incomplete = true;
+        continue;
+      }
+      if (closure) {
+        resolver.bind_closure(name, run.data);
+      } else {
+        resolver.bind(name, run.data);
+      }
+    }
+  };
+  materialize(planned.aux, false);
+  materialize(planned.aux_closures, true);
+  if (aux_incomplete) {
+    return Answer::partial_answer(Value::bag({}), {planned.expanded},
+                                  std::move(stats));
+  }
+
+  if (planned.plan == nullptr) {
+    // Local mode: the mediator evaluates the expression itself over the
+    // materialized collections.
+    Value data = oql::Evaluator(&resolver).eval(planned.local);
+    return Answer::complete_answer(std::move(data), std::move(stats));
+  }
+
+  physical::Runtime runtime(make_context(&resolver, options.deadline_s));
+  physical::RunResult run = runtime.run(planned.plan);
+  stats.run.exec_calls += run.stats.exec_calls;
+  stats.run.unavailable_calls += run.stats.unavailable_calls;
+  stats.run.rows_fetched += run.stats.rows_fetched;
+  stats.run.elapsed_s += run.stats.elapsed_s;
+
+  if (run.complete()) {
+    return Answer::complete_answer(std::move(run.data), std::move(stats));
+  }
+  // §4: transform the unfinished physical parts back into OQL.
+  std::vector<oql::ExprPtr> residuals;
+  residuals.reserve(run.residuals.size());
+  for (const algebra::LogicalPtr& residual : run.residuals) {
+    residuals.push_back(algebra::reconstruct(residual));
+  }
+  return Answer::partial_answer(std::move(run.data), std::move(residuals),
+                                std::move(stats));
+}
+
+std::string Mediator::explain(const std::string& oql_text) const {
+  optimizer::Optimizer opt = make_optimizer();
+  optimizer::Optimizer::Result planned = opt.optimize(oql::parse(oql_text));
+  std::string out;
+  out += "expanded: " + oql::to_oql(planned.expanded) + "\n";
+  for (const auto& [name, plan] : planned.aux) {
+    out += "aux " + name + ": " + physical::to_physical_string(plan) + "\n";
+  }
+  for (const auto& [name, plan] : planned.aux_closures) {
+    out += "aux " + name + "*: " + physical::to_physical_string(plan) + "\n";
+  }
+  if (planned.plan == nullptr) {
+    out += "mode: local evaluation\n";
+    return out;
+  }
+  out += "plan: " + physical::to_physical_string(planned.plan) + "\n";
+  out += "plans considered: " + std::to_string(planned.plans_considered) +
+         "\n";
+  out += "estimated: net " + std::to_string(planned.estimated.net_s) +
+         "s, cpu " + std::to_string(planned.estimated.cpu_s) + "s, rows " +
+         std::to_string(planned.estimated.rows) + "\n";
+  return out;
+}
+
+}  // namespace disco

@@ -1,0 +1,139 @@
+// The DISCO mediator (M in Figure 1) — the paper's primary contribution.
+//
+// One Mediator bundles the Prototype-0 pipeline of Figure 2: the ODL/OQL
+// parsers, the internal database (catalog), the query optimizer, the
+// run-time system, and the bindings to wrapper objects. It talks to data
+// sources through wrappers over the simulated network, learns per-source
+// costs (§3.3), and returns Answers with partial-evaluation semantics
+// (§4).
+//
+// Typical setup (see examples/quickstart.cpp):
+//
+//   disco::Mediator m;
+//   m.register_wrapper_factory("WrapperMiniSql", [&] { ... });
+//   m.execute_odl(R"(
+//     interface Person (extent person) {
+//       attribute String name;
+//       attribute Short salary; };
+//     r0 := Repository(host="rodin", name="db", address="123.45.6.7");
+//     w0 := WrapperMiniSql();
+//     extent person0 of Person wrapper w0 repository r0;
+//   )");
+//   disco::Answer a = m.query("select x.name from x in person");
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "catalog/catalog.hpp"
+#include "core/answer.hpp"
+#include "net/network.hpp"
+#include "optimizer/cost.hpp"
+#include "optimizer/optimizer.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace disco {
+
+/// Per-query knobs.
+struct QueryOptions {
+  /// §4's designated time: calls slower than this are classified
+  /// unavailable and the answer becomes partial.
+  double deadline_s = std::numeric_limits<double>::infinity();
+};
+
+class Mediator {
+ public:
+  struct Options {
+    uint64_t network_seed = 1;
+    optimizer::OptimizerOptions optimizer;
+    /// Network model for repositories defined through ODL assignments.
+    net::LatencyModel default_latency;
+    /// §2.1 run-time type checking: validate every row wrappers return
+    /// against the extent's interface. Off by default (costs a pass over
+    /// every fetched row).
+    bool validate_source_rows = false;
+    /// Reuse optimized plans for repeated query texts. Invalidated by any
+    /// catalog change (§3.3: "the mediator must monitor updates to
+    /// extents, and modify or recompute plans"). Cached plans do not see
+    /// cost-history updates until the next invalidation.
+    bool enable_plan_cache = false;
+  };
+
+  Mediator();
+  explicit Mediator(Options options);
+
+  // -- component access (the internal db, the simulated world) -------------
+  catalog::Catalog& catalog() { return catalog_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  net::Network& network() { return network_; }
+  net::VirtualClock& clock() { return clock_; }
+  optimizer::CostHistory& cost_history() { return history_; }
+
+  // -- administration (the DBA interface, §2) --------------------------------
+  /// Executes ODL text: interface / extent / define / assignments.
+  /// `x := Repository(...)` defines a repository and a network endpoint;
+  /// `x := SomeCtor(...)` instantiates a wrapper via a registered factory.
+  void execute_odl(const std::string& text);
+
+  /// Binds a wrapper object to a name (the programmatic alternative to
+  /// `w0 := WrapperMiniSql();`).
+  void register_wrapper(const std::string& name,
+                        std::shared_ptr<wrapper::Wrapper> wrapper);
+  /// Registers a constructor usable from ODL assignments.
+  void register_wrapper_factory(
+      const std::string& constructor,
+      std::function<std::shared_ptr<wrapper::Wrapper>()> factory);
+
+  /// Defines a repository and its network endpoint in one step.
+  void register_repository(catalog::Repository repository,
+                           net::LatencyModel latency = {},
+                           net::Availability availability = {});
+
+  wrapper::Wrapper* wrapper_by_name(const std::string& name) const;
+
+  // -- querying (§3, §4) ------------------------------------------------------
+  Answer query(const std::string& oql_text, QueryOptions options = {});
+  Answer query(const oql::ExprPtr& query, QueryOptions options = {});
+
+  /// Optimizer output for a query: chosen physical plan, cost estimate,
+  /// alternatives considered. For debugging and the benches.
+  std::string explain(const std::string& oql_text) const;
+
+  struct PlanCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+  };
+  const PlanCacheStats& plan_cache_stats() const {
+    return plan_cache_stats_;
+  }
+
+ private:
+  Answer run_planned(const optimizer::Optimizer::Result& planned,
+                     QueryOptions options);
+  optimizer::Optimizer make_optimizer() const;
+  physical::ExecContext make_context(const oql::CollectionResolver* resolver,
+                                     double deadline_s);
+
+  Options options_;
+  catalog::Catalog catalog_;
+  net::Network network_;
+  net::VirtualClock clock_;
+  optimizer::CostHistory history_;
+  std::unordered_map<std::string, std::shared_ptr<wrapper::Wrapper>>
+      wrappers_;
+  std::unordered_map<std::string,
+                     std::function<std::shared_ptr<wrapper::Wrapper>()>>
+      factories_;
+
+  // Plan cache (Options::enable_plan_cache).
+  mutable std::unordered_map<std::string, optimizer::Optimizer::Result>
+      plan_cache_;
+  mutable uint64_t plan_cache_version_ = 0;
+  mutable PlanCacheStats plan_cache_stats_;
+};
+
+}  // namespace disco

@@ -1,0 +1,45 @@
+// Mediator-as-data-source: the wrapper that lets mediators be combined
+// (Figure 1: "permits mediators to be combined, providing a mechanism to
+// deal with the complexity introduced by a large number of data
+// sources").
+//
+// A downstream mediator registers extents whose repository is an upstream
+// mediator; this wrapper translates pushed logical expressions back into
+// OQL text (the two mediators share the language, so the "foreign
+// language" here is OQL itself), renames extents and attributes through
+// the type maps, queries the remote mediator, and renames the rows back.
+//
+// The remote mediator is required to produce a *complete* answer: this
+// wrapper does not splice a remote partial answer into the local plan
+// (residuals would then mix two mediators' name spaces). A remote partial
+// answer raises ExecutionError; composing partial evaluation across
+// mediator tiers is the same open question the paper leaves for future
+// work in §6.2.
+#pragma once
+
+#include "core/mediator.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace disco {
+
+class MediatorWrapper : public wrapper::Wrapper {
+ public:
+  /// `remote` must outlive this wrapper.
+  explicit MediatorWrapper(Mediator* remote);
+
+  /// Mediators speak full OQL: every operator, composed.
+  grammar::Grammar capabilities() const override;
+  wrapper::SubmitResult submit(const catalog::Repository& repository,
+                               const algebra::LogicalPtr& expr,
+                               const wrapper::BindingMap& bindings) override;
+  std::string kind() const override { return "mediator"; }
+
+  /// Last OQL text shipped to the remote mediator (for tests).
+  const std::string& last_oql() const { return last_oql_; }
+
+ private:
+  Mediator* remote_;
+  std::string last_oql_;
+};
+
+}  // namespace disco

@@ -1,0 +1,143 @@
+#include "core/system_catalog.hpp"
+
+#include "common/error.hpp"
+#include "oql/eval.hpp"
+#include "oql/parser.hpp"
+
+namespace disco {
+
+void SystemCatalog::register_mediator(const std::string& name,
+                                      Mediator* mediator) {
+  internal_check(mediator != nullptr, "null mediator");
+  if (name.empty()) throw CatalogError("mediator needs a name");
+  for (const auto& [existing, unused] : mediators_) {
+    if (existing == name) {
+      throw CatalogError("mediator '" + name + "' is already registered");
+    }
+  }
+  mediators_.emplace_back(name, mediator);
+}
+
+std::vector<std::string> SystemCatalog::mediator_names() const {
+  std::vector<std::string> out;
+  out.reserve(mediators_.size());
+  for (const auto& [name, mediator] : mediators_) out.push_back(name);
+  return out;
+}
+
+Mediator* SystemCatalog::mediator(const std::string& name) const {
+  for (const auto& [existing, mediator] : mediators_) {
+    if (existing == name) return mediator;
+  }
+  throw CatalogError("unknown mediator '" + name + "'");
+}
+
+std::vector<std::string> SystemCatalog::mediators_serving_type(
+    const std::string& type) const {
+  std::vector<std::string> out;
+  for (const auto& [name, mediator] : mediators_) {
+    if (mediator->catalog().types().contains(type) &&
+        !mediator->catalog().extents_of_type(type).empty()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SystemCatalog::mediators_providing_attributes(
+    const std::vector<std::string>& attributes) const {
+  std::vector<std::string> out;
+  for (const auto& [name, mediator] : mediators_) {
+    const catalog::Catalog& cat = mediator->catalog();
+    bool any = false;
+    for (const std::string& type : cat.types().type_names()) {
+      if (cat.extents_of_type(type).empty()) continue;
+      std::vector<Attribute> attrs = cat.types().all_attributes(type);
+      bool all = true;
+      for (const std::string& wanted : attributes) {
+        bool found = false;
+        for (const Attribute& attr : attrs) {
+          if (attr.name == wanted) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        any = true;
+        break;
+      }
+    }
+    if (any) out.push_back(name);
+  }
+  return out;
+}
+
+Value SystemCatalog::system_overview() const {
+  std::vector<Value> rows;
+  for (const auto& [name, mediator] : mediators_) {
+    const Value extents = mediator->catalog().metaextent_rows();
+    for (const Value& extent : extents.items()) {
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.emplace_back("mediator", Value::string(name));
+      for (const auto& [field_name, value] : extent.fields()) {
+        fields.emplace_back(field_name, value);
+      }
+      rows.push_back(Value::strct(std::move(fields)));
+    }
+  }
+  return Value::bag(std::move(rows));
+}
+
+Value SystemCatalog::query(const std::string& oql_text) const {
+  oql::MapResolver resolver;
+  {
+    std::vector<Value> rows;
+    for (const auto& [name, mediator] : mediators_) {
+      (void)mediator;
+      rows.push_back(Value::strct({{"name", Value::string(name)}}));
+    }
+    resolver.bind("mediators", Value::bag(std::move(rows)));
+  }
+  resolver.bind("extents", system_overview());
+  {
+    std::vector<Value> rows;
+    for (const auto& [name, mediator] : mediators_) {
+      for (const std::string& type_name :
+           mediator->catalog().types().type_names()) {
+        const InterfaceType& type =
+            mediator->catalog().types().get(type_name);
+        rows.push_back(Value::strct(
+            {{"mediator", Value::string(name)},
+             {"name", Value::string(type.name)},
+             {"super", Value::string(type.super)},
+             {"implicit_extent", Value::string(type.implicit_extent)}}));
+      }
+    }
+    resolver.bind("types", Value::bag(std::move(rows)));
+  }
+  {
+    std::vector<Value> rows;
+    for (const auto& [name, mediator] : mediators_) {
+      for (const std::string& repo_name :
+           mediator->catalog().repository_names()) {
+        const catalog::Repository& repo =
+            mediator->catalog().repository(repo_name);
+        rows.push_back(Value::strct(
+            {{"mediator", Value::string(name)},
+             {"name", Value::string(repo.name)},
+             {"host", Value::string(repo.host)},
+             {"db", Value::string(repo.db_name)},
+             {"address", Value::string(repo.address)}}));
+      }
+    }
+    resolver.bind("repositories", Value::bag(std::move(rows)));
+  }
+  return oql::Evaluator(&resolver).eval(oql::parse(oql_text));
+}
+
+}  // namespace disco

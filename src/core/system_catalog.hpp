@@ -1,0 +1,59 @@
+// The catalog component — C in Figure 1.
+//
+// "special mediators, catalogs, (C), keep track of collections of
+//  databases, wrappers, and mediators in the system. Catalogs do not
+//  have total knowledge of all elements of the system; however, they
+//  provide an overview of the entire system." (§1.1)
+//
+// A SystemCatalog registers mediators and exposes the federation's
+// meta-data as queryable OQL collections — a catalog *is* a kind of
+// mediator whose data sources are other mediators' catalogs:
+//
+//   mediators    bag of struct(name)
+//   extents      bag of struct(mediator, name, interface, wrapper,
+//                              repository)
+//   types        bag of struct(mediator, name, super, implicit_extent)
+//   repositories bag of struct(mediator, name, host, db, address)
+//
+// Registration records a pointer, not a snapshot: queries always see the
+// mediators' current state ("Catalogs do not have total knowledge" — they
+// hold no copies to go stale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mediator.hpp"
+
+namespace disco {
+
+class SystemCatalog {
+ public:
+  /// Registers a mediator under a unique name. The mediator must outlive
+  /// the catalog. Throws CatalogError on duplicates.
+  void register_mediator(const std::string& name, Mediator* mediator);
+
+  std::vector<std::string> mediator_names() const;
+  Mediator* mediator(const std::string& name) const;
+
+  /// Mediators that export the given interface type.
+  std::vector<std::string> mediators_serving_type(
+      const std::string& type) const;
+  /// Mediators with at least one extent whose interface provides every
+  /// attribute in `attributes` (a structural capability search).
+  std::vector<std::string> mediators_providing_attributes(
+      const std::vector<std::string>& attributes) const;
+
+  /// Evaluates an OQL query over the catalog collections listed in the
+  /// file comment. The catalog speaks the same language as everything
+  /// else in the system.
+  Value query(const std::string& oql_text) const;
+
+  /// The full federation overview: one row per (mediator, extent).
+  Value system_overview() const;
+
+ private:
+  std::vector<std::pair<std::string, Mediator*>> mediators_;
+};
+
+}  // namespace disco

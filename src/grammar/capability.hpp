@@ -1,0 +1,130 @@
+// Wrapper capability description (§1.4, §3.2 of the paper).
+//
+// A wrapper advertises which logical operators it supports, and whether
+// they compose, by returning a *grammar*. The paper gives the example of
+// a wrapper that understands get and project but not their composition:
+//
+//   a :- b
+//   a :- c
+//   b :- get OPEN SOURCE CLOSE
+//   c :- project OPEN ATTRIBUTE COMMA SOURCE CLOSE
+//
+// and the composing variant that adds  s :- b | c | SOURCE  and uses `s`
+// in the argument positions.
+//
+// We implement both forms the paper describes:
+//   * CapabilitySet — the operator-set form ("the call may return
+//     {get, project, compose}"), a convenience layer; and
+//   * Grammar — the production form, checked by an Earley recognizer.
+// CapabilitySet::to_grammar() produces exactly the productions above, and
+// accepts() serializes a logical expression to the terminal alphabet
+// (get/project/select/join/OPEN/CLOSE/ATTRIBUTE/PREDICATE/COMMA/SOURCE)
+// and asks the recognizer. The mediator's pushdown rules call accepts()
+// before every rewrite that moves work into a submit (§3.2: "the
+// transformation rule consults the wrapper interface").
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/logical.hpp"
+
+namespace disco::grammar {
+
+/// Terminal alphabet of the wrapper interface language.
+enum class Terminal {
+  Get,
+  Project,
+  Select,  ///< the filtering operator
+  Join,
+  Open,
+  Close,
+  Attribute,
+  Predicate,
+  /// Equality-only predicate (a conjunction of `=` comparisons). §3.2:
+  /// "the support for certain comparison operators ... can be defined by
+  /// returning a grammar" — a wrapper for a lookup-only store accepts
+  /// EQPREDICATE where a full DBMS wrapper accepts PREDICATE. An
+  /// equality-only predicate *is* a predicate, so a PREDICATE symbol in a
+  /// grammar also matches an EQPREDICATE token (see recognizes()).
+  EqPredicate,
+  Comma,
+  Source,
+};
+
+const char* to_string(Terminal terminal);
+
+/// One grammar symbol: terminal or nonterminal (by name).
+struct Symbol {
+  bool is_terminal;
+  Terminal terminal;     // when is_terminal
+  std::string nonterminal;  // when !is_terminal
+
+  static Symbol t(Terminal terminal) { return Symbol{true, terminal, ""}; }
+  static Symbol nt(std::string name) {
+    return Symbol{false, Terminal::Get, std::move(name)};
+  }
+};
+
+struct Production {
+  std::string head;
+  std::vector<Symbol> body;
+};
+
+/// A context-free grammar over the wrapper terminal alphabet.
+class Grammar {
+ public:
+  Grammar() = default;
+  Grammar(std::string start, std::vector<Production> productions);
+
+  /// Parses the paper's textual notation, e.g.
+  ///   "a :- b\n a :- c\n b :- get OPEN SOURCE CLOSE\n ..."
+  /// Uppercase names and the operator names get/project/select/join are
+  /// terminals; everything else is a nonterminal. The head of the first
+  /// production is the start symbol. Throws ParseError on malformed text.
+  static Grammar parse(const std::string& text);
+
+  /// Earley recognition of `tokens` from the start symbol.
+  bool recognizes(const std::vector<Terminal>& tokens) const;
+
+  /// Serializes `expr` to the terminal alphabet and recognizes it. Submit
+  /// nodes must not appear below the wrapper boundary; Union/Const are not
+  /// part of the wrapper language and make accepts() return false.
+  bool accepts(const algebra::LogicalPtr& expr) const;
+
+  const std::string& start() const { return start_; }
+  const std::vector<Production>& productions() const { return productions_; }
+  std::string to_text() const;
+
+ private:
+  std::string start_;
+  std::vector<Production> productions_;
+};
+
+/// Serializes a logical expression into the wrapper terminal language:
+///   get(e, x)            -> get ( SOURCE )
+///   project(p, X)        -> project ( ATTRIBUTE , <X> )
+///   select(pred, X)      -> select ( PREDICATE|EQPREDICATE , <X> )
+///   join(L, R, pred)     -> join ( <L> , <R> , PREDICATE|EQPREDICATE )
+/// A predicate serializes as EQPREDICATE when it is a conjunction of
+/// equality comparisons only.
+/// Returns false when the expression contains operators outside the
+/// wrapper language (union, const, submit).
+bool serialize(const algebra::LogicalPtr& expr, std::vector<Terminal>& out);
+
+/// The operator-set capability form with a composition flag.
+struct CapabilitySet {
+  bool get = true;
+  bool project = false;
+  bool select = false;
+  bool join = false;
+  bool compose = false;  ///< operators may nest
+
+  /// Generates the production grammar equivalent (the paper's §3.2
+  /// construction): without compose, each operator applies to a bare
+  /// SOURCE; with compose, argument positions accept any supported form.
+  Grammar to_grammar() const;
+};
+
+}  // namespace disco::grammar

@@ -1,0 +1,119 @@
+#include "net/network.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace disco::net {
+
+void VirtualClock::advance(double seconds) {
+  internal_check(seconds >= 0, "clock cannot go backwards");
+  now_ += seconds;
+}
+
+Availability Availability::periodic(double up_s, double down_s,
+                                    double phase_s) {
+  internal_check(up_s > 0 && down_s >= 0, "invalid periodic schedule");
+  Availability a;
+  a.mode = Mode::Periodic;
+  a.up_s = up_s;
+  a.down_s = down_s;
+  a.phase_s = phase_s;
+  return a;
+}
+
+Availability Availability::random(double up_probability) {
+  internal_check(up_probability >= 0 && up_probability <= 1,
+                 "probability out of range");
+  Availability a;
+  a.mode = Mode::Random;
+  a.up_probability = up_probability;
+  return a;
+}
+
+void Network::add_endpoint(Endpoint endpoint) {
+  internal_check(!endpoint.name.empty(), "endpoint needs a name");
+  stats_.try_emplace(endpoint.name);
+  endpoints_[endpoint.name] = std::move(endpoint);
+}
+
+bool Network::has_endpoint(const std::string& name) const {
+  return endpoints_.contains(name);
+}
+
+const Endpoint& Network::endpoint(const std::string& name) const {
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) {
+    throw CatalogError("unknown network endpoint '" + name + "'");
+  }
+  return it->second;
+}
+
+void Network::set_availability(const std::string& name,
+                               Availability availability) {
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) {
+    throw CatalogError("unknown network endpoint '" + name + "'");
+  }
+  it->second.availability = availability;
+}
+
+void Network::set_latency(const std::string& name, LatencyModel latency) {
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) {
+    throw CatalogError("unknown network endpoint '" + name + "'");
+  }
+  it->second.latency = latency;
+}
+
+bool Network::is_up(const Endpoint& endpoint, double at) {
+  const Availability& a = endpoint.availability;
+  switch (a.mode) {
+    case Availability::Mode::AlwaysUp:
+      return true;
+    case Availability::Mode::AlwaysDown:
+      return false;
+    case Availability::Mode::Periodic: {
+      double period = a.up_s + a.down_s;
+      double position = std::fmod(at + a.phase_s, period);
+      if (position < 0) position += period;
+      return position < a.up_s;
+    }
+    case Availability::Mode::Random:
+      return rng_.next_double() < a.up_probability;
+  }
+  return false;
+}
+
+CallOutcome Network::call(const std::string& name, size_t result_rows,
+                          double at) {
+  const Endpoint& ep = endpoint(name);
+  TrafficStats& stats = stats_[name];
+  ++stats.calls;
+  if (!is_up(ep, at)) {
+    ++stats.failures;
+    return CallOutcome{false, 0};
+  }
+  double latency = ep.latency.base_s +
+                   ep.latency.per_row_s * static_cast<double>(result_rows);
+  if (ep.latency.jitter_s > 0) {
+    latency += rng_.next_double() * ep.latency.jitter_s;
+  }
+  stats.rows += result_rows;
+  stats.busy_s += latency;
+  return CallOutcome{true, latency};
+}
+
+const TrafficStats& Network::stats(const std::string& name) const {
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    throw CatalogError("no stats for endpoint '" + name + "'");
+  }
+  return it->second;
+}
+
+void Network::reset_stats() {
+  for (auto& [name, stats] : stats_) stats = TrafficStats{};
+}
+
+}  // namespace disco::net

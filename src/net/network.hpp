@@ -1,0 +1,122 @@
+// Simulated network between mediators and data sources.
+//
+// The paper assumes real repositories on a real network where sources are
+// "unavailable, as is common in a networked environment" (§1.5), and its
+// §4 partial-evaluation semantics is driven purely by *which sources
+// respond before a designated time elapses*. This module substitutes the
+// network with a deterministic simulation (see DESIGN.md §2):
+//
+//   * a VirtualClock in seconds,
+//   * per-endpoint latency models (base + per-row + seeded jitter),
+//   * per-endpoint availability schedules (always up/down, periodic
+//     outages, or seeded random failures),
+//   * per-endpoint traffic statistics for the architecture benches.
+//
+// The physical runtime issues all exec calls of a plan logically in
+// parallel (§4: "These calls proceed in parallel"): each call reports its
+// own completion latency; a call completes "in time" when its latency
+// fits within the query deadline. The query's elapsed time is the max
+// over its parallel calls, capped by the deadline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace disco::net {
+
+/// Simulated time in seconds.
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+  void advance(double seconds);
+  void reset() { now_ = 0; }
+
+ private:
+  double now_ = 0;
+};
+
+struct LatencyModel {
+  double base_s = 0.01;      ///< round-trip setup cost
+  double per_row_s = 0.0001; ///< transfer cost per result row
+  double jitter_s = 0;       ///< uniform extra delay in [0, jitter_s)
+};
+
+/// When is an endpoint reachable.
+struct Availability {
+  enum class Mode {
+    AlwaysUp,
+    AlwaysDown,
+    Periodic,  ///< up for up_s, then down for down_s, repeating
+    Random,    ///< each call independently up with probability up_probability
+  };
+  Mode mode = Mode::AlwaysUp;
+  double up_s = 1;
+  double down_s = 1;
+  double phase_s = 0;         ///< schedule offset for Periodic
+  double up_probability = 1;  ///< for Random
+
+  static Availability always_up() { return {}; }
+  static Availability always_down() {
+    Availability a;
+    a.mode = Mode::AlwaysDown;
+    return a;
+  }
+  static Availability periodic(double up_s, double down_s,
+                               double phase_s = 0);
+  static Availability random(double up_probability);
+};
+
+struct Endpoint {
+  std::string name;
+  LatencyModel latency;
+  Availability availability;
+};
+
+/// Outcome of one simulated call.
+struct CallOutcome {
+  bool available = false;
+  double latency_s = 0;  ///< meaningful only when available
+};
+
+/// Per-endpoint counters, inspected by benches and the catalog component.
+struct TrafficStats {
+  uint64_t calls = 0;
+  uint64_t failures = 0;
+  uint64_t rows = 0;
+  double busy_s = 0;
+};
+
+class Network {
+ public:
+  explicit Network(uint64_t seed = 1) : rng_(seed) {}
+
+  /// Registers (or replaces) an endpoint.
+  void add_endpoint(Endpoint endpoint);
+  bool has_endpoint(const std::string& name) const;
+  /// Throws CatalogError when absent.
+  const Endpoint& endpoint(const std::string& name) const;
+
+  /// Convenience mutators used by tests and failure-injection benches.
+  void set_availability(const std::string& name, Availability availability);
+  void set_latency(const std::string& name, LatencyModel latency);
+
+  /// Simulates one request issued at time `at` whose reply carries
+  /// `result_rows` rows. Does not advance any clock; the caller owns time.
+  CallOutcome call(const std::string& name, size_t result_rows, double at);
+
+  const TrafficStats& stats(const std::string& name) const;
+  void reset_stats();
+
+ private:
+  bool is_up(const Endpoint& endpoint, double at);
+
+  std::unordered_map<std::string, Endpoint> endpoints_;
+  std::unordered_map<std::string, TrafficStats> stats_;
+  SplitMix64 rng_;
+};
+
+}  // namespace disco::net

@@ -1,0 +1,204 @@
+#include "odl/odl.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "oql/lexer.hpp"
+#include "oql/parser.hpp"
+
+namespace disco::odl {
+
+using oql::Token;
+using oql::TokenKind;
+
+namespace {
+
+bool is_kw(const Token& token, std::string_view keyword) {
+  return token.kind == TokenKind::Ident && iequals(token.text, keyword);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  std::vector<Statement> run() {
+    std::vector<Statement> out;
+    while (peek().kind != TokenKind::End) {
+      out.push_back(statement());
+    }
+    return out;
+  }
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() {
+    const Token& t = peek();
+    if (t.kind != TokenKind::End) ++pos_;
+    return t;
+  }
+  bool match(TokenKind kind) {
+    if (peek().kind == kind) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool match_kw(std::string_view keyword) {
+    if (is_kw(peek(), keyword)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    const Token& t = peek();
+    throw ParseError("ODL: " + message + " (found " + to_string(t.kind) +
+                         (t.text.empty() ? "" : " '" + t.text + "'") + ")",
+                     t.line, t.column);
+  }
+  const Token& expect(TokenKind kind, std::string_view what) {
+    if (peek().kind != kind) fail("expected " + std::string(what));
+    return advance();
+  }
+  void expect_semicolon() {
+    if (!match(TokenKind::Semicolon)) fail("expected ';'");
+  }
+
+  Statement statement() {
+    if (is_kw(peek(), "interface")) return interface_def();
+    if (is_kw(peek(), "extent")) return extent_def();
+    if (is_kw(peek(), "drop")) {
+      advance();
+      if (!match_kw("extent")) fail("expected 'extent' after 'drop'");
+      DropExtent drop;
+      drop.name = expect(TokenKind::Ident, "extent name").text;
+      expect_semicolon();
+      return drop;
+    }
+    if (is_kw(peek(), "define")) return view_def();
+    if (peek().kind == TokenKind::Ident &&
+        peek(1).kind == TokenKind::Colon && peek(2).kind == TokenKind::Eq) {
+      return assignment();
+    }
+    fail("expected interface / extent / define / assignment");
+  }
+
+  Statement interface_def() {
+    advance();  // interface
+    InterfaceDef def;
+    def.type.name = expect(TokenKind::Ident, "interface name").text;
+    // Optional clauses in either order: (extent e) and : Super.
+    for (int i = 0; i < 2; ++i) {
+      if (peek().kind == TokenKind::LParen) {
+        advance();
+        if (!match_kw("extent")) fail("expected 'extent' in interface head");
+        def.type.implicit_extent =
+            expect(TokenKind::Ident, "implicit extent name").text;
+        expect(TokenKind::RParen, "')'");
+      } else if (peek().kind == TokenKind::Colon) {
+        advance();
+        def.type.super = expect(TokenKind::Ident, "supertype name").text;
+      }
+    }
+    expect(TokenKind::LBrace, "'{'");
+    while (!match(TokenKind::RBrace)) {
+      if (!match_kw("attribute")) fail("expected 'attribute' or '}'");
+      const Token& type_name = expect(TokenKind::Ident, "attribute type");
+      auto scalar = scalar_type_from_name(type_name.text);
+      if (!scalar.has_value()) {
+        throw ParseError("ODL: unknown attribute type '" + type_name.text +
+                             "'",
+                         type_name.line, type_name.column);
+      }
+      const Token& attr_name = expect(TokenKind::Ident, "attribute name");
+      def.type.attributes.push_back(Attribute{attr_name.text, *scalar});
+      expect_semicolon();
+    }
+    expect_semicolon();
+    return def;
+  }
+
+  Statement extent_def() {
+    advance();  // extent
+    ExtentDef def;
+    def.extent.name = expect(TokenKind::Ident, "extent name").text;
+    if (!match_kw("of")) fail("expected 'of'");
+    def.extent.interface = expect(TokenKind::Ident, "interface name").text;
+    if (!match_kw("wrapper")) fail("expected 'wrapper'");
+    def.extent.wrapper = expect(TokenKind::Ident, "wrapper name").text;
+    if (!match_kw("repository")) fail("expected 'repository'");
+    def.extent.repository = expect(TokenKind::Ident, "repository name").text;
+    if (match_kw("map")) {
+      def.extent.map = map_clause(def.extent.name);
+    }
+    expect_semicolon();
+    return def;
+  }
+
+  /// map ((person0=personprime0),(name=n),(salary=s))
+  /// First pair: source relation = extent name; rest: source = mediator.
+  catalog::TypeMap map_clause(const std::string& extent_name) {
+    expect(TokenKind::LParen, "'(' after map");
+    std::string source_relation;
+    std::vector<std::pair<std::string, std::string>> fields;
+    bool first = true;
+    do {
+      expect(TokenKind::LParen, "'(' opening a map pair");
+      std::string lhs = expect(TokenKind::Ident, "map name").text;
+      expect(TokenKind::Eq, "'='");
+      std::string rhs = expect(TokenKind::Ident, "map name").text;
+      expect(TokenKind::RParen, "')' closing a map pair");
+      if (first && rhs == extent_name) {
+        source_relation = lhs;
+      } else {
+        fields.emplace_back(std::move(lhs), std::move(rhs));
+      }
+      first = false;
+    } while (match(TokenKind::Comma));
+    expect(TokenKind::RParen, "')' closing the map");
+    return catalog::TypeMap(std::move(source_relation), std::move(fields));
+  }
+
+  Statement view_def() {
+    advance();  // define
+    ViewDefStmt def;
+    def.name = expect(TokenKind::Ident, "view name").text;
+    if (!match_kw("as")) fail("expected 'as'");
+    def.query = oql::parse_expression(tokens_, pos_);
+    expect_semicolon();
+    return def;
+  }
+
+  Statement assignment() {
+    Assignment def;
+    def.var = advance().text;  // var
+    advance();                 // ':'
+    advance();                 // '='
+    def.constructor = expect(TokenKind::Ident, "constructor name").text;
+    expect(TokenKind::LParen, "'('");
+    if (peek().kind != TokenKind::RParen) {
+      do {
+        std::string key = expect(TokenKind::Ident, "argument name").text;
+        expect(TokenKind::Eq, "'='");
+        const Token& value = expect(TokenKind::StringLit, "string value");
+        def.args.emplace_back(std::move(key), value.text);
+      } while (match(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "')'");
+    expect_semicolon();
+    return def;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Statement> parse_odl(const std::string& text) {
+  return Parser(oql::tokenize(text)).run();
+}
+
+}  // namespace disco::odl

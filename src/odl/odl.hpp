@@ -1,0 +1,70 @@
+// ODL parser: ODMG ODL plus the two DISCO extensions (§2 of the paper).
+//
+// Supported statements, each terminated by ';':
+//
+//   interface Person (extent person) {
+//     attribute String name;
+//     attribute Short salary; };
+//
+//   interface Student : Person { };                       // subtyping
+//
+//   extent person0 of Person wrapper w0 repository r0;    // DISCO ext.
+//   extent pp0 of PersonPrime wrapper w0 repository r0
+//     map ((person0=pp0),(name=n),(salary=s));            // §2.2.2
+//   drop extent person0;
+//
+//   define person as flatten(select x.e from x in metaextent
+//                            where x.interface = Person); // views, §2.2.3
+//
+//   r0 := Repository(host="rodin", name="db", address="123.45.6.7");
+//   w0 := WrapperMiniSql();                               // §2.1 objects
+//
+// The parser produces statements; interpretation (creating repository
+// objects, binding wrapper factories) is the mediator's job.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "oql/ast.hpp"
+#include "types/type_registry.hpp"
+
+namespace disco::odl {
+
+struct InterfaceDef {
+  InterfaceType type;
+};
+
+struct ExtentDef {
+  catalog::MetaExtent extent;
+};
+
+/// `drop extent person1;` — removing a data source from the mediator is
+/// as cheap as adding one (§2.1: extents "can be added and deleted").
+struct DropExtent {
+  std::string name;
+};
+
+struct ViewDefStmt {
+  std::string name;
+  oql::ExprPtr query;
+};
+
+/// `var := Constructor(key="value", ...)` — used for Repository and
+/// wrapper objects. Values are string literals; non-string args are not
+/// needed by the paper's examples.
+struct Assignment {
+  std::string var;
+  std::string constructor;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+using Statement = std::variant<InterfaceDef, ExtentDef, DropExtent,
+                               ViewDefStmt, Assignment>;
+
+/// Parses a sequence of ODL statements. Throws ParseError / LexError.
+std::vector<Statement> parse_odl(const std::string& text);
+
+}  // namespace disco::odl

@@ -1,0 +1,60 @@
+#include "optimizer/cost.hpp"
+
+#include "common/error.hpp"
+
+namespace disco::optimizer {
+
+void CostHistory::update(std::unordered_map<std::string, Entry>& map,
+                         const std::string& key, double time_s, double rows) {
+  Entry& entry = map[key];
+  if (entry.count == 0) {
+    entry.time_ewma = time_s;
+    entry.rows_ewma = rows;
+  } else {
+    entry.time_ewma = alpha_ * time_s + (1 - alpha_) * entry.time_ewma;
+    entry.rows_ewma = alpha_ * rows + (1 - alpha_) * entry.rows_ewma;
+  }
+  ++entry.count;
+}
+
+void CostHistory::record(const std::string& repository,
+                         const algebra::LogicalPtr& remote, double time_s,
+                         size_t rows) {
+  internal_check(remote != nullptr, "cannot record a null expression");
+  update(exact_, repository + "|" + algebra::to_algebra_string(remote),
+         time_s, static_cast<double>(rows));
+  update(close_, repository + "|" + algebra::signature(remote), time_s,
+         static_cast<double>(rows));
+  update(per_repository_, repository, time_s, static_cast<double>(rows));
+}
+
+CostHistory::Estimate CostHistory::estimate(
+    const std::string& repository, const algebra::LogicalPtr& remote) const {
+  internal_check(remote != nullptr, "cannot estimate a null expression");
+  auto exact_it =
+      exact_.find(repository + "|" + algebra::to_algebra_string(remote));
+  if (exact_it != exact_.end()) {
+    return Estimate{exact_it->second.time_ewma, exact_it->second.rows_ewma,
+                    Basis::Exact, exact_it->second.count};
+  }
+  auto close_it =
+      close_.find(repository + "|" + algebra::signature(remote));
+  if (close_it != close_.end()) {
+    return Estimate{close_it->second.time_ewma, close_it->second.rows_ewma,
+                    Basis::Close, close_it->second.count};
+  }
+  auto repo_it = per_repository_.find(repository);
+  if (repo_it != per_repository_.end()) {
+    return Estimate{repo_it->second.time_ewma, repo_it->second.rows_ewma,
+                    Basis::Repository, repo_it->second.count};
+  }
+  return Estimate{};  // the paper's 0/1 default
+}
+
+void CostHistory::clear() {
+  exact_.clear();
+  close_.clear();
+  per_repository_.clear();
+}
+
+}  // namespace disco::optimizer

@@ -1,0 +1,829 @@
+#include "optimizer/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/error.hpp"
+#include "optimizer/typecheck.hpp"
+#include "oql/printer.hpp"
+
+namespace disco::optimizer {
+
+namespace {
+
+using algebra::LogicalPtr;
+using algebra::LOp;
+using physical::PhysicalPtr;
+
+// Mediator-side CPU cost per row for one operator application, and the
+// default selectivities of the textbook cost model (§3.1's "usual" cost
+// functions; the paper leaves the constants open).
+constexpr double kCpuPerRow = 2e-6;
+constexpr double kFilterSelectivity = 0.5;
+constexpr double kJoinSelectivity = 0.25;
+
+class Coster {
+ public:
+  explicit Coster(const CostHistory* history) : history_(history) {}
+
+  Cost cost(const PhysicalPtr& node) const {
+    switch (node->op) {
+      case physical::POp::Exec: {
+        CostHistory::Estimate est =
+            history_ == nullptr
+                ? CostHistory::Estimate{}
+                : history_->estimate(node->repository, node->remote);
+        return Cost{est.time_s, 0, std::max(est.rows, 0.0)};
+      }
+      case physical::POp::Const:
+        return Cost{0, 0, static_cast<double>(node->data.size())};
+      case physical::POp::Filter: {
+        Cost in = cost(node->child);
+        return Cost{in.net_s, in.cpu_s + in.rows * kCpuPerRow,
+                    in.rows * kFilterSelectivity};
+      }
+      case physical::POp::Project: {
+        Cost in = cost(node->child);
+        return Cost{in.net_s, in.cpu_s + in.rows * kCpuPerRow, in.rows};
+      }
+      case physical::POp::HashJoin: {
+        Cost l = cost(node->left);
+        Cost r = cost(node->right);
+        return Cost{std::max(l.net_s, r.net_s),
+                    l.cpu_s + r.cpu_s + (l.rows + r.rows) * kCpuPerRow,
+                    l.rows * r.rows * kJoinSelectivity};
+      }
+      case physical::POp::MergeJoin: {
+        Cost l = cost(node->left);
+        Cost r = cost(node->right);
+        auto nlogn = [](double n) {
+          return n * std::log2(std::max(n, 2.0));
+        };
+        return Cost{std::max(l.net_s, r.net_s),
+                    l.cpu_s + r.cpu_s +
+                        (nlogn(l.rows) + nlogn(r.rows)) * kCpuPerRow,
+                    l.rows * r.rows * kJoinSelectivity};
+      }
+      case physical::POp::NestedLoopJoin: {
+        Cost l = cost(node->left);
+        Cost r = cost(node->right);
+        double pairs = l.rows * r.rows;
+        double rows = node->predicate == nullptr
+                          ? pairs
+                          : pairs * kJoinSelectivity;
+        return Cost{std::max(l.net_s, r.net_s),
+                    l.cpu_s + r.cpu_s + pairs * kCpuPerRow, rows};
+      }
+      case physical::POp::BindJoin: {
+        Cost l = cost(node->left);
+        CostHistory::Estimate est =
+            history_ == nullptr
+                ? CostHistory::Estimate{}
+                : history_->estimate(node->repository, node->remote);
+        // The key disjunction narrows the probe to roughly one row per
+        // build key; scale the base estimate accordingly.
+        double selectivity =
+            est.rows > 0 ? std::min(1.0, l.rows / est.rows) : 1.0;
+        double probe_time = est.time_s * selectivity;
+        double probe_rows = est.rows * selectivity;
+        // Sequential: keys can only ship after the build side is in.
+        return Cost{l.net_s + probe_time,
+                    l.cpu_s + (l.rows + probe_rows) * kCpuPerRow,
+                    std::max(l.rows, 1.0) * kJoinSelectivity *
+                        std::max(probe_rows, 1.0)};
+      }
+      case physical::POp::Union: {
+        Cost total;
+        for (const PhysicalPtr& child : node->children) {
+          Cost c = cost(child);
+          total.net_s = std::max(total.net_s, c.net_s);
+          total.cpu_s += c.cpu_s;
+          total.rows += c.rows;
+        }
+        return total;
+      }
+    }
+    throw InternalError("corrupt plan in coster");
+  }
+
+ private:
+  const CostHistory* history_;
+};
+
+/// One from-binding of a branch after decomposition.
+struct Leaf {
+  std::string var;
+  const catalog::MetaExtent* extent = nullptr;  ///< null for const leaves
+  LogicalPtr const_node;                        ///< when extent == null
+  std::vector<oql::ExprPtr> pushable_preds;
+  std::vector<oql::ExprPtr> local_preds;  ///< single-var but not pushable
+};
+
+struct BranchParts {
+  std::vector<Leaf> leaves;
+  std::vector<oql::ExprPtr> join_preds;   ///< multi-leaf-var predicates
+  std::vector<oql::ExprPtr> other_preds;  ///< reference aux collections
+  oql::ExprPtr projection;
+  bool distinct = false;
+};
+
+void collect_leaves(const LogicalPtr& node,
+                    const catalog::Catalog& catalog,
+                    std::vector<Leaf>& out) {
+  switch (node->op) {
+    case LOp::Join:
+      collect_leaves(node->left, catalog, out);
+      collect_leaves(node->right, catalog, out);
+      internal_check(node->predicate == nullptr,
+                     "translator branches carry predicates in the filter");
+      return;
+    case LOp::Submit: {
+      internal_check(node->child->op == LOp::Get,
+                     "translator submit must wrap a get");
+      Leaf leaf;
+      leaf.var = node->child->var;
+      leaf.extent = &catalog.extent(node->child->extent);
+      out.push_back(std::move(leaf));
+      return;
+    }
+    case LOp::Const: {
+      Leaf leaf;
+      leaf.const_node = node;
+      // Recover the variable from the env shape.
+      if (!node->data.items().empty()) {
+        leaf.var = node->data.items().front().fields().front().first;
+      }
+      out.push_back(std::move(leaf));
+      return;
+    }
+    default:
+      throw InternalError("unexpected operator in branch join tree: " +
+                          std::string(to_string(node->op)));
+  }
+}
+
+BranchParts decompose_branch(const LogicalPtr& branch,
+                             const catalog::Catalog& catalog) {
+  internal_check(branch->op == LOp::Project,
+                 "translator branches are project-topped");
+  BranchParts parts;
+  parts.projection = branch->projection;
+  parts.distinct = branch->distinct;
+  LogicalPtr body = branch->child;
+  std::vector<oql::ExprPtr> conjuncts;
+  if (body->op == LOp::Filter) {
+    conjuncts = oql::split_conjuncts(body->predicate);
+    body = body->child;
+  }
+  collect_leaves(body, catalog, parts.leaves);
+
+  std::set<std::string> leaf_vars;
+  std::map<std::string, Leaf*> by_var;
+  for (Leaf& leaf : parts.leaves) {
+    leaf_vars.insert(leaf.var);
+    by_var[leaf.var] = &leaf;
+  }
+  for (const oql::ExprPtr& conjunct : conjuncts) {
+    std::set<std::string> fv = oql::free_names(conjunct);
+    bool all_leaf_vars = std::all_of(
+        fv.begin(), fv.end(),
+        [&leaf_vars](const std::string& v) { return leaf_vars.contains(v); });
+    if (!all_leaf_vars) {
+      parts.other_preds.push_back(conjunct);
+    } else if (fv.size() == 1) {
+      Leaf* leaf = by_var[*fv.begin()];
+      if (leaf->extent != nullptr &&
+          is_pushable_predicate(conjunct, {leaf->var})) {
+        leaf->pushable_preds.push_back(conjunct);
+      } else {
+        leaf->local_preds.push_back(conjunct);
+      }
+    } else {
+      parts.join_preds.push_back(conjunct);
+    }
+  }
+  return parts;
+}
+
+/// A source-access unit during plan construction: one submit (possibly
+/// covering several merged leaves) or one constant, plus the predicates
+/// the mediator still has to apply above it.
+struct Unit {
+  LogicalPtr node;  ///< submit(...) or const
+  std::set<std::string> vars;
+  std::vector<oql::ExprPtr> mediator_preds;
+  // For submit units:
+  std::string repository;
+  std::string wrapper;
+  LogicalPtr inner;  ///< expression inside the submit
+};
+
+}  // namespace
+
+bool is_pushable_predicate(const oql::ExprPtr& expr,
+                           const std::set<std::string>& vars) {
+  using oql::BinaryOp;
+  using oql::ExprKind;
+  if (expr == nullptr) return false;
+  switch (expr->kind) {
+    case ExprKind::Unary:
+      return expr->unary_op == oql::UnaryOp::Not &&
+             is_pushable_predicate(expr->child, vars);
+    case ExprKind::Binary: {
+      switch (expr->binary_op) {
+        case BinaryOp::And:
+        case BinaryOp::Or:
+          return is_pushable_predicate(expr->left, vars) &&
+                 is_pushable_predicate(expr->right, vars);
+        case BinaryOp::Eq:
+        case BinaryOp::Ne:
+        case BinaryOp::Lt:
+        case BinaryOp::Le:
+        case BinaryOp::Gt:
+        case BinaryOp::Ge: {
+          auto operand_ok = [&vars](const oql::ExprPtr& e) {
+            if (e->kind == ExprKind::Literal) {
+              return !e->literal.is_collection() &&
+                     e->literal.kind() != ValueKind::Struct;
+            }
+            return e->kind == ExprKind::Path &&
+                   e->child->kind == ExprKind::Ident &&
+                   vars.contains(e->child->name);
+          };
+          return operand_ok(expr->left) && operand_ok(expr->right);
+        }
+        default:
+          return false;
+      }
+    }
+    default:
+      return false;
+  }
+}
+
+bool is_pushable_projection(const oql::ExprPtr& expr,
+                            const std::set<std::string>& vars) {
+  using oql::ExprKind;
+  if (expr == nullptr) return false;
+  auto path_ok = [&vars](const oql::ExprPtr& e) {
+    return e->kind == ExprKind::Path &&
+           e->child->kind == ExprKind::Ident &&
+           vars.contains(e->child->name);
+  };
+  if (path_ok(expr)) return true;
+  if (expr->kind == ExprKind::StructCtor) {
+    for (const auto& [name, field] : expr->struct_fields) {
+      if (!path_ok(field)) return false;
+    }
+    return !expr->struct_fields.empty();
+  }
+  return false;
+}
+
+Optimizer::Optimizer(const catalog::Catalog* catalog,
+                     WrapperResolver wrappers, const CostHistory* history,
+                     OptimizerOptions options)
+    : catalog_(catalog),
+      wrappers_(std::move(wrappers)),
+      history_(history),
+      options_(options) {
+  internal_check(catalog_ != nullptr, "optimizer needs a catalog");
+  internal_check(static_cast<bool>(wrappers_),
+                 "optimizer needs a wrapper resolver");
+}
+
+grammar::Grammar Optimizer::capability_for(
+    const std::string& wrapper_name) const {
+  wrapper::Wrapper* wrapper = wrappers_(wrapper_name);
+  internal_check(wrapper != nullptr,
+                 "no wrapper object named '" + wrapper_name + "'");
+  return wrapper->capabilities();
+}
+
+const std::string& Optimizer::wrapper_of_extent(
+    const std::string& extent) const {
+  return catalog_->extent(extent).wrapper;
+}
+
+physical::PhysicalPtr Optimizer::implement(const LogicalPtr& node) const {
+  switch (node->op) {
+    case LOp::Submit: {
+      std::vector<std::string> extent_names = algebra::extents(node);
+      internal_check(!extent_names.empty(), "submit without extents");
+      return physical::make_exec(node->repository,
+                                 wrapper_of_extent(extent_names.front()),
+                                 node->child, node);
+    }
+    case LOp::Const:
+      return physical::make_const(node->data, node);
+    case LOp::Filter:
+      return physical::make_filter(implement(node->child), node->predicate,
+                                   node);
+    case LOp::Project:
+      return physical::make_project(implement(node->child),
+                                    node->projection, node->distinct, node);
+    case LOp::Union: {
+      std::vector<PhysicalPtr> children;
+      children.reserve(node->children.size());
+      for (const LogicalPtr& child : node->children) {
+        children.push_back(implement(child));
+      }
+      return physical::make_union(std::move(children), node);
+    }
+    case LOp::Join: {
+      PhysicalPtr left = implement(node->left);
+      PhysicalPtr right = implement(node->right);
+      // Implementation rule: an equi-conjunct turns the join into a hash
+      // join (§3.1's "implement join with merge-join" analogue).
+      std::set<std::string> left_vars;
+      for (const std::string& v : algebra::bound_vars(node->left)) {
+        left_vars.insert(v);
+      }
+      std::set<std::string> right_vars;
+      for (const std::string& v : algebra::bound_vars(node->right)) {
+        right_vars.insert(v);
+      }
+      oql::ExprPtr left_key, right_key;
+      std::vector<oql::ExprPtr> residual;
+      for (const oql::ExprPtr& conjunct :
+           oql::split_conjuncts(node->predicate)) {
+        if (left_key == nullptr &&
+            conjunct->kind == oql::ExprKind::Binary &&
+            conjunct->binary_op == oql::BinaryOp::Eq) {
+          auto var_of = [](const oql::ExprPtr& e) -> const std::string* {
+            if (e->kind == oql::ExprKind::Path &&
+                e->child->kind == oql::ExprKind::Ident) {
+              return &e->child->name;
+            }
+            return nullptr;
+          };
+          const std::string* lv = var_of(conjunct->left);
+          const std::string* rv = var_of(conjunct->right);
+          if (lv != nullptr && rv != nullptr) {
+            if (left_vars.contains(*lv) && right_vars.contains(*rv)) {
+              left_key = conjunct->left;
+              right_key = conjunct->right;
+              continue;
+            }
+            if (left_vars.contains(*rv) && right_vars.contains(*lv)) {
+              left_key = conjunct->right;
+              right_key = conjunct->left;
+              continue;
+            }
+          }
+        }
+        residual.push_back(conjunct);
+      }
+      if (left_key != nullptr) {
+        if (options_.prefer_merge_join) {
+          return physical::make_merge_join(std::move(left),
+                                           std::move(right), left_key,
+                                           right_key,
+                                           oql::conjoin(residual), node);
+        }
+        return physical::make_hash_join(std::move(left), std::move(right),
+                                        left_key, right_key,
+                                        oql::conjoin(residual), node);
+      }
+      return physical::make_nl_join(std::move(left), std::move(right),
+                                    node->predicate, node);
+    }
+    case LOp::Get:
+      throw InternalError("bare get outside a submit cannot be implemented");
+  }
+  throw InternalError("corrupt logical expression in implement");
+}
+
+namespace {
+
+/// Builds one pushdown variant of a branch. Returns the optimized logical
+/// form (physical conversion happens through Optimizer::implement).
+class BranchPlanner {
+ public:
+  BranchPlanner(const Optimizer& optimizer, const catalog::Catalog& catalog,
+                const OptimizerOptions& options)
+      : optimizer_(optimizer), catalog_(catalog), options_(options) {}
+
+  LogicalPtr build(const BranchParts& parts, bool push_select,
+                   bool push_project, bool merge_joins) const {
+    std::vector<Unit> units;
+    for (const Leaf& leaf : parts.leaves) {
+      units.push_back(make_unit(leaf, push_select));
+    }
+    if (merge_joins) {
+      units = merge_adjacent(std::move(units), parts);
+    }
+    units = reorder_connected(std::move(units), parts);
+
+    // Apply mediator-side per-unit predicates.
+    for (Unit& unit : units) {
+      if (!unit.mediator_preds.empty()) {
+        unit.node = algebra::filter(unit.node,
+                                    oql::conjoin(unit.mediator_preds));
+        unit.mediator_preds.clear();
+        unit.inner = nullptr;  // no longer a bare submit
+      }
+    }
+
+    // Left-deep mediator joins; join predicates attach as soon as both
+    // sides are bound.
+    std::vector<bool> used(parts.join_preds.size(), false);
+    // Predicates consumed inside merged submits are marked by text.
+    for (size_t i = 0; i < parts.join_preds.size(); ++i) {
+      if (consumed_.contains(oql::to_oql(parts.join_preds[i]))) {
+        used[i] = true;
+      }
+    }
+    LogicalPtr tree = units.front().node;
+    std::set<std::string> bound = units.front().vars;
+    for (size_t u = 1; u < units.size(); ++u) {
+      std::set<std::string> combined = bound;
+      combined.insert(units[u].vars.begin(), units[u].vars.end());
+      std::vector<oql::ExprPtr> applicable;
+      for (size_t i = 0; i < parts.join_preds.size(); ++i) {
+        if (used[i]) continue;
+        std::set<std::string> fv = oql::free_names(parts.join_preds[i]);
+        bool ok = std::all_of(fv.begin(), fv.end(),
+                              [&combined](const std::string& v) {
+                                return combined.contains(v);
+                              });
+        if (ok) {
+          applicable.push_back(parts.join_preds[i]);
+          used[i] = true;
+        }
+      }
+      tree = algebra::join(tree, units[u].node, oql::conjoin(applicable));
+      bound = std::move(combined);
+    }
+
+    std::vector<oql::ExprPtr> top = parts.other_preds;
+    for (size_t i = 0; i < parts.join_preds.size(); ++i) {
+      if (!used[i]) top.push_back(parts.join_preds[i]);
+    }
+    if (!top.empty()) {
+      tree = algebra::filter(tree, oql::conjoin(top));
+    }
+
+    // R2: project pushdown — only when the whole branch is one clean
+    // submit and the projection is expressible at the source.
+    if (push_project && units.size() == 1 && top.empty() &&
+        tree->op == LOp::Submit && !parts.distinct &&
+        is_pushable_projection(parts.projection, units.front().vars)) {
+      LogicalPtr pushed = algebra::project(tree->child, parts.projection,
+                                           false);
+      if (grammar_for(units.front().wrapper).accepts(pushed)) {
+        return algebra::submit(units.front().repository, pushed);
+      }
+    }
+    return algebra::project(tree, parts.projection, parts.distinct);
+  }
+
+ private:
+  const grammar::Grammar& grammar_for(const std::string& wrapper) const {
+    auto it = grammars_.find(wrapper);
+    if (it == grammars_.end()) {
+      it = grammars_.emplace(wrapper, optimizer_.capability_for(wrapper))
+               .first;
+    }
+    return it->second;
+  }
+
+  Unit make_unit(const Leaf& leaf, bool push_select) const {
+    Unit unit;
+    unit.vars.insert(leaf.var);
+    if (leaf.extent == nullptr) {
+      unit.node = leaf.const_node;
+      unit.mediator_preds = leaf.local_preds;
+      unit.mediator_preds.insert(unit.mediator_preds.end(),
+                                 leaf.pushable_preds.begin(),
+                                 leaf.pushable_preds.end());
+      return unit;
+    }
+    unit.repository = leaf.extent->repository;
+    unit.wrapper = leaf.extent->wrapper;
+    LogicalPtr inner = algebra::get(leaf.extent->name, leaf.var);
+    unit.mediator_preds = leaf.local_preds;
+    if (push_select && !leaf.pushable_preds.empty()) {
+      LogicalPtr candidate =
+          algebra::filter(inner, oql::conjoin(leaf.pushable_preds));
+      // R1 consults the wrapper interface (§3.2).
+      if (grammar_for(unit.wrapper).accepts(candidate)) {
+        inner = candidate;
+      } else {
+        unit.mediator_preds.insert(unit.mediator_preds.end(),
+                                   leaf.pushable_preds.begin(),
+                                   leaf.pushable_preds.end());
+      }
+    } else {
+      unit.mediator_preds.insert(unit.mediator_preds.end(),
+                                 leaf.pushable_preds.begin(),
+                                 leaf.pushable_preds.end());
+    }
+    unit.inner = inner;
+    unit.node = algebra::submit(unit.repository, inner);
+    return unit;
+  }
+
+  /// Greedy join ordering: keep the first unit, then repeatedly prefer a
+  /// unit connected to the bound variables by some join predicate, so
+  /// left-deep joins chain on predicates instead of degenerating into
+  /// cross products (e.g. `from x in a, y in b, z in c where a.id = c.id
+  /// and b.id = c.id` joins a-c before b).
+  std::vector<Unit> reorder_connected(std::vector<Unit> units,
+                                      const BranchParts& parts) const {
+    if (units.size() <= 2) return units;
+    std::vector<Unit> ordered;
+    ordered.push_back(std::move(units.front()));
+    units.erase(units.begin());
+    std::set<std::string> bound = ordered.front().vars;
+    while (!units.empty()) {
+      size_t pick = 0;
+      bool found = false;
+      for (size_t u = 0; u < units.size() && !found; ++u) {
+        for (const oql::ExprPtr& pred : parts.join_preds) {
+          if (consumed_.contains(oql::to_oql(pred))) continue;
+          std::set<std::string> fv = oql::free_names(pred);
+          std::set<std::string> combined = bound;
+          combined.insert(units[u].vars.begin(), units[u].vars.end());
+          bool connects =
+              !fv.empty() &&
+              std::all_of(fv.begin(), fv.end(),
+                          [&combined](const std::string& v) {
+                            return combined.contains(v);
+                          }) &&
+              // ... and actually spans old and new variables.
+              std::any_of(fv.begin(), fv.end(),
+                          [&units, u](const std::string& v) {
+                            return units[u].vars.contains(v);
+                          }) &&
+              std::any_of(fv.begin(), fv.end(),
+                          [&bound](const std::string& v) {
+                            return bound.contains(v);
+                          });
+          if (connects) {
+            pick = u;
+            found = true;
+            break;
+          }
+        }
+      }
+      bound.insert(units[pick].vars.begin(), units[pick].vars.end());
+      ordered.push_back(std::move(units[pick]));
+      units.erase(units.begin() + static_cast<long>(pick));
+    }
+    return ordered;
+  }
+
+  /// R3: merges adjacent submit units that live in the same repository
+  /// behind the same wrapper, when the composed join is in the wrapper's
+  /// language. Join predicates consumed here are recorded in consumed_.
+  std::vector<Unit> merge_adjacent(std::vector<Unit> units,
+                                   const BranchParts& parts) const {
+    std::vector<Unit> out;
+    for (Unit& next : units) {
+      if (!out.empty()) {
+        Unit& prev = out.back();
+        bool mergeable = prev.inner != nullptr && next.inner != nullptr &&
+                         prev.repository == next.repository &&
+                         prev.wrapper == next.wrapper &&
+                         prev.mediator_preds.empty() &&
+                         next.mediator_preds.empty();
+        if (mergeable) {
+          std::set<std::string> combined = prev.vars;
+          combined.insert(next.vars.begin(), next.vars.end());
+          std::vector<oql::ExprPtr> link;
+          for (const oql::ExprPtr& pred : parts.join_preds) {
+            std::string text = oql::to_oql(pred);
+            if (consumed_.contains(text)) continue;
+            std::set<std::string> fv = oql::free_names(pred);
+            bool ok = !fv.empty() &&
+                      std::all_of(fv.begin(), fv.end(),
+                                  [&combined](const std::string& v) {
+                                    return combined.contains(v);
+                                  }) &&
+                      is_pushable_predicate(pred, combined);
+            if (ok) link.push_back(pred);
+          }
+          LogicalPtr merged =
+              algebra::join(prev.inner, next.inner, oql::conjoin(link));
+          if (grammar_for(prev.wrapper).accepts(merged)) {
+            prev.inner = merged;
+            prev.node = algebra::submit(prev.repository, merged);
+            prev.vars = std::move(combined);
+            for (const oql::ExprPtr& pred : link) {
+              consumed_.insert(oql::to_oql(pred));
+            }
+            continue;
+          }
+        }
+      }
+      out.push_back(std::move(next));
+    }
+    return out;
+  }
+
+  const Optimizer& optimizer_;
+  const catalog::Catalog& catalog_;
+  const OptimizerOptions& options_;
+  mutable std::map<std::string, grammar::Grammar> grammars_;
+  mutable std::set<std::string> consumed_;
+};
+
+/// Extension: builds a bind-join plan for a two-source equi-join branch,
+/// or returns null when the shape does not qualify.
+physical::PhysicalPtr try_bind_join(const Optimizer& optimizer,
+                                    const BranchParts& parts,
+                                    const LogicalPtr& branch_logical) {
+  if (parts.leaves.size() != 2) return nullptr;
+  const Leaf& build = parts.leaves[0];
+  const Leaf& probe = parts.leaves[1];
+  if (build.extent == nullptr || probe.extent == nullptr) return nullptr;
+  if (!probe.local_preds.empty()) return nullptr;
+
+  // Find the equi key between the two variables.
+  oql::ExprPtr left_key, right_key;
+  std::vector<oql::ExprPtr> residual = parts.other_preds;
+  for (const oql::ExprPtr& pred : parts.join_preds) {
+    if (left_key == nullptr && pred->kind == oql::ExprKind::Binary &&
+        pred->binary_op == oql::BinaryOp::Eq &&
+        pred->left->kind == oql::ExprKind::Path &&
+        pred->right->kind == oql::ExprKind::Path &&
+        pred->left->child->kind == oql::ExprKind::Ident &&
+        pred->right->child->kind == oql::ExprKind::Ident) {
+      const std::string& a = pred->left->child->name;
+      const std::string& b = pred->right->child->name;
+      if (a == build.var && b == probe.var) {
+        left_key = pred->left;
+        right_key = pred->right;
+        continue;
+      }
+      if (a == probe.var && b == build.var) {
+        left_key = pred->right;
+        right_key = pred->left;
+        continue;
+      }
+    }
+    residual.push_back(pred);
+  }
+  if (left_key == nullptr) return nullptr;
+
+  // Probe base expression; its wrapper must take a (composed) filter —
+  // the bind predicate is appended at run time.
+  LogicalPtr probe_base = algebra::get(probe.extent->name, probe.var);
+  if (!probe.pushable_preds.empty()) {
+    probe_base = algebra::filter(probe_base,
+                                 oql::conjoin(probe.pushable_preds));
+  }
+  LogicalPtr probe_with_bind = algebra::filter(
+      probe_base->op == LOp::Filter ? probe_base->child : probe_base,
+      oql::binary(oql::BinaryOp::Eq, right_key, right_key));
+  if (!optimizer.capability_for(probe.extent->wrapper)
+           .accepts(probe_with_bind)) {
+    return nullptr;
+  }
+
+  // Build side: its own little plan (with select pushdown when legal).
+  LogicalPtr build_inner = algebra::get(build.extent->name, build.var);
+  std::vector<oql::ExprPtr> build_mediator = build.local_preds;
+  if (!build.pushable_preds.empty()) {
+    LogicalPtr candidate = algebra::filter(
+        build_inner, oql::conjoin(build.pushable_preds));
+    if (optimizer.capability_for(build.extent->wrapper).accepts(candidate)) {
+      build_inner = candidate;
+    } else {
+      build_mediator.insert(build_mediator.end(),
+                            build.pushable_preds.begin(),
+                            build.pushable_preds.end());
+    }
+  }
+  LogicalPtr build_logical =
+      algebra::submit(build.extent->repository, build_inner);
+  physical::PhysicalPtr build_plan = optimizer.implement(build_logical);
+  if (!build_mediator.empty()) {
+    LogicalPtr filtered =
+        algebra::filter(build_logical, oql::conjoin(build_mediator));
+    build_plan = physical::make_filter(build_plan,
+                                       oql::conjoin(build_mediator),
+                                       filtered);
+  }
+
+  // Residual form of the join itself (below the projection): when either
+  // side is unavailable the Project node above re-wraps it (§4).
+  internal_check(branch_logical->op == LOp::Project,
+                 "bind join candidates come from project-topped branches");
+  physical::PhysicalPtr joined = physical::make_bind_join(
+      std::move(build_plan), probe.extent->repository,
+      probe.extent->wrapper, probe_base, left_key, right_key,
+      oql::conjoin(residual), branch_logical->child);
+  return physical::make_project(std::move(joined), parts.projection,
+                                parts.distinct, branch_logical);
+}
+
+}  // namespace
+
+Cost Optimizer::cost(const physical::PhysicalPtr& plan) const {
+  return Coster(history_).cost(plan);
+}
+
+Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query) const {
+  TranslationUnit unit = translate(query, *catalog_, options_.max_branches);
+  if (options_.static_typecheck) {
+    check_attributes(unit.expanded, *catalog_);
+  }
+  Result result;
+  result.expanded = unit.expanded;
+  for (const auto& [name, plan] : unit.aux) {
+    result.aux.emplace_back(name, implement(plan));
+  }
+  for (const auto& [name, plan] : unit.aux_closures) {
+    result.aux_closures.emplace_back(name, implement(plan));
+  }
+  if (!unit.is_plan_mode()) {
+    result.local = unit.local;
+    return result;
+  }
+
+  std::vector<LogicalPtr> branches;
+  if (unit.plan->op == LOp::Union) {
+    branches = unit.plan->children;
+  } else {
+    branches.push_back(unit.plan);
+  }
+
+  Coster coster(history_);
+  std::vector<PhysicalPtr> physical_branches;
+  physical_branches.reserve(branches.size());
+  std::vector<LogicalPtr> chosen_logical;
+  chosen_logical.reserve(branches.size());
+
+  for (const LogicalPtr& branch : branches) {
+    if (branch->op == LOp::Const) {
+      physical_branches.push_back(physical::make_const(branch->data, branch));
+      chosen_logical.push_back(branch);
+      ++result.plans_considered;
+      continue;
+    }
+    BranchParts parts = decompose_branch(branch, *catalog_);
+
+    std::optional<Cost> best_cost;
+    PhysicalPtr best_plan;
+    LogicalPtr best_logical;
+    std::set<std::string> seen;
+    for (bool push_select : {true, false}) {
+      if (push_select && !options_.enable_select_pushdown) continue;
+      for (bool push_project : {true, false}) {
+        if (push_project && !options_.enable_project_pushdown) continue;
+        for (bool merge_joins : {true, false}) {
+          if (merge_joins && !options_.enable_join_merge) continue;
+          BranchPlanner planner(*this, *catalog_, options_);
+          LogicalPtr variant =
+              planner.build(parts, push_select, push_project, merge_joins);
+          if (!seen.insert(algebra::to_algebra_string(variant)).second) {
+            continue;  // the flags made no difference
+          }
+          PhysicalPtr plan = implement(variant);
+          Cost c = coster.cost(plan);
+          ++result.plans_considered;
+          bool better =
+              !best_cost.has_value() || c.total() < best_cost->total() ||
+              (c.total() == best_cost->total() && !options_.cost_based);
+          if (better) {
+            best_cost = c;
+            best_plan = plan;
+            best_logical = variant;
+          }
+          if (!options_.cost_based) break;  // maximal pushdown first
+        }
+        if (!options_.cost_based && best_plan != nullptr) break;
+      }
+      if (!options_.cost_based && best_plan != nullptr) break;
+    }
+    if (options_.enable_bind_join) {
+      if (physical::PhysicalPtr candidate =
+              try_bind_join(*this, parts, branch)) {
+        Cost c = coster.cost(candidate);
+        ++result.plans_considered;
+        if (!best_cost.has_value() || c.total() < best_cost->total()) {
+          best_cost = c;
+          best_plan = candidate;
+          // The logical form stays the original branch: bind join is a
+          // physical strategy for the same logical join.
+          best_logical = branch;
+        }
+      }
+    }
+    internal_check(best_plan != nullptr, "no plan produced for branch");
+    physical_branches.push_back(std::move(best_plan));
+    chosen_logical.push_back(std::move(best_logical));
+  }
+
+  LogicalPtr overall = algebra::union_of(chosen_logical);
+  result.plan = physical::make_union(std::move(physical_branches), overall);
+  result.estimated = coster.cost(result.plan);
+  return result;
+}
+
+}  // namespace disco::optimizer

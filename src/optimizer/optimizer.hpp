@@ -1,0 +1,119 @@
+// The mediator query optimizer (§3 of the paper).
+//
+// "The query optimizer searches for the best way to execute a query ...
+//  by transforming the query into several alternative expressions ...
+//  Each expression has an associated estimated cost. The expression with
+//  the lowest estimated cost is then executed by the run time system."
+//
+// Pipeline: OQL --translate--> logical branches --rewrite+cost--> physical
+// plan. The DISCO-specific rewrites move work into submit operators, and
+// every such rewrite "consults the wrapper interface with a call to the
+// submit-functionality method" (§3.2) — i.e. checks the candidate against
+// the wrapper's capability grammar:
+//
+//   R1  select pushdown   select(p, submit(r, X))  => submit(r, select(p, X))
+//   R2  project pushdown  project(a, submit(r, X)) => submit(r, project(a, X))
+//   R3  join merge        join(submit(r, A), submit(r, B), p)
+//                                                  => submit(r, join(A, B, p))
+//
+// Alternatives are enumerated per branch over the {R1, R2, R3} on/off
+// lattice, costed with the learned cost model (cost.hpp), and the
+// cheapest is kept.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "grammar/capability.hpp"
+#include "optimizer/cost.hpp"
+#include "optimizer/translate.hpp"
+#include "physical/plan.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace disco::optimizer {
+
+struct OptimizerOptions {
+  bool enable_select_pushdown = true;
+  bool enable_project_pushdown = true;
+  bool enable_join_merge = true;
+  /// Reject attribute typos against the catalog's interfaces before
+  /// planning (optimizer/typecheck.hpp). The paper's own checking is
+  /// wrapper-side at run time (§2.1); disable to match it exactly.
+  bool static_typecheck = true;
+  /// Mediator equi-join algorithm: hash join by default; merge join on
+  /// request (both are §3.1 "usual physical algorithms"; bench_memdb and
+  /// the E7 mediator ablation characterize the tradeoff).
+  bool prefer_merge_join = false;
+  /// Extension (§6.2): consider bind joins for two-source equi joins —
+  /// ship the build side's keys into the probe side's submit. Off by
+  /// default: it is not in the paper's Prototype-0 plan space.
+  bool enable_bind_join = false;
+  /// When false, skip cost comparison and always prefer maximal pushdown
+  /// (what the 0/1 default cost implies anyway). Used for ablation.
+  bool cost_based = true;
+  size_t max_branches = 4096;
+};
+
+class Optimizer {
+ public:
+  using WrapperResolver =
+      std::function<wrapper::Wrapper*(const std::string&)>;
+
+  Optimizer(const catalog::Catalog* catalog, WrapperResolver wrappers,
+            const CostHistory* history, OptimizerOptions options = {});
+
+  struct Result {
+    /// Plan-mode physical plan; null in local mode.
+    physical::PhysicalPtr plan;
+    /// Materialization plans for auxiliary collections (nested-subquery
+    /// extents), by name.
+    std::vector<std::pair<std::string, physical::PhysicalPtr>> aux;
+    std::vector<std::pair<std::string, physical::PhysicalPtr>> aux_closures;
+    /// Local-mode expression (evaluated by the mediator); null otherwise.
+    oql::ExprPtr local;
+    /// View-expanded query.
+    oql::ExprPtr expanded;
+    size_t plans_considered = 0;
+    Cost estimated;
+  };
+
+  Result optimize(const oql::ExprPtr& query) const;
+
+  /// Costs an arbitrary physical plan with the current history — exposed
+  /// for tests and the optimizer benches.
+  Cost cost(const physical::PhysicalPtr& plan) const;
+
+  /// Implementation rules only (submit=>exec etc.), no rewriting. Used
+  /// for aux plans and by tests that want the naive plan costed.
+  physical::PhysicalPtr implement(const algebra::LogicalPtr& node) const;
+
+ /// Capability grammar of a wrapper object, by name (used by the
+  /// pushdown rules; public for tests).
+  grammar::Grammar capability_for(const std::string& wrapper_name) const;
+  const std::string& wrapper_of_extent(const std::string& extent) const;
+
+ private:
+
+  const catalog::Catalog* catalog_;
+  WrapperResolver wrappers_;
+  const CostHistory* history_;
+  OptimizerOptions options_;
+};
+
+/// True when `expr` is a predicate every wrapper in this system can
+/// evaluate: comparisons between bound-variable attribute paths and
+/// scalar literals, combined with and/or/not. The capability grammar
+/// abstracts predicates as a single PREDICATE terminal; this check keeps
+/// the optimizer from shipping predicates the source language cannot
+/// express (wrappers still re-check and refuse at run time).
+bool is_pushable_predicate(const oql::ExprPtr& expr,
+                           const std::set<std::string>& vars);
+
+/// True when `expr` is a projection expressible at a source: var.attr or
+/// struct(f1: var.a1, ...).
+bool is_pushable_projection(const oql::ExprPtr& expr,
+                            const std::set<std::string>& vars);
+
+}  // namespace disco::optimizer

@@ -1,0 +1,176 @@
+#include "optimizer/typecheck.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "oql/printer.hpp"
+
+namespace disco::optimizer {
+
+namespace {
+
+/// The metaextent collection's pseudo-interface (§2.1).
+const char* kMetaExtentType = "<metaextent>";
+const std::set<std::string> kMetaExtentFields = {
+    "name", "interface", "wrapper", "repository", "map"};
+
+/// What we know about a variable: the interface types its rows may have
+/// (several for union domains). Empty optional = untyped, skip checks.
+using VarTypes = std::optional<std::vector<std::string>>;
+
+/// Types a from-domain, or nullopt when it is not extent-like.
+VarTypes domain_types(const oql::ExprPtr& domain,
+                      const catalog::Catalog& catalog) {
+  switch (domain->kind) {
+    case oql::ExprKind::Ident: {
+      switch (catalog.classify(domain->name)) {
+        case catalog::Catalog::NameKind::Extent:
+          return std::vector<std::string>{
+              catalog.extent(domain->name).interface};
+        case catalog::Catalog::NameKind::ImplicitExtent:
+          return std::vector<std::string>{
+              catalog.types().type_for_implicit_extent(domain->name)->name};
+        case catalog::Catalog::NameKind::MetaExtentTable:
+          return std::vector<std::string>{kMetaExtentType};
+        default:
+          return std::nullopt;
+      }
+    }
+    case oql::ExprKind::ExtentClosure: {
+      // Rows of `t*` are only guaranteed the base type's attributes.
+      const std::string& name = domain->name;
+      if (catalog.types().contains(name)) {
+        return std::vector<std::string>{name};
+      }
+      if (const InterfaceType* type =
+              catalog.types().type_for_implicit_extent(name)) {
+        return std::vector<std::string>{type->name};
+      }
+      return std::nullopt;
+    }
+    case oql::ExprKind::Call: {
+      if (domain->name != "union") return std::nullopt;
+      std::vector<std::string> all;
+      for (const oql::ExprPtr& arg : domain->args) {
+        VarTypes part = domain_types(arg, catalog);
+        if (!part.has_value()) return std::nullopt;
+        all.insert(all.end(), part->begin(), part->end());
+      }
+      return all;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+bool type_has_attribute(const std::string& type, const std::string& attr,
+                        const catalog::Catalog& catalog) {
+  if (type == kMetaExtentType) return kMetaExtentFields.contains(attr);
+  for (const Attribute& candidate : catalog.types().all_attributes(type)) {
+    if (candidate.name == attr) return true;
+  }
+  return false;
+}
+
+class Checker {
+ public:
+  explicit Checker(const catalog::Catalog& catalog) : catalog_(catalog) {}
+
+  void check(const oql::ExprPtr& expr) {
+    if (expr == nullptr) return;
+    switch (expr->kind) {
+      case oql::ExprKind::Literal:
+      case oql::ExprKind::Ident:
+      case oql::ExprKind::ExtentClosure:
+        return;
+      case oql::ExprKind::Path:
+        check_path(expr);
+        return;
+      case oql::ExprKind::Unary:
+        check(expr->child);
+        return;
+      case oql::ExprKind::Binary:
+        check(expr->left);
+        check(expr->right);
+        return;
+      case oql::ExprKind::Call:
+        for (const oql::ExprPtr& arg : expr->args) check(arg);
+        return;
+      case oql::ExprKind::StructCtor:
+        for (const auto& [name, value] : expr->struct_fields) check(value);
+        return;
+      case oql::ExprKind::Select: {
+        // Save shadowed bindings; restore in reverse on the way out.
+        std::vector<std::pair<std::string, std::optional<VarTypes>>> saved;
+        for (const oql::Binding& binding : expr->from) {
+          check(binding.domain);
+          auto it = scope_.find(binding.var);
+          saved.emplace_back(binding.var,
+                             it == scope_.end()
+                                 ? std::optional<VarTypes>{}
+                                 : std::optional<VarTypes>{it->second});
+          scope_[binding.var] = domain_types(binding.domain, catalog_);
+        }
+        check(expr->projection);
+        check(expr->where);
+        for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+          if (it->second.has_value()) {
+            scope_[it->first] = *it->second;
+          } else {
+            scope_.erase(it->first);
+          }
+        }
+        return;
+      }
+    }
+  }
+
+ private:
+  VarTypes lookup(const std::string& var) const {
+    auto it = scope_.find(var);
+    return it == scope_.end() ? VarTypes{} : it->second;
+  }
+
+  void check_path(const oql::ExprPtr& expr) {
+    const oql::ExprPtr& base = expr->child;
+    if (base->kind == oql::ExprKind::Ident) {
+      VarTypes types = lookup(base->name);
+      if (!types.has_value()) return;  // untyped or free name
+      for (const std::string& type : *types) {
+        if (!type_has_attribute(type, expr->name, catalog_)) {
+          throw TypeError(
+              "type '" + (type == kMetaExtentType ? "MetaExtent" : type) +
+              "' has no attribute '" + expr->name + "' (in " +
+              oql::to_oql(expr) + ")");
+        }
+      }
+      return;
+    }
+    if (base->kind == oql::ExprKind::Path &&
+        base->child->kind == oql::ExprKind::Ident &&
+        lookup(base->child->name).has_value()) {
+      // base is a *checked* scalar attribute: descending further is wrong.
+      check_path(base);
+      throw TypeError("attribute '" + base->name +
+                      "' is scalar; '." + expr->name +
+                      "' cannot be applied (in " + oql::to_oql(expr) + ")");
+    }
+    check(base);
+  }
+
+  const catalog::Catalog& catalog_;
+  std::map<std::string, VarTypes> scope_;
+};
+
+}  // namespace
+
+void check_attributes(const oql::ExprPtr& expanded,
+                      const catalog::Catalog& catalog) {
+  Checker(catalog).check(expanded);
+}
+
+}  // namespace disco::optimizer

@@ -1,0 +1,25 @@
+// Static attribute checking.
+//
+// The paper defers type agreement to run time ("At run-time, the wrapper
+// checks that these types are indeed the same", §2.1) — but the mediator
+// already *knows* every interface it defined, so references like
+// `x.salry` can be rejected before any wrapper is contacted. This pass
+// walks a (view-expanded) query and verifies that every attribute path
+// over a variable bound to a typed extent names a declared attribute
+// (inherited ones included), and that paths do not descend into scalar
+// attributes.
+//
+// Variables bound to untypeable domains (literal collections, nested
+// selects) are skipped — those stay run-time checked, like the paper.
+#pragma once
+
+#include "catalog/catalog.hpp"
+#include "oql/ast.hpp"
+
+namespace disco::optimizer {
+
+/// Throws TypeError on the first invalid attribute reference.
+void check_attributes(const oql::ExprPtr& expanded,
+                      const catalog::Catalog& catalog);
+
+}  // namespace disco::optimizer

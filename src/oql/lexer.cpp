@@ -1,0 +1,304 @@
+#include "oql/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace disco::oql {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Ident:
+      return "identifier";
+    case TokenKind::IdentStar:
+      return "identifier*";
+    case TokenKind::IntLit:
+      return "integer literal";
+    case TokenKind::DoubleLit:
+      return "double literal";
+    case TokenKind::StringLit:
+      return "string literal";
+    case TokenKind::LParen:
+      return "'('";
+    case TokenKind::RParen:
+      return "')'";
+    case TokenKind::LBrace:
+      return "'{'";
+    case TokenKind::RBrace:
+      return "'}'";
+    case TokenKind::Comma:
+      return "','";
+    case TokenKind::Semicolon:
+      return "';'";
+    case TokenKind::Colon:
+      return "':'";
+    case TokenKind::Dot:
+      return "'.'";
+    case TokenKind::Star:
+      return "'*'";
+    case TokenKind::Plus:
+      return "'+'";
+    case TokenKind::Minus:
+      return "'-'";
+    case TokenKind::Slash:
+      return "'/'";
+    case TokenKind::Eq:
+      return "'='";
+    case TokenKind::Ne:
+      return "'!='";
+    case TokenKind::Lt:
+      return "'<'";
+    case TokenKind::Le:
+      return "'<='";
+    case TokenKind::Gt:
+      return "'>'";
+    case TokenKind::Ge:
+      return "'>='";
+    case TokenKind::End:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_whitespace_and_comments();
+      if (at_end()) {
+        tokens.push_back(make(TokenKind::End, ""));
+        return tokens;
+      }
+      tokens.push_back(next_token());
+    }
+  }
+
+ private:
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Token make(TokenKind kind, std::string text) const {
+    return Token{kind, std::move(text), token_line_, token_column_};
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!at_end()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        int start_line = line_;
+        int start_column = column_;
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (at_end()) {
+            throw LexError("unterminated block comment", start_line,
+                           start_column);
+          }
+          advance();
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token next_token() {
+    token_line_ = line_;
+    token_column_ = column_;
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return identifier();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return number();
+    }
+    if (c == '"') {
+      return string_literal();
+    }
+    advance();
+    switch (c) {
+      case '(':
+        return make(TokenKind::LParen, "(");
+      case ')':
+        return make(TokenKind::RParen, ")");
+      case '{':
+        return make(TokenKind::LBrace, "{");
+      case '}':
+        return make(TokenKind::RBrace, "}");
+      case ',':
+        return make(TokenKind::Comma, ",");
+      case ';':
+        return make(TokenKind::Semicolon, ";");
+      case ':':
+        return make(TokenKind::Colon, ":");
+      case '.':
+        return make(TokenKind::Dot, ".");
+      case '*':
+        return make(TokenKind::Star, "*");
+      case '+':
+        return make(TokenKind::Plus, "+");
+      case '-':
+        return make(TokenKind::Minus, "-");
+      case '/':
+        return make(TokenKind::Slash, "/");
+      case '=':
+        return make(TokenKind::Eq, "=");
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::Ne, "!=");
+        }
+        throw LexError("unexpected '!'", token_line_, token_column_);
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::Le, "<=");
+        }
+        if (peek() == '>') {
+          advance();
+          return make(TokenKind::Ne, "<>");
+        }
+        return make(TokenKind::Lt, "<");
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::Ge, ">=");
+        }
+        return make(TokenKind::Gt, ">");
+      default:
+        throw LexError(std::string("unexpected character '") + c + "'",
+                       token_line_, token_column_);
+    }
+  }
+
+  Token identifier() {
+    std::string name;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_')) {
+      name += advance();
+    }
+    // DISCO closure syntax: identifier glued to '*'. "person*" is a single
+    // token when the '*' cannot start a multiplication operand — i.e. what
+    // follows the star is not an identifier character, digit, '(' or '"'.
+    // "b*c" and "b*(x)" therefore stay multiplication; "person*", and
+    // "person* * 2" lex as closures.
+    if (peek() == '*') {
+      char after = peek(1);
+      bool operand_follows = std::isalnum(static_cast<unsigned char>(after)) ||
+                             after == '_' || after == '(' || after == '"';
+      if (!operand_follows) {
+        advance();
+        return make(TokenKind::IdentStar, std::move(name));
+      }
+    }
+    return make(TokenKind::Ident, std::move(name));
+  }
+
+  Token number() {
+    std::string digits;
+    bool is_double = false;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      digits += advance();
+    }
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_double = true;
+      digits += advance();
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits += advance();
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t look = 1;
+      if (peek(look) == '+' || peek(look) == '-') ++look;
+      if (std::isdigit(static_cast<unsigned char>(peek(look)))) {
+        is_double = true;
+        digits += advance();  // e
+        if (peek() == '+' || peek() == '-') digits += advance();
+        while (!at_end() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          digits += advance();
+        }
+      }
+    }
+    return make(is_double ? TokenKind::DoubleLit : TokenKind::IntLit,
+                std::move(digits));
+  }
+
+  Token string_literal() {
+    advance();  // opening quote
+    std::string out;
+    while (true) {
+      if (at_end()) {
+        throw LexError("unterminated string literal", token_line_,
+                       token_column_);
+      }
+      char c = advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (at_end()) {
+          throw LexError("unterminated escape sequence", token_line_,
+                         token_column_);
+        }
+        char esc = advance();
+        switch (esc) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          default:
+            throw LexError(std::string("unknown escape '\\") + esc + "'",
+                           line_, column_);
+        }
+      } else {
+        out += c;
+      }
+    }
+    return make(TokenKind::StringLit, std::move(out));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view text) {
+  return Lexer(text).run();
+}
+
+}  // namespace disco::oql

@@ -1,0 +1,58 @@
+// Tokenizer shared by the OQL and ODL parsers (both are ODMG languages
+// with the same lexical structure).
+//
+// Keywords are not distinguished here: `select` is an Ident token and the
+// parsers match keywords case-insensitively, which lets attribute or
+// extent names shadow nothing. The one DISCO-specific piece is the
+// IdentStar token: an identifier immediately followed by `*` (no space)
+// lexes as the subtype-closure reference `person*` (§2.2.1). Writing
+// `x * y` with spaces keeps `*` as multiplication.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace disco::oql {
+
+enum class TokenKind {
+  Ident,
+  IdentStar,  ///< "person*" — DISCO subtype closure
+  IntLit,
+  DoubleLit,
+  StringLit,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semicolon,
+  Colon,
+  Dot,
+  Star,
+  Plus,
+  Minus,
+  Slash,
+  Eq,     // =
+  Ne,     // != or <>
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  End,    ///< end of input
+};
+
+const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;  ///< identifier name / literal text (unescaped strings)
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `text`; throws LexError on malformed input. The result always
+/// ends with an End token. Comments: `// line` and `/* block */`.
+std::vector<Token> tokenize(std::string_view text);
+
+}  // namespace disco::oql

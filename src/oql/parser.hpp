@@ -1,0 +1,22 @@
+// Recursive-descent OQL parser. See ast.hpp for the supported subset.
+//
+// Keywords (select, from, in, where, distinct, and, or, not, mod, true,
+// false, nil, define, as) are matched case-insensitively, per ODMG.
+#pragma once
+
+#include <string_view>
+
+#include "oql/ast.hpp"
+#include "oql/lexer.hpp"
+
+namespace disco::oql {
+
+/// Parses a complete OQL expression; trailing tokens (other than an
+/// optional ';') are a ParseError.
+ExprPtr parse(std::string_view text);
+
+/// Parses one expression starting at tokens[pos]; advances pos. Used by
+/// the ODL parser for `define <name> as <query>` bodies.
+ExprPtr parse_expression(const std::vector<Token>& tokens, size_t& pos);
+
+}  // namespace disco::oql

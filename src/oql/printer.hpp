@@ -1,0 +1,19 @@
+// OQL pretty-printer (un-parser).
+//
+// Required by the paper's §4: the answer to a query is another query, so
+// every expression — including partial answers that embed literal data —
+// must print to text the OQL parser accepts. parse(to_oql(e)) is
+// structurally equal to e for all expressions (tested as a property).
+#pragma once
+
+#include <string>
+
+#include "oql/ast.hpp"
+
+namespace disco::oql {
+
+/// Canonical single-line text with minimal parentheses.
+std::string to_oql(const ExprPtr& expr);
+std::string to_oql(const Expr& expr);
+
+}  // namespace disco::oql

@@ -1,0 +1,119 @@
+// Physical plans (§3.3 of the paper).
+//
+// "The logical expression is transformed into a physical expression using
+//  implementation rules. The submit logical operator is implemented by the
+//  exec physical algorithm."
+//
+// The paper's example physical expression
+//   mkunion(exec(field(r0), project(name, get(person0))),
+//           mkproj(name, exec(field(r1), get(person1))))
+// maps to: Union(Exec{r0, project(...)}, Project(Exec{r1, get(...)})).
+//
+// Every node records the *logical* expression it computes. That is the
+// mechanism behind §4: "each physical operation has a corresponding
+// logical operation, and each logical operation has a corresponding OQL
+// expression" — when an exec times out, the runtime lifts the node's
+// logical form into the partial answer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/logical.hpp"
+
+namespace disco::physical {
+
+enum class POp {
+  Exec,     ///< call a wrapper: implements submit (§3.3)
+  Const,    ///< materialized data
+  Filter,   ///< mediator-side predicate
+  Project,  ///< mediator-side projection (the paper's mkproj)
+  HashJoin,
+  MergeJoin,  ///< §3.1 names merge-join as a DISCO physical algorithm
+  NestedLoopJoin,
+  /// Bind join (extension; §6.2 "future work ... extend the logical
+  /// model"): evaluate the build side, then ship its distinct join keys
+  /// into the probe side's submit as a disjunctive filter. The closest
+  /// expressible cousin of the semijoin the paper notes `submit` cannot
+  /// perform (it never moves data *between* sources — the keys travel
+  /// mediator -> source, which RPC semantics allows).
+  BindJoin,
+  Union,    ///< the paper's mkunion
+};
+
+const char* to_string(POp op);
+
+struct Physical;
+using PhysicalPtr = std::shared_ptr<const Physical>;
+
+struct Physical {
+  POp op;
+
+  /// Logical equivalent of this whole subtree; set by the planner, used
+  /// for partial-answer reconstruction and the cost history key.
+  algebra::LogicalPtr logical;
+
+  // Exec
+  std::string repository;
+  std::string wrapper;            ///< wrapper object name
+  algebra::LogicalPtr remote;     ///< expression shipped to the wrapper
+
+  // Const
+  Value data;
+
+  // Filter / Join predicate; Project projection (OQL over env vars).
+  oql::ExprPtr predicate;
+  oql::ExprPtr projection;
+  bool distinct = false;
+
+  // Hash join / bind join key: var-attribute paths.
+  oql::ExprPtr left_key, right_key;
+  /// BindJoin: past this many distinct build-side keys the probe side is
+  /// fetched whole instead (the disjunction would dwarf the data).
+  size_t max_bind_keys = 100;
+
+  PhysicalPtr child;
+  PhysicalPtr left, right;
+  std::vector<PhysicalPtr> children;
+
+  /// Estimated cost, filled in by the optimizer (for explain output).
+  double estimated_time_s = 0;
+  double estimated_rows = 0;
+};
+
+PhysicalPtr make_exec(std::string repository, std::string wrapper,
+                      algebra::LogicalPtr remote,
+                      algebra::LogicalPtr logical);
+PhysicalPtr make_const(Value data, algebra::LogicalPtr logical);
+PhysicalPtr make_filter(PhysicalPtr child, oql::ExprPtr predicate,
+                        algebra::LogicalPtr logical);
+PhysicalPtr make_project(PhysicalPtr child, oql::ExprPtr projection,
+                         bool distinct, algebra::LogicalPtr logical);
+PhysicalPtr make_hash_join(PhysicalPtr left, PhysicalPtr right,
+                           oql::ExprPtr left_key, oql::ExprPtr right_key,
+                           oql::ExprPtr residual_predicate,
+                           algebra::LogicalPtr logical);
+PhysicalPtr make_merge_join(PhysicalPtr left, PhysicalPtr right,
+                            oql::ExprPtr left_key, oql::ExprPtr right_key,
+                            oql::ExprPtr residual_predicate,
+                            algebra::LogicalPtr logical);
+PhysicalPtr make_nl_join(PhysicalPtr left, PhysicalPtr right,
+                         oql::ExprPtr predicate, algebra::LogicalPtr logical);
+/// Bind join: `remote` is the probe side's base expression (a get, or a
+/// filter over a get, in mediator name space) executed at
+/// `repository`/`wrapper` with the build side's keys appended as a
+/// disjunctive equality filter on `right_key`.
+PhysicalPtr make_bind_join(PhysicalPtr left, std::string repository,
+                           std::string wrapper, algebra::LogicalPtr remote,
+                           oql::ExprPtr left_key, oql::ExprPtr right_key,
+                           oql::ExprPtr residual_predicate,
+                           algebra::LogicalPtr logical);
+PhysicalPtr make_union(std::vector<PhysicalPtr> children,
+                       algebra::LogicalPtr logical);
+
+/// "mkunion(exec(field(r0), ...), mkproj(...))"-style text for explain
+/// output and tests.
+std::string to_physical_string(const PhysicalPtr& plan);
+
+}  // namespace disco::physical

@@ -1,0 +1,397 @@
+#include "physical/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "oql/printer.hpp"
+
+namespace disco::physical {
+
+Runtime::Runtime(ExecContext context)
+    : context_(std::move(context)), evaluator_(context_.resolver) {
+  internal_check(context_.catalog != nullptr && context_.network != nullptr &&
+                     context_.clock != nullptr,
+                 "runtime needs catalog, network and clock");
+  internal_check(static_cast<bool>(context_.wrapper_by_name),
+                 "runtime needs a wrapper resolver");
+}
+
+RunResult Runtime::run(const PhysicalPtr& plan) {
+  internal_check(plan != nullptr, "cannot run a null plan");
+  stats_ = RunStats{};
+  issue_time_ = context_.clock->now();
+  max_latency_ = 0;
+  any_blocked_ = false;
+
+  Outcome outcome = eval(plan);
+
+  // §4 time accounting: parallel calls; if anything blocked we waited for
+  // the whole designated period.
+  double elapsed = any_blocked_ && std::isfinite(context_.deadline_s)
+                       ? context_.deadline_s
+                       : max_latency_;
+  context_.clock->advance(elapsed);
+  stats_.elapsed_s = elapsed;
+
+  RunResult result;
+  result.data = Value::bag(std::move(outcome.data));
+  result.residuals = std::move(outcome.residuals);
+  result.stats = stats_;
+  return result;
+}
+
+Runtime::Outcome Runtime::eval(const PhysicalPtr& node) {
+  switch (node->op) {
+    case POp::Exec:
+      return eval_exec(*node);
+    case POp::Const: {
+      Outcome out;
+      out.data = node->data.items();
+      return out;
+    }
+    case POp::Filter: {
+      Outcome in = eval(node->child);
+      Outcome out;
+      for (const Value& env : in.data) {
+        oql::Env scope;
+        for (const auto& [var, row] : env.fields()) scope.bind(var, row);
+        if (evaluator_.eval(node->predicate, scope).as_bool()) {
+          out.data.push_back(env);
+        }
+      }
+      // filter(union(d, r)) = union(filter(d), filter(r)).
+      for (const algebra::LogicalPtr& residual : in.residuals) {
+        out.residuals.push_back(
+            algebra::filter(residual, node->predicate));
+      }
+      return out;
+    }
+    case POp::Project: {
+      Outcome in = eval(node->child);
+      Outcome out;
+      out.data.reserve(in.data.size());
+      for (const Value& env : in.data) {
+        oql::Env scope;
+        for (const auto& [var, row] : env.fields()) scope.bind(var, row);
+        out.data.push_back(evaluator_.eval(node->projection, scope));
+      }
+      if (node->distinct) {
+        out.data = Value::set(std::move(out.data)).items();
+      }
+      for (const algebra::LogicalPtr& residual : in.residuals) {
+        out.residuals.push_back(
+            algebra::project(residual, node->projection, node->distinct));
+      }
+      return out;
+    }
+    case POp::HashJoin:
+    case POp::MergeJoin:
+    case POp::NestedLoopJoin:
+      return eval_join(*node);
+    case POp::BindJoin:
+      return eval_bind_join(*node);
+    case POp::Union: {
+      Outcome out;
+      for (const PhysicalPtr& child : node->children) {
+        Outcome part = eval(child);
+        out.data.insert(out.data.end(),
+                        std::make_move_iterator(part.data.begin()),
+                        std::make_move_iterator(part.data.end()));
+        out.residuals.insert(out.residuals.end(), part.residuals.begin(),
+                             part.residuals.end());
+      }
+      return out;
+    }
+  }
+  throw InternalError("corrupt physical plan in runtime");
+}
+
+Runtime::Outcome Runtime::call_source(
+    const std::string& repository_name, const std::string& wrapper_name,
+    const algebra::LogicalPtr& remote,
+    const algebra::LogicalPtr& logical_for_residual) {
+  ++stats_.exec_calls;
+  const catalog::Repository& repository =
+      context_.catalog->repository(repository_name);
+  wrapper::Wrapper* wrapper = context_.wrapper_by_name(wrapper_name);
+  internal_check(wrapper != nullptr,
+                 "no wrapper object named '" + wrapper_name + "'");
+
+  // Simulation note: the wrapper computes the reply first so that the
+  // network call can price the transfer by its row count; if the source
+  // then turns out to be unreachable (or the reply would land past the
+  // deadline) the computed data is discarded and the exec is classified
+  // unavailable (§4). Only simulated work is wasted.
+  wrapper::BindingMap bindings =
+      wrapper::bindings_for(remote, *context_.catalog);
+  wrapper::SubmitResult result =
+      wrapper->submit(repository, remote, bindings);
+  if (result.status == wrapper::SubmitResult::Status::Refused) {
+    throw CapabilityError(
+        "wrapper '" + wrapper_name + "' refused a checked expression: " +
+        result.detail);
+  }
+
+  size_t rows = result.data.size();
+  net::CallOutcome reply =
+      context_.network->call(repository_name, rows, issue_time_);
+  if (!reply.available || reply.latency_s > context_.deadline_s) {
+    ++stats_.unavailable_calls;
+    any_blocked_ = true;
+    Outcome out;
+    out.residuals.push_back(logical_for_residual);
+    return out;
+  }
+
+  max_latency_ = std::max(max_latency_, reply.latency_s);
+  stats_.rows_fetched += rows;
+  if (context_.record_exec) {
+    context_.record_exec(repository_name, remote, reply.latency_s, rows);
+  }
+  if (context_.validate_rows && remote->op != algebra::LOp::Project) {
+    // §2.1's run-time type check: every variable's rows must inhabit the
+    // extent's interface. Project-topped replies carry computed values,
+    // not typed rows, and are skipped. Map variables to interfaces by
+    // walking the remote expression's get nodes.
+    std::unordered_map<std::string, std::string> by_var;
+    std::function<void(const algebra::LogicalPtr&)> collect =
+        [&](const algebra::LogicalPtr& node) {
+          switch (node->op) {
+            case algebra::LOp::Get:
+              by_var[node->var] =
+                  context_.catalog->extent(node->extent).interface;
+              return;
+            case algebra::LOp::Filter:
+              collect(node->child);
+              return;
+            case algebra::LOp::Join:
+              collect(node->left);
+              collect(node->right);
+              return;
+            default:
+              return;
+          }
+        };
+    collect(remote);
+    for (const Value& env : result.data.items()) {
+      for (const auto& [var, row] : env.fields()) {
+        auto it = by_var.find(var);
+        if (it == by_var.end()) continue;
+        context_.catalog->types().check_row(it->second, row);
+      }
+    }
+  }
+  Outcome out;
+  out.data = result.data.items();
+  return out;
+}
+
+Runtime::Outcome Runtime::eval_exec(const Physical& node) {
+  return call_source(node.repository, node.wrapper, node.remote,
+                     node.logical);
+}
+
+namespace {
+
+/// Extracts the (var, attribute) of a hash-key path.
+std::pair<std::string, std::string> key_parts(const oql::ExprPtr& key) {
+  internal_check(key->kind == oql::ExprKind::Path &&
+                     key->child->kind == oql::ExprKind::Ident,
+                 "hash key must be var.attribute");
+  return {key->child->name, key->name};
+}
+
+Value merge_envs(const Value& a, const Value& b) {
+  std::vector<std::pair<std::string, Value>> fields = a.fields();
+  fields.insert(fields.end(), b.fields().begin(), b.fields().end());
+  return Value::strct(std::move(fields));
+}
+
+}  // namespace
+
+Runtime::Outcome Runtime::eval_join(const Physical& node) {
+  Outcome left = eval(node.left);
+  Outcome right = eval(node.right);
+
+  Outcome out;
+  if (!left.residuals.empty() || !right.residuals.empty()) {
+    // A join cannot keep half of its inputs: its logical form (which only
+    // references extents) becomes the residual; fetched data for the
+    // other side is dropped and will be refetched on resubmission. This
+    // is the algebra's own limit: submit has RPC semantics and "cannot
+    // accept data from another data source" (§3.2).
+    out.residuals.push_back(node.logical);
+    return out;
+  }
+
+  auto residual_ok = [&](const Value& env) {
+    if (node.predicate == nullptr) return true;
+    oql::Env scope;
+    for (const auto& [var, row] : env.fields()) scope.bind(var, row);
+    return evaluator_.eval(node.predicate, scope).as_bool();
+  };
+
+  if (node.op == POp::MergeJoin) {
+    auto [left_var, left_attr] = key_parts(node.left_key);
+    auto [right_var, right_attr] = key_parts(node.right_key);
+    auto key_of = [](const Value& env, const std::string& var,
+                     const std::string& attr) -> const Value& {
+      return env.field(var).field(attr);
+    };
+    std::sort(left.data.begin(), left.data.end(),
+              [&](const Value& a, const Value& b) {
+                return Value::compare(key_of(a, left_var, left_attr),
+                                      key_of(b, left_var, left_attr)) < 0;
+              });
+    std::sort(right.data.begin(), right.data.end(),
+              [&](const Value& a, const Value& b) {
+                return Value::compare(key_of(a, right_var, right_attr),
+                                      key_of(b, right_var, right_attr)) < 0;
+              });
+    size_t i = 0;
+    size_t j = 0;
+    while (i < left.data.size() && j < right.data.size()) {
+      int c = Value::compare(key_of(left.data[i], left_var, left_attr),
+                             key_of(right.data[j], right_var, right_attr));
+      if (c < 0) {
+        ++i;
+      } else if (c > 0) {
+        ++j;
+      } else {
+        // Cross product of the equal-key runs.
+        size_t i_end = i;
+        while (i_end < left.data.size() &&
+               Value::compare(
+                   key_of(left.data[i_end], left_var, left_attr),
+                   key_of(right.data[j], right_var, right_attr)) == 0) {
+          ++i_end;
+        }
+        size_t j_end = j;
+        while (j_end < right.data.size() &&
+               Value::compare(
+                   key_of(left.data[i], left_var, left_attr),
+                   key_of(right.data[j_end], right_var, right_attr)) == 0) {
+          ++j_end;
+        }
+        for (size_t a = i; a < i_end; ++a) {
+          for (size_t b = j; b < j_end; ++b) {
+            Value merged = merge_envs(left.data[a], right.data[b]);
+            if (residual_ok(merged)) out.data.push_back(std::move(merged));
+          }
+        }
+        i = i_end;
+        j = j_end;
+      }
+    }
+    return out;
+  }
+
+  if (node.op == POp::HashJoin) {
+    auto [right_var, right_attr] = key_parts(node.right_key);
+    auto [left_var, left_attr] = key_parts(node.left_key);
+    std::unordered_map<uint64_t, std::vector<const Value*>> buckets;
+    for (const Value& env : right.data) {
+      const Value& key = env.field(right_var).field(right_attr);
+      buckets[key.hash()].push_back(&env);
+    }
+    for (const Value& lenv : left.data) {
+      const Value& key = lenv.field(left_var).field(left_attr);
+      auto it = buckets.find(key.hash());
+      if (it == buckets.end()) continue;
+      for (const Value* renv : it->second) {
+        if (renv->field(right_var).field(right_attr) != key) continue;
+        Value merged = merge_envs(lenv, *renv);
+        if (residual_ok(merged)) out.data.push_back(std::move(merged));
+      }
+    }
+    return out;
+  }
+
+  for (const Value& lenv : left.data) {
+    for (const Value& renv : right.data) {
+      Value merged = merge_envs(lenv, renv);
+      if (residual_ok(merged)) out.data.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+Runtime::Outcome Runtime::eval_bind_join(const Physical& node) {
+  Outcome left = eval(node.left);
+  Outcome out;
+  if (!left.residuals.empty()) {
+    out.residuals.push_back(node.logical);
+    return out;
+  }
+  if (left.data.empty()) {
+    return out;  // join over an empty build side is empty
+  }
+
+  auto [left_var, left_attr] = key_parts(node.left_key);
+  auto [right_var, right_attr] = key_parts(node.right_key);
+
+  // Distinct build-side keys, in deterministic order.
+  std::vector<Value> keys;
+  for (const Value& env : left.data) {
+    keys.push_back(env.field(left_var).field(left_attr));
+  }
+  keys = Value::set(std::move(keys)).items();
+
+  // Probe expression: base remote plus the key disjunction — unless the
+  // key set is too large to be worth shipping.
+  algebra::LogicalPtr remote = node.remote;
+  if (keys.size() <= node.max_bind_keys) {
+    oql::ExprPtr bind_pred;
+    for (const Value& key : keys) {
+      oql::ExprPtr eq = oql::binary(
+          oql::BinaryOp::Eq,
+          oql::path(oql::ident(right_var), right_attr), oql::literal(key));
+      bind_pred = bind_pred == nullptr
+                      ? eq
+                      : oql::binary(oql::BinaryOp::Or, bind_pred, eq);
+    }
+    if (remote->op == algebra::LOp::Filter) {
+      remote = algebra::filter(
+          remote->child,
+          oql::binary(oql::BinaryOp::And, remote->predicate, bind_pred));
+    } else {
+      remote = algebra::filter(remote, bind_pred);
+    }
+  }
+
+  Outcome right =
+      call_source(node.repository, node.wrapper, remote, node.logical);
+  if (!right.residuals.empty()) {
+    out.residuals.push_back(node.logical);
+    return out;
+  }
+
+  // Hash join exactly as POp::HashJoin (the bind filter narrowed the
+  // probe side but per-tuple matching still applies).
+  auto residual_ok = [&](const Value& env) {
+    if (node.predicate == nullptr) return true;
+    oql::Env scope;
+    for (const auto& [var, row] : env.fields()) scope.bind(var, row);
+    return evaluator_.eval(node.predicate, scope).as_bool();
+  };
+  std::unordered_map<uint64_t, std::vector<const Value*>> buckets;
+  for (const Value& env : right.data) {
+    buckets[env.field(right_var).field(right_attr).hash()].push_back(&env);
+  }
+  for (const Value& lenv : left.data) {
+    const Value& key = lenv.field(left_var).field(left_attr);
+    auto it = buckets.find(key.hash());
+    if (it == buckets.end()) continue;
+    for (const Value* renv : it->second) {
+      if (renv->field(right_var).field(right_attr) != key) continue;
+      Value merged = merge_envs(lenv, *renv);
+      if (residual_ok(merged)) out.data.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+}  // namespace disco::physical

@@ -1,0 +1,122 @@
+// The mediator run-time system (§3.3, §4 of the paper).
+//
+// Executes a physical plan against the wrappers through the simulated
+// network, under a query deadline:
+//
+//   "Query processing proceeds normally until a designed time has
+//    elapsed. At this point, data sources are classified as unavailable
+//    ... The query is rewritten into two parts, one which contains a
+//    query to the unavailable data, and the other ... data." (§4)
+//
+// All exec calls of a plan are issued logically in parallel at the same
+// virtual instant (§4: "These calls proceed in parallel. Calls to
+// available data sources succeed. Calls to unavailable data sources
+// block."). A call whose simulated latency exceeds the deadline is
+// classified unavailable. The query's elapsed virtual time is the max
+// completed-call latency, or the full deadline when anything blocked.
+//
+// Results propagate as (data, residuals):
+//   * exec: data when the source answered, otherwise its logical form
+//     becomes a residual;
+//   * filter/project distribute over residuals (filter(union(d, r)) =
+//     union(filter(d), filter(r)));
+//   * a join with any residual input turns entirely residual — its
+//     logical form references only extents, so resubmission refetches
+//     both sides (the submit operator cannot ship data between sources,
+//     §3.2, so this is also what the paper's algebra can express);
+//   * union concatenates.
+// The final answer is union(residuals..., data) — a query again.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/logical.hpp"
+#include "catalog/catalog.hpp"
+#include "net/network.hpp"
+#include "oql/eval.hpp"
+#include "physical/plan.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace disco::physical {
+
+/// Everything the runtime needs from the mediator.
+struct ExecContext {
+  const catalog::Catalog* catalog = nullptr;
+  net::Network* network = nullptr;
+  net::VirtualClock* clock = nullptr;
+  /// Resolves a wrapper object name to the wrapper. Never returns null.
+  std::function<wrapper::Wrapper*(const std::string&)> wrapper_by_name;
+  /// Extra collections visible to predicate/projection evaluation
+  /// (materialized auxiliary extents for nested subqueries); may be null.
+  const oql::CollectionResolver* resolver = nullptr;
+  /// Query deadline in seconds of virtual time (§4's "designated time").
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// §2.1: "At run-time, the wrapper checks that these types are indeed
+  /// the same." When set, every env-shaped row a wrapper returns is
+  /// validated against its extent's interface (TypeError on mismatch).
+  bool validate_rows = false;
+  /// Cost-history recording hook (§3.3: "When the exec call finishes, the
+  /// arguments of the call, the time taken and the amount of data
+  /// generated is recorded"); may be empty.
+  std::function<void(const std::string& repository,
+                     const algebra::LogicalPtr& remote, double time_s,
+                     size_t rows)>
+      record_exec;
+};
+
+struct RunStats {
+  size_t exec_calls = 0;
+  size_t unavailable_calls = 0;  ///< down or past-deadline
+  size_t rows_fetched = 0;
+  double elapsed_s = 0;  ///< virtual time consumed by the plan
+};
+
+struct RunResult {
+  /// Data part of the answer (a bag).
+  Value data;
+  /// Residual logical branches; empty means the answer is complete.
+  std::vector<algebra::LogicalPtr> residuals;
+  RunStats stats;
+
+  bool complete() const { return residuals.empty(); }
+};
+
+class Runtime {
+ public:
+  explicit Runtime(ExecContext context);
+
+  /// Executes the plan; advances the virtual clock by the elapsed time.
+  RunResult run(const PhysicalPtr& plan);
+
+ private:
+  struct Outcome {
+    std::vector<Value> data;  ///< env structs or projected values
+    std::vector<algebra::LogicalPtr> residuals;
+  };
+
+  Outcome eval(const PhysicalPtr& node);
+  Outcome eval_exec(const Physical& node);
+  Outcome eval_join(const Physical& node);
+  Outcome eval_bind_join(const Physical& node);
+  /// Shared exec machinery: runs `remote` at `repository` through
+  /// `wrapper_name`; on unavailability the residual is
+  /// `logical_for_residual`.
+  Outcome call_source(const std::string& repository,
+                      const std::string& wrapper_name,
+                      const algebra::LogicalPtr& remote,
+                      const algebra::LogicalPtr& logical_for_residual);
+
+  ExecContext context_;
+  oql::Evaluator evaluator_;
+  double issue_time_ = 0;      ///< virtual instant the execs are issued
+  double max_latency_ = 0;     ///< slowest completed call
+  bool any_blocked_ = false;   ///< at least one call missed the deadline
+  RunStats stats_;
+};
+
+}  // namespace disco::physical

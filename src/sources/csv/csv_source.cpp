@@ -1,0 +1,136 @@
+#include "sources/csv/csv_source.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace disco::csv {
+
+namespace {
+
+/// Splits one CSV record honouring quoted fields.
+std::vector<std::string> split_record(const std::string& line,
+                                      std::vector<bool>& quoted) {
+  std::vector<std::string> fields;
+  quoted.clear();
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      quoted.push_back(was_quoted);
+      current.clear();
+      was_quoted = false;
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    throw ExecutionError("CSV: unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(current));
+  quoted.push_back(was_quoted);
+  return fields;
+}
+
+Value infer_value(const std::string& field, bool was_quoted) {
+  if (was_quoted) return Value::string(field);
+  std::string text = trim(field);
+  if (text.empty()) return Value::null();
+  {
+    int64_t v = 0;
+    auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec == std::errc() && p == text.data() + text.size()) {
+      return Value::integer(v);
+    }
+  }
+  {
+    double v = 0;
+    auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec == std::errc() && p == text.data() + text.size()) {
+      return Value::real(v);
+    }
+  }
+  if (iequals(text, "true")) return Value::boolean(true);
+  if (iequals(text, "false")) return Value::boolean(false);
+  return Value::string(text);
+}
+
+}  // namespace
+
+Value CsvTable::as_row_bag() const {
+  return make_row_bag(columns, rows);
+}
+
+CsvTable parse_csv(const std::string& name, const std::string& text) {
+  CsvTable table;
+  table.name = name;
+  std::istringstream stream(text);
+  std::string line;
+  bool header_done = false;
+  std::vector<bool> quoted;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && !header_done) continue;
+    if (!header_done) {
+      for (std::string& field : split_record(line, quoted)) {
+        std::string column = trim(field);
+        if (column.empty()) {
+          throw ExecutionError("CSV '" + name + "': empty header field");
+        }
+        table.columns.push_back(std::move(column));
+      }
+      header_done = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> fields = split_record(line, quoted);
+    if (fields.size() != table.columns.size()) {
+      throw ExecutionError("CSV '" + name + "': row with " +
+                           std::to_string(fields.size()) +
+                           " fields, expected " +
+                           std::to_string(table.columns.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      row.push_back(infer_value(fields[i], quoted[i]));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  if (!header_done) {
+    throw ExecutionError("CSV '" + name + "': missing header line");
+  }
+  return table;
+}
+
+CsvTable load_csv_file(const std::string& name, const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw ExecutionError("CSV: cannot open file '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return parse_csv(name, buffer.str());
+}
+
+}  // namespace disco::csv

@@ -1,0 +1,38 @@
+// CSV file data source.
+//
+// The weakest kind of server in the paper's spectrum ("the DISCO model can
+// be applied to a variety of information servers, such as WAIS servers,
+// file systems, ...", §2.2): it can only hand back all of its rows — its
+// wrapper therefore advertises the {get}-only capability grammar, making
+// it the canonical can't-push-anything source for the pushdown
+// experiments.
+//
+// Format: first line is the header; fields are comma-separated; a field
+// is parsed as int, then double, then bool (true/false), then string;
+// double quotes delimit strings containing commas ("" escapes a quote).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "value/value.hpp"
+
+namespace disco::csv {
+
+struct CsvTable {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// All rows as a bag of structs keyed by the header names.
+  Value as_row_bag() const;
+};
+
+/// Parses CSV text. Throws ExecutionError on ragged rows or an empty
+/// header.
+CsvTable parse_csv(const std::string& name, const std::string& text);
+
+/// Reads and parses a CSV file. Throws ExecutionError when unreadable.
+CsvTable load_csv_file(const std::string& name, const std::string& path);
+
+}  // namespace disco::csv

@@ -1,0 +1,74 @@
+#include "sources/kvstore/kv_store.hpp"
+
+#include "common/error.hpp"
+
+namespace disco::kvstore {
+
+KvCollection::KvCollection(std::string name, std::string key_attribute)
+    : name_(std::move(name)), key_attribute_(std::move(key_attribute)) {
+  internal_check(!name_.empty() && !key_attribute_.empty(),
+                 "collection needs a name and a key attribute");
+}
+
+void KvCollection::put(Value row) {
+  if (row.kind() != ValueKind::Struct) {
+    throw TypeError("kv collection '" + name_ + "' stores structs, got " +
+                    to_string(row.kind()));
+  }
+  const Value* key = row.find_field(key_attribute_);
+  if (key == nullptr) {
+    throw TypeError("kv row is missing the key attribute '" +
+                    key_attribute_ + "'");
+  }
+  by_key_[*key].push_back(std::move(row));
+  ++rows_;
+}
+
+std::vector<Value> KvCollection::lookup(const Value& key) const {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? std::vector<Value>{} : it->second;
+}
+
+std::vector<Value> KvCollection::scan() const {
+  std::vector<Value> out;
+  out.reserve(rows_);
+  for (const auto& [key, rows] : by_key_) {
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  return out;
+}
+
+KvCollection& KvStore::create_collection(const std::string& collection,
+                                         const std::string& key_attribute) {
+  if (collections_.contains(collection)) {
+    throw CatalogError("kv collection '" + collection +
+                       "' already exists in store '" + name_ + "'");
+  }
+  return collections_
+      .emplace(collection, KvCollection(collection, key_attribute))
+      .first->second;
+}
+
+bool KvStore::has_collection(const std::string& collection) const {
+  return collections_.contains(collection);
+}
+
+KvCollection& KvStore::collection(const std::string& collection) {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    throw CatalogError("no kv collection '" + collection + "' in store '" +
+                       name_ + "'");
+  }
+  return it->second;
+}
+
+const KvCollection& KvStore::collection(const std::string& collection) const {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    throw CatalogError("no kv collection '" + collection + "' in store '" +
+                       name_ + "'");
+  }
+  return it->second;
+}
+
+}  // namespace disco::kvstore

@@ -1,0 +1,78 @@
+// Key-value data source.
+//
+// A third kind of server in the heterogeneity spectrum (§2.2: "the DISCO
+// model can be applied to a variety of information servers"): a store
+// whose *only* API is get-by-key plus full scan — no query language at
+// all ("the wrapper may use the underlying database API", §6.2). Its
+// wrapper advertises a grammar where select takes an EQPREDICATE, the
+// §3.2 mechanism for describing "support for certain comparison
+// operators": equality lookups push down, range predicates stay at the
+// mediator.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "value/value.hpp"
+
+namespace disco::kvstore {
+
+/// One keyed collection: key attribute name + rows indexed by key value.
+class KvCollection {
+ public:
+  KvCollection() = default;
+  KvCollection(std::string name, std::string key_attribute);
+
+  const std::string& name() const { return name_; }
+  const std::string& key_attribute() const { return key_attribute_; }
+
+  /// Inserts a struct row; its key attribute must be present. Duplicate
+  /// keys are allowed (multi-map semantics). Throws TypeError.
+  void put(Value row);
+
+  /// All rows with the given key (possibly empty).
+  std::vector<Value> lookup(const Value& key) const;
+
+  /// Full scan, in key order.
+  std::vector<Value> scan() const;
+
+  size_t size() const { return rows_; }
+
+ private:
+  std::string name_;
+  std::string key_attribute_;
+  std::map<Value, std::vector<Value>> by_key_;
+  size_t rows_ = 0;
+};
+
+/// A repository of keyed collections.
+class KvStore {
+ public:
+  explicit KvStore(std::string name = "kv") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  KvCollection& create_collection(const std::string& collection,
+                                  const std::string& key_attribute);
+  bool has_collection(const std::string& collection) const;
+  KvCollection& collection(const std::string& collection);
+  const KvCollection& collection(const std::string& collection) const;
+
+  /// API-level counters: how often each access path was used (evidence
+  /// for the pushdown experiments).
+  struct ApiStats {
+    size_t lookups = 0;
+    size_t scans = 0;
+  };
+  ApiStats& stats() { return stats_; }
+  const ApiStats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  std::unordered_map<std::string, KvCollection> collections_;
+  ApiStats stats_;
+};
+
+}  // namespace disco::kvstore

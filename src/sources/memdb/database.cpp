@@ -1,0 +1,42 @@
+#include "sources/memdb/database.hpp"
+
+#include "common/error.hpp"
+
+namespace disco::memdb {
+
+Table& Database::create_table(std::string table, std::vector<Column> columns) {
+  if (tables_.contains(table)) {
+    throw CatalogError("table '" + table + "' already exists in database '" +
+                       name_ + "'");
+  }
+  order_.push_back(table);
+  auto [it, inserted] =
+      tables_.emplace(table, Table(table, std::move(columns)));
+  return it->second;
+}
+
+bool Database::has_table(const std::string& table) const {
+  return tables_.contains(table);
+}
+
+Table& Database::table(const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    throw CatalogError("no table '" + table + "' in database '" + name_ +
+                       "'");
+  }
+  return it->second;
+}
+
+const Table& Database::table(const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    throw CatalogError("no table '" + table + "' in database '" + name_ +
+                       "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Database::table_names() const { return order_; }
+
+}  // namespace disco::memdb

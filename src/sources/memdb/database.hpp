@@ -1,0 +1,38 @@
+// A memdb database: a named collection of tables. One Database instance
+// models one *repository* in the paper's sense (§2.1: "Repositories
+// typically contain several data sources. Each data source in a
+// repository is associated with an extent").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sources/memdb/table.hpp"
+
+namespace disco::memdb {
+
+class Database {
+ public:
+  explicit Database(std::string name = "db") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates a table; throws CatalogError on duplicates.
+  Table& create_table(std::string table, std::vector<Column> columns);
+
+  bool has_table(const std::string& table) const;
+  /// Throws CatalogError when absent.
+  Table& table(const std::string& table);
+  const Table& table(const std::string& table) const;
+
+  std::vector<std::string> table_names() const;
+
+ private:
+  std::string name_;
+  std::unordered_map<std::string, Table> tables_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace disco::memdb

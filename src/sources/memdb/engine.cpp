@@ -1,0 +1,382 @@
+#include "sources/memdb/engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace disco::memdb {
+
+namespace {
+
+/// Resolves a column reference against a layout. Unqualified names must be
+/// unambiguous. Returns -1 when the reference does not belong to this
+/// layout at all (so callers can classify predicates).
+int find_column(const std::vector<OutColumn>& layout, const ColumnRef& ref) {
+  int found = -1;
+  for (size_t i = 0; i < layout.size(); ++i) {
+    const OutColumn& col = layout[i];
+    if (col.name != ref.column) continue;
+    if (!ref.table.empty() && col.alias != ref.table) continue;
+    if (found != -1) {
+      throw ExecutionError("MiniSQL: ambiguous column '" + ref.to_sql() +
+                           "'");
+    }
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+void collect_refs(const PredPtr& pred, std::vector<const ColumnRef*>& out) {
+  if (pred == nullptr) return;
+  switch (pred->kind) {
+    case Pred::Kind::Cmp:
+      if (pred->lhs.kind == Operand::Kind::Column) out.push_back(&pred->lhs.column);
+      if (pred->rhs.kind == Operand::Kind::Column) out.push_back(&pred->rhs.column);
+      return;
+    case Pred::Kind::Not:
+      collect_refs(pred->left, out);
+      return;
+    case Pred::Kind::And:
+    case Pred::Kind::Or:
+      collect_refs(pred->left, out);
+      collect_refs(pred->right, out);
+      return;
+  }
+}
+
+/// True when every column the predicate mentions resolves in `layout`.
+bool covered_by(const PredPtr& pred, const std::vector<OutColumn>& layout) {
+  std::vector<const ColumnRef*> refs;
+  collect_refs(pred, refs);
+  for (const ColumnRef* ref : refs) {
+    if (find_column(layout, *ref) == -1) return false;
+  }
+  return true;
+}
+
+Value operand_value(const Operand& operand,
+                    const std::vector<OutColumn>& layout, const Row& row) {
+  if (operand.kind == Operand::Kind::Literal) return operand.literal;
+  int index = find_column(layout, operand.column);
+  if (index == -1) {
+    throw ExecutionError("MiniSQL: unknown column '" +
+                         operand.column.to_sql() + "'");
+  }
+  return row[static_cast<size_t>(index)];
+}
+
+bool eval_pred(const PredPtr& pred, const std::vector<OutColumn>& layout,
+               const Row& row) {
+  switch (pred->kind) {
+    case Pred::Kind::Cmp: {
+      Value lhs = operand_value(pred->lhs, layout, row);
+      Value rhs = operand_value(pred->rhs, layout, row);
+      int c = Value::compare(lhs, rhs);
+      switch (pred->op) {
+        case CmpOp::Eq:
+          return c == 0;
+        case CmpOp::Ne:
+          return c != 0;
+        case CmpOp::Lt:
+          return c < 0;
+        case CmpOp::Le:
+          return c <= 0;
+        case CmpOp::Gt:
+          return c > 0;
+        case CmpOp::Ge:
+          return c >= 0;
+      }
+      return false;
+    }
+    case Pred::Kind::And:
+      return eval_pred(pred->left, layout, row) &&
+             eval_pred(pred->right, layout, row);
+    case Pred::Kind::Or:
+      return eval_pred(pred->left, layout, row) ||
+             eval_pred(pred->right, layout, row);
+    case Pred::Kind::Not:
+      return !eval_pred(pred->left, layout, row);
+  }
+  return false;
+}
+
+/// Detects an equi-join conjunct linking `left` and `right`; returns the
+/// column indexes (left_index, right_index).
+std::optional<std::pair<int, int>> equi_key(
+    const PredPtr& pred, const std::vector<OutColumn>& left,
+    const std::vector<OutColumn>& right) {
+  if (pred->kind != Pred::Kind::Cmp || pred->op != CmpOp::Eq) {
+    return std::nullopt;
+  }
+  if (pred->lhs.kind != Operand::Kind::Column ||
+      pred->rhs.kind != Operand::Kind::Column) {
+    return std::nullopt;
+  }
+  int ll = find_column(left, pred->lhs.column);
+  int rr = find_column(right, pred->rhs.column);
+  if (ll != -1 && rr != -1) return std::make_pair(ll, rr);
+  int lr = find_column(left, pred->rhs.column);
+  int rl = find_column(right, pred->lhs.column);
+  if (lr != -1 && rl != -1) return std::make_pair(lr, rl);
+  return std::nullopt;
+}
+
+Row concat(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+ResultSet Engine::execute_sql(const std::string& text) {
+  return execute(parse_minisql(text));
+}
+
+Engine::Relation Engine::scan(const TableRef& ref,
+                              const std::vector<PredPtr>& preds) {
+  const Table& table = database_->table(ref.table);
+  Relation out;
+  out.columns.reserve(table.columns().size());
+  for (const Column& col : table.columns()) {
+    out.columns.push_back(OutColumn{ref.alias, col.name});
+  }
+  for (const Row& row : table.rows()) {
+    ++stats_.rows_scanned;
+    bool keep = true;
+    for (const PredPtr& pred : preds) {
+      if (!eval_pred(pred, out.columns, row)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Engine::Relation Engine::join(Relation left, Relation right,
+                              const std::vector<PredPtr>& applicable) {
+  // Split the applicable predicates into one equi-key (if any) driving the
+  // physical algorithm, and residual predicates evaluated on each joined
+  // candidate.
+  std::optional<std::pair<int, int>> key;
+  std::vector<PredPtr> residual;
+  for (const PredPtr& pred : applicable) {
+    if (!key.has_value()) {
+      if (auto k = equi_key(pred, left.columns, right.columns)) {
+        key = k;
+        continue;
+      }
+    }
+    residual.push_back(pred);
+  }
+
+  Relation out;
+  out.columns = left.columns;
+  out.columns.insert(out.columns.end(), right.columns.begin(),
+                     right.columns.end());
+
+  JoinStrategy strategy = strategy_;
+  if (strategy == JoinStrategy::Auto) {
+    bool big = left.rows.size() > 8 && right.rows.size() > 8;
+    strategy = (key.has_value() && big) ? JoinStrategy::Hash
+                                        : JoinStrategy::NestedLoop;
+  }
+  if (!key.has_value()) strategy = JoinStrategy::NestedLoop;
+
+  auto emit = [&](const Row& l, const Row& r) {
+    Row candidate = concat(l, r);
+    for (const PredPtr& pred : residual) {
+      if (!eval_pred(pred, out.columns, candidate)) return;
+    }
+    ++stats_.rows_joined;
+    out.rows.push_back(std::move(candidate));
+  };
+
+  switch (strategy) {
+    case JoinStrategy::NestedLoop: {
+      ++stats_.nested_loop_joins;
+      // Without an equi key the join predicate (if any) is in `residual`.
+      std::vector<PredPtr> all = residual;
+      if (key.has_value()) {
+        // Forced nested loop still honours the equi predicate.
+        for (const Row& l : left.rows) {
+          for (const Row& r : right.rows) {
+            if (Value::compare(l[static_cast<size_t>(key->first)],
+                               r[static_cast<size_t>(key->second)]) != 0) {
+              continue;
+            }
+            emit(l, r);
+          }
+        }
+        break;
+      }
+      for (const Row& l : left.rows) {
+        for (const Row& r : right.rows) emit(l, r);
+      }
+      break;
+    }
+    case JoinStrategy::Hash: {
+      ++stats_.hash_joins;
+      std::unordered_map<uint64_t, std::vector<const Row*>> buckets;
+      for (const Row& r : right.rows) {
+        buckets[r[static_cast<size_t>(key->second)].hash()].push_back(&r);
+      }
+      for (const Row& l : left.rows) {
+        const Value& k = l[static_cast<size_t>(key->first)];
+        auto it = buckets.find(k.hash());
+        if (it == buckets.end()) continue;
+        for (const Row* r : it->second) {
+          if ((*r)[static_cast<size_t>(key->second)] != k) continue;
+          emit(l, *r);
+        }
+      }
+      break;
+    }
+    case JoinStrategy::Merge: {
+      ++stats_.merge_joins;
+      size_t lk = static_cast<size_t>(key->first);
+      size_t rk = static_cast<size_t>(key->second);
+      std::sort(left.rows.begin(), left.rows.end(),
+                [lk](const Row& a, const Row& b) {
+                  return Value::compare(a[lk], b[lk]) < 0;
+                });
+      std::sort(right.rows.begin(), right.rows.end(),
+                [rk](const Row& a, const Row& b) {
+                  return Value::compare(a[rk], b[rk]) < 0;
+                });
+      size_t i = 0;
+      size_t j = 0;
+      while (i < left.rows.size() && j < right.rows.size()) {
+        int c = Value::compare(left.rows[i][lk], right.rows[j][rk]);
+        if (c < 0) {
+          ++i;
+        } else if (c > 0) {
+          ++j;
+        } else {
+          // Equal-key runs: cross product of the two runs.
+          size_t i_end = i;
+          while (i_end < left.rows.size() &&
+                 Value::compare(left.rows[i_end][lk], right.rows[j][rk]) ==
+                     0) {
+            ++i_end;
+          }
+          size_t j_end = j;
+          while (j_end < right.rows.size() &&
+                 Value::compare(left.rows[i][lk], right.rows[j_end][rk]) ==
+                     0) {
+            ++j_end;
+          }
+          for (size_t a = i; a < i_end; ++a) {
+            for (size_t b = j; b < j_end; ++b) {
+              emit(left.rows[a], right.rows[b]);
+            }
+          }
+          i = i_end;
+          j = j_end;
+        }
+      }
+      break;
+    }
+    case JoinStrategy::Auto:
+      throw InternalError("Auto strategy must be resolved before joining");
+  }
+  return out;
+}
+
+ResultSet Engine::execute(const Query& query) {
+  stats_ = Stats{};
+  internal_check(!query.tables.empty(), "query without tables");
+
+  // Duplicate alias check.
+  std::set<std::string> aliases;
+  for (const TableRef& ref : query.tables) {
+    if (!aliases.insert(ref.alias).second) {
+      throw ExecutionError("MiniSQL: duplicate table alias '" + ref.alias +
+                           "'");
+    }
+  }
+
+  std::vector<PredPtr> all_conjuncts = conjuncts(query.where);
+  std::vector<bool> used(all_conjuncts.size(), false);
+
+  // Scan each table with the conjuncts that touch only that table.
+  std::vector<Relation> relations;
+  relations.reserve(query.tables.size());
+  for (const TableRef& ref : query.tables) {
+    const Table& table = database_->table(ref.table);
+    std::vector<OutColumn> layout;
+    for (const Column& col : table.columns()) {
+      layout.push_back(OutColumn{ref.alias, col.name});
+    }
+    std::vector<PredPtr> local;
+    for (size_t i = 0; i < all_conjuncts.size(); ++i) {
+      if (used[i]) continue;
+      if (covered_by(all_conjuncts[i], layout)) {
+        local.push_back(all_conjuncts[i]);
+        used[i] = true;
+      }
+    }
+    relations.push_back(scan(ref, local));
+  }
+
+  // Left-deep joins in FROM order; each step consumes the conjuncts that
+  // become evaluable once the next table joins in.
+  Relation acc = std::move(relations.front());
+  for (size_t t = 1; t < relations.size(); ++t) {
+    std::vector<OutColumn> combined = acc.columns;
+    combined.insert(combined.end(), relations[t].columns.begin(),
+                    relations[t].columns.end());
+    std::vector<PredPtr> applicable;
+    for (size_t i = 0; i < all_conjuncts.size(); ++i) {
+      if (used[i]) continue;
+      if (covered_by(all_conjuncts[i], combined)) {
+        applicable.push_back(all_conjuncts[i]);
+        used[i] = true;
+      }
+    }
+    acc = join(std::move(acc), std::move(relations[t]), applicable);
+  }
+
+  // Any conjunct left refers to columns that do not exist.
+  for (size_t i = 0; i < all_conjuncts.size(); ++i) {
+    if (!used[i]) {
+      throw ExecutionError("MiniSQL: predicate references unknown column: " +
+                           all_conjuncts[i]->to_sql());
+    }
+  }
+
+  // Projection.
+  if (query.star) {
+    return ResultSet{std::move(acc.columns), std::move(acc.rows)};
+  }
+  ResultSet out;
+  std::vector<size_t> indexes;
+  for (const SelectItem& item : query.items) {
+    int index = find_column(acc.columns, item.column);
+    if (index == -1) {
+      throw ExecutionError("MiniSQL: unknown column '" +
+                           item.column.to_sql() + "' in select list");
+    }
+    indexes.push_back(static_cast<size_t>(index));
+    OutColumn col = acc.columns[static_cast<size_t>(index)];
+    if (!item.alias.empty()) col.name = item.alias;
+    out.columns.push_back(std::move(col));
+  }
+  out.rows.reserve(acc.rows.size());
+  for (const Row& row : acc.rows) {
+    Row projected;
+    projected.reserve(indexes.size());
+    for (size_t index : indexes) projected.push_back(row[index]);
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+}  // namespace disco::memdb

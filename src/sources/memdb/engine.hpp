@@ -1,0 +1,69 @@
+// MiniSQL execution engine.
+//
+// A small but real relational executor: per-table filter pushdown,
+// left-deep joins with three physical algorithms (nested-loop, hash,
+// sort-merge) selected automatically or forced for experiments, and
+// projection. This is the "server" side of the wrapper boundary; the
+// mediator never calls it directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sources/memdb/database.hpp"
+#include "sources/memdb/minisql.hpp"
+
+namespace disco::memdb {
+
+/// Output column: the alias of the table it came from plus its name.
+/// Wrappers use the alias to regroup joined rows into per-variable
+/// structs for the mediator.
+struct OutColumn {
+  std::string alias;
+  std::string name;
+};
+
+struct ResultSet {
+  std::vector<OutColumn> columns;
+  std::vector<Row> rows;
+};
+
+enum class JoinStrategy { Auto, NestedLoop, Hash, Merge };
+
+class Engine {
+ public:
+  explicit Engine(const Database* database) : database_(database) {}
+
+  /// Forces a join algorithm (Auto picks hash for equi-joins with both
+  /// sides over ~8 rows, nested-loop otherwise).
+  void set_join_strategy(JoinStrategy strategy) { strategy_ = strategy; }
+
+  ResultSet execute(const Query& query);
+  ResultSet execute_sql(const std::string& text);
+
+  struct Stats {
+    size_t rows_scanned = 0;
+    size_t rows_joined = 0;
+    size_t hash_joins = 0;
+    size_t merge_joins = 0;
+    size_t nested_loop_joins = 0;
+  };
+  const Stats& last_stats() const { return stats_; }
+
+ private:
+  struct Relation {
+    std::vector<OutColumn> columns;
+    std::vector<Row> rows;
+  };
+
+  Relation scan(const TableRef& ref,
+                const std::vector<PredPtr>& single_table_preds);
+  Relation join(Relation left, Relation right,
+                const std::vector<PredPtr>& applicable);
+
+  const Database* database_;
+  JoinStrategy strategy_ = JoinStrategy::Auto;
+  Stats stats_;
+};
+
+}  // namespace disco::memdb

@@ -1,0 +1,81 @@
+#include "sources/memdb/table.hpp"
+
+#include "common/error.hpp"
+
+namespace disco::memdb {
+
+const char* to_string(ColumnType type) {
+  switch (type) {
+    case ColumnType::Int:
+      return "INT";
+    case ColumnType::Real:
+      return "REAL";
+    case ColumnType::Text:
+      return "TEXT";
+    case ColumnType::Bool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  internal_check(!name_.empty(), "table needs a name");
+  internal_check(!columns_.empty(), "table needs at least one column");
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      if (columns_[i].name == columns_[j].name) {
+        throw TypeError("duplicate column '" + columns_[i].name +
+                        "' in table '" + name_ + "'");
+      }
+    }
+  }
+}
+
+int Table::column_index(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+bool conforms(const Value& value, ColumnType type) {
+  if (value.is_null()) return true;
+  switch (type) {
+    case ColumnType::Int:
+      return value.kind() == ValueKind::Int;
+    case ColumnType::Real:
+      return value.is_numeric();
+    case ColumnType::Text:
+      return value.kind() == ValueKind::String;
+    case ColumnType::Bool:
+      return value.kind() == ValueKind::Bool;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Table::insert(Row row) {
+  if (row.size() != columns_.size()) {
+    throw TypeError("table '" + name_ + "' expects " +
+                    std::to_string(columns_.size()) + " values, got " +
+                    std::to_string(row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!conforms(row[i], columns_[i].type)) {
+      throw TypeError("column '" + columns_[i].name + "' of table '" +
+                      name_ + "' expects " + to_string(columns_[i].type) +
+                      ", got " + to_string(row[i].kind()));
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::insert_all(std::vector<Row> rows) {
+  for (Row& row : rows) insert(std::move(row));
+}
+
+}  // namespace disco::memdb

@@ -1,0 +1,52 @@
+// memdb: the relational engine that stands in for the paper's autonomous
+// data sources (Postgres behind WrapperPostgres, §2.1). It is a complete,
+// self-contained system with its own schema, its own query language
+// (MiniSQL, minisql.hpp) and its own executor (engine.hpp); DISCO talks to
+// it only through a wrapper that translates logical algebra into MiniSQL
+// text — exactly the translation burden the paper assigns to the wrapper
+// implementor (§1.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "value/value.hpp"
+
+namespace disco::memdb {
+
+enum class ColumnType { Int, Real, Text, Bool };
+
+const char* to_string(ColumnType type);
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  /// Index of `column`, or -1.
+  int column_index(const std::string& column) const;
+
+  /// Appends a row after checking arity and column types (null allowed
+  /// anywhere, int accepted for Real columns). Throws TypeError.
+  void insert(Row row);
+  void insert_all(std::vector<Row> rows);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace disco::memdb

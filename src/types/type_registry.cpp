@@ -1,0 +1,164 @@
+#include "types/type_registry.hpp"
+
+#include "common/error.hpp"
+
+namespace disco {
+
+const char* to_string(ScalarType type) {
+  switch (type) {
+    case ScalarType::Bool:
+      return "Boolean";
+    case ScalarType::Short:
+      return "Short";
+    case ScalarType::Long:
+      return "Long";
+    case ScalarType::Float:
+      return "Float";
+    case ScalarType::Double:
+      return "Double";
+    case ScalarType::String:
+      return "String";
+  }
+  return "Unknown";
+}
+
+std::optional<ScalarType> scalar_type_from_name(std::string_view name) {
+  if (name == "Boolean" || name == "Bool") return ScalarType::Bool;
+  if (name == "Short") return ScalarType::Short;
+  if (name == "Long") return ScalarType::Long;
+  if (name == "Float") return ScalarType::Float;
+  if (name == "Double") return ScalarType::Double;
+  if (name == "String") return ScalarType::String;
+  return std::nullopt;
+}
+
+bool value_conforms(const Value& value, ScalarType type) {
+  if (value.is_null()) return true;
+  switch (type) {
+    case ScalarType::Bool:
+      return value.kind() == ValueKind::Bool;
+    case ScalarType::Short:
+    case ScalarType::Long:
+      return value.kind() == ValueKind::Int;
+    case ScalarType::Float:
+    case ScalarType::Double:
+      return value.is_numeric();
+    case ScalarType::String:
+      return value.kind() == ValueKind::String;
+  }
+  return false;
+}
+
+void TypeRegistry::define(InterfaceType type) {
+  if (types_.contains(type.name)) {
+    throw CatalogError("type '" + type.name + "' is already defined");
+  }
+  if (!type.super.empty() && !types_.contains(type.super)) {
+    throw CatalogError("supertype '" + type.super + "' of '" + type.name +
+                       "' is not defined");
+  }
+  if (!type.super.empty()) {
+    for (const Attribute& inherited : all_attributes(type.super)) {
+      for (const Attribute& own : type.attributes) {
+        if (own.name == inherited.name && own.type != inherited.type) {
+          throw TypeError("attribute '" + own.name + "' of '" + type.name +
+                          "' redefines inherited attribute with type " +
+                          to_string(inherited.type));
+        }
+      }
+    }
+  }
+  order_.push_back(type.name);
+  types_.emplace(type.name, std::move(type));
+}
+
+bool TypeRegistry::contains(std::string_view name) const {
+  return types_.contains(std::string(name));
+}
+
+const InterfaceType& TypeRegistry::get(std::string_view name) const {
+  const InterfaceType* found = find(name);
+  if (found == nullptr) {
+    throw CatalogError("unknown type '" + std::string(name) + "'");
+  }
+  return *found;
+}
+
+const InterfaceType* TypeRegistry::find(std::string_view name) const {
+  auto it = types_.find(std::string(name));
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+std::vector<Attribute> TypeRegistry::all_attributes(
+    std::string_view name) const {
+  const InterfaceType& type = get(name);
+  std::vector<Attribute> out;
+  if (!type.super.empty()) {
+    out = all_attributes(type.super);
+  }
+  for (const Attribute& attr : type.attributes) {
+    bool overridden = false;
+    for (const Attribute& existing : out) {
+      if (existing.name == attr.name) {
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) out.push_back(attr);
+  }
+  return out;
+}
+
+bool TypeRegistry::is_subtype_of(std::string_view sub,
+                                 std::string_view super) const {
+  std::string current(sub);
+  while (!current.empty()) {
+    if (current == super) return true;
+    current = get(current).super;
+  }
+  return false;
+}
+
+std::vector<std::string> TypeRegistry::with_subtypes(
+    std::string_view name) const {
+  get(name);  // validate existence
+  std::vector<std::string> out;
+  for (const std::string& candidate : order_) {
+    if (is_subtype_of(candidate, name)) out.push_back(candidate);
+  }
+  return out;
+}
+
+const InterfaceType* TypeRegistry::type_for_implicit_extent(
+    std::string_view extent_name) const {
+  for (const std::string& name : order_) {
+    const InterfaceType& type = types_.at(name);
+    if (!type.implicit_extent.empty() && type.implicit_extent == extent_name) {
+      return &type;
+    }
+  }
+  return nullptr;
+}
+
+void TypeRegistry::check_row(std::string_view type_name,
+                             const Value& row) const {
+  if (row.kind() != ValueKind::Struct) {
+    throw TypeError("object of type '" + std::string(type_name) +
+                    "' must be a struct, got " + to_string(row.kind()));
+  }
+  for (const Attribute& attr : all_attributes(type_name)) {
+    const Value* field = row.find_field(attr.name);
+    if (field == nullptr) {
+      throw TypeError("object of type '" + std::string(type_name) +
+                      "' is missing attribute '" + attr.name + "'");
+    }
+    if (!value_conforms(*field, attr.type)) {
+      throw TypeError("attribute '" + attr.name + "' of type '" +
+                      std::string(type_name) + "' expects " +
+                      to_string(attr.type) + ", got " +
+                      to_string(field->kind()));
+    }
+  }
+}
+
+}  // namespace disco

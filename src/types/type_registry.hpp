@@ -1,0 +1,95 @@
+// Mediator interface types (§2 of the paper).
+//
+// An InterfaceType is what the DBA declares with ODL:
+//
+//   interface Person (extent person) {
+//     attribute String name;
+//     attribute Short salary; };
+//
+// DISCO extends ODMG with *multiple extents per interface* — the extents
+// themselves live in the catalog (catalog/catalog.hpp); the type registry
+// only knows the subtype lattice, attributes, and the optional implicit
+// extent name, plus the `Person*` subtype-closure resolution (§2.2.1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "value/value.hpp"
+
+namespace disco {
+
+/// Scalar attribute types from ODMG ODL. Short/Long both map to Int values;
+/// Float/Double to Double values.
+enum class ScalarType { Bool, Short, Long, Float, Double, String };
+
+const char* to_string(ScalarType type);
+
+/// Parses an ODL scalar type name ("String", "Short", ...); case-sensitive
+/// like ODMG ODL. Returns nullopt for unknown names.
+std::optional<ScalarType> scalar_type_from_name(std::string_view name);
+
+/// True when `value` inhabits `type` (Int widens into Float/Double; null is
+/// a member of every type, modelling unavailable attribute data).
+bool value_conforms(const Value& value, ScalarType type);
+
+struct Attribute {
+  std::string name;
+  ScalarType type;
+};
+
+struct InterfaceType {
+  std::string name;
+  /// Direct supertype name; empty for root types.
+  std::string super;
+  /// Attributes declared on this interface (not the inherited ones).
+  std::vector<Attribute> attributes;
+  /// Implicit extent name from `interface T (extent e)`, empty if none.
+  /// The implicit extent denotes the union of all registered extents of
+  /// this type (§2.1: "define person as flatten(select x.e from x in
+  /// metaextent where x.interface = Person)").
+  std::string implicit_extent;
+};
+
+class TypeRegistry {
+ public:
+  /// Declares a type. Throws CatalogError on duplicate name or unknown
+  /// supertype, and TypeError when an attribute redefines an inherited
+  /// attribute with a different scalar type.
+  void define(InterfaceType type);
+
+  bool contains(std::string_view name) const;
+  /// Throws CatalogError when absent.
+  const InterfaceType& get(std::string_view name) const;
+  const InterfaceType* find(std::string_view name) const;
+
+  /// All attributes including inherited ones, supertype-first.
+  std::vector<Attribute> all_attributes(std::string_view name) const;
+
+  /// True when `sub` equals `super` or derives from it transitively.
+  bool is_subtype_of(std::string_view sub, std::string_view super) const;
+
+  /// The type itself followed by all transitive subtypes, in definition
+  /// order. This is what `T*` (§2.2.1) ranges over.
+  std::vector<std::string> with_subtypes(std::string_view name) const;
+
+  /// Type that declares implicit extent `extent_name`, or nullptr.
+  const InterfaceType* type_for_implicit_extent(
+      std::string_view extent_name) const;
+
+  /// Structural check: `row` must be a struct providing every attribute of
+  /// the interface (inherited included) with a conforming value. Extra
+  /// fields are tolerated (the projection discards them). Throws TypeError.
+  void check_row(std::string_view type_name, const Value& row) const;
+
+  std::vector<std::string> type_names() const { return order_; }
+
+ private:
+  std::unordered_map<std::string, InterfaceType> types_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace disco

@@ -1,0 +1,58 @@
+// Wrapper for memdb data sources — the reproduction's WrapperPostgres
+// (§2.1). The DBI work the paper describes is all here:
+//
+//   * advertise a capability grammar (configurable, so the pushdown
+//     experiments can sweep {get} ⊂ {get,project} ⊂ ... ⊂ full),
+//   * translate logical expressions from the mediator's algebra into the
+//     source's own language (MiniSQL *text* — the query really crosses a
+//     language boundary and is re-parsed by the source),
+//   * apply the extent type maps in both directions (§2.2.2),
+//   * reformat the source's answer into mediator objects (§1.1).
+#pragma once
+
+#include <memory>
+
+#include "sources/memdb/database.hpp"
+#include "sources/memdb/engine.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace disco::wrapper {
+
+class MemDbWrapper : public Wrapper {
+ public:
+  /// Defaults to the full capability set with composition.
+  explicit MemDbWrapper(grammar::CapabilitySet capabilities =
+                            grammar::CapabilitySet{.get = true,
+                                                   .project = true,
+                                                   .select = true,
+                                                   .join = true,
+                                                   .compose = true});
+
+  /// Binds the database reachable as `repository_name`. One wrapper can
+  /// serve many repositories of the same kind, like w0 serving r0 and r1
+  /// in the paper.
+  void attach_database(const std::string& repository_name,
+                       memdb::Database* database);
+
+  /// Replaces the advertised grammar (e.g. a hand-written one from
+  /// Grammar::parse, like the paper's §3.2 examples).
+  void set_grammar(grammar::Grammar grammar);
+
+  grammar::Grammar capabilities() const override;
+  SubmitResult submit(const catalog::Repository& repository,
+                      const algebra::LogicalPtr& expr,
+                      const BindingMap& bindings) override;
+  std::string kind() const override { return "minisql"; }
+
+  /// The last MiniSQL text shipped to a source — observable evidence that
+  /// translation crossed the language boundary. For tests and benches.
+  const std::string& last_sql() const { return last_sql_; }
+
+ private:
+  grammar::CapabilitySet capability_set_;
+  std::optional<grammar::Grammar> grammar_override_;
+  std::unordered_map<std::string, memdb::Database*> databases_;
+  std::string last_sql_;
+};
+
+}  // namespace disco::wrapper

@@ -1,0 +1,85 @@
+// The wrapper interface (§1.4, §3.2 of the paper).
+//
+// "A wrapper is an object with an interface that, when supplied with
+//  information to access a repository and a query, returns objects to a
+//  mediator which answer the query." (§2.1)
+//
+// Two methods, exactly as the paper describes:
+//   * capabilities() — the submit-functionality method: returns the
+//     grammar of logical expressions this wrapper accepts;
+//   * submit() — executes one logical expression (mediator name space)
+//     against a repository, applying the per-extent type maps in both
+//     directions, and reformats the source's answer for the mediator.
+//
+// Data-shape contract (shared with physical/ and optimizer/):
+//   * env-shaped expressions (get / select / join without a project on
+//     top) return a bag of environment structs: struct(x: <row>) or
+//     struct(x: <row>, y: <row>) with *mediator* attribute names inside;
+//   * project-topped expressions return the bag of projected values.
+//
+// Availability is NOT the wrapper's concern: the runtime consults the
+// network simulation before calling submit(); a wrapper is only ever
+// invoked for a reachable repository.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "algebra/logical.hpp"
+#include "catalog/catalog.hpp"
+#include "catalog/type_map.hpp"
+#include "grammar/capability.hpp"
+#include "value/value.hpp"
+
+namespace disco::wrapper {
+
+/// Per-extent name-space information the runtime hands to submit().
+struct ExtentBinding {
+  std::string source_relation;       ///< relation name inside the source
+  const catalog::TypeMap* map = nullptr;  ///< never null when bound
+};
+
+/// Extent name (mediator space) -> binding.
+using BindingMap = std::unordered_map<std::string, ExtentBinding>;
+
+struct SubmitResult {
+  enum class Status {
+    Ok,
+    Refused,  ///< expression outside this wrapper's functionality
+  };
+  Status status = Status::Ok;
+  Value data;          ///< when Ok
+  std::string detail;  ///< when Refused: why
+
+  static SubmitResult ok(Value data) {
+    return SubmitResult{Status::Ok, std::move(data), ""};
+  }
+  static SubmitResult refused(std::string detail) {
+    return SubmitResult{Status::Refused, Value(), std::move(detail)};
+  }
+};
+
+class Wrapper {
+ public:
+  virtual ~Wrapper() = default;
+
+  /// §3.2's submit-functionality call: the grammar of supported logical
+  /// expressions.
+  virtual grammar::Grammar capabilities() const = 0;
+
+  /// Executes `expr` against `repository`. `bindings` carries the type
+  /// map of every extent `expr` mentions.
+  virtual SubmitResult submit(const catalog::Repository& repository,
+                              const algebra::LogicalPtr& expr,
+                              const BindingMap& bindings) = 0;
+
+  /// Short human-readable kind ("minisql", "csv", "mediator").
+  virtual std::string kind() const = 0;
+};
+
+/// Builds the BindingMap for `expr` from the catalog (looks up every get
+/// node's extent). Throws CatalogError for unknown extents.
+BindingMap bindings_for(const algebra::LogicalPtr& expr,
+                        const catalog::Catalog& catalog);
+
+}  // namespace disco::wrapper

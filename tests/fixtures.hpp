@@ -1,0 +1,57 @@
+// Shared test world: the paper's running example (§1.2) — two repositories
+// r0 and r1, each a memdb database with a person relation; r0 holds Mary
+// (salary 200), r1 holds Sam (salary 50); one MiniSQL wrapper w0 serves
+// both; extents person0/person1 of type Person.
+#pragma once
+
+#include <memory>
+
+#include "core/disco.hpp"
+
+namespace disco::testing {
+
+struct PaperWorld {
+  PaperWorld() {
+    auto& p0 = db0.create_table("person0",
+                                {{"id", memdb::ColumnType::Int},
+                                 {"name", memdb::ColumnType::Text},
+                                 {"salary", memdb::ColumnType::Int}});
+    p0.insert({Value::integer(1), Value::string("Mary"),
+               Value::integer(200)});
+    auto& p1 = db1.create_table("person1",
+                                {{"id", memdb::ColumnType::Int},
+                                 {"name", memdb::ColumnType::Text},
+                                 {"salary", memdb::ColumnType::Int}});
+    p1.insert({Value::integer(2), Value::string("Sam"),
+               Value::integer(50)});
+
+    auto w0 = std::make_shared<wrapper::MemDbWrapper>();
+    w0->attach_database("r0", &db0);
+    w0->attach_database("r1", &db1);
+    wrapper0 = w0.get();
+    mediator.register_wrapper("w0", std::move(w0));
+
+    mediator.register_repository(
+        catalog::Repository{"r0", "rodin", "db", "123.45.6.7"},
+        net::LatencyModel{0.010, 0.0001, 0});
+    mediator.register_repository(
+        catalog::Repository{"r1", "ada", "db", "123.45.6.8"},
+        net::LatencyModel{0.020, 0.0001, 0});
+
+    mediator.execute_odl(R"(
+      interface Person (extent person) {
+        attribute Long id;
+        attribute String name;
+        attribute Short salary; };
+      extent person0 of Person wrapper w0 repository r0;
+      extent person1 of Person wrapper w0 repository r1;
+    )");
+  }
+
+  memdb::Database db0{"db0"};
+  memdb::Database db1{"db1"};
+  Mediator mediator;
+  wrapper::MemDbWrapper* wrapper0 = nullptr;
+};
+
+}  // namespace disco::testing

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "algebra/logical.hpp"
+#include "algebra/to_oql.hpp"
+#include "common/error.hpp"
+#include "oql/eval.hpp"
+#include "oql/parser.hpp"
+#include "oql/printer.hpp"
+
+namespace disco::algebra {
+namespace {
+
+using oql::parse;
+
+// The paper's §3.2 example:
+//   union(project(name, submit(r0, get(person0))),
+//         project(name, submit(r1, get(person1))))
+LogicalPtr paper_plan() {
+  auto branch0 = project(submit("r0", get("person0", "x")),
+                         parse("x.name"), false);
+  auto branch1 = project(submit("r1", get("person1", "x")),
+                         parse("x.name"), false);
+  return union_of({branch0, branch1});
+}
+
+TEST(Logical, AlgebraStringMatchesPaperNotation) {
+  EXPECT_EQ(to_algebra_string(paper_plan()),
+            "union(project(x.name, submit(r0, get(person0, x))), "
+            "project(x.name, submit(r1, get(person1, x))))");
+}
+
+TEST(Logical, FilterUsesPaperSelectName) {
+  auto plan = filter(get("person0", "x"), parse("x.salary > 10"));
+  EXPECT_EQ(to_algebra_string(plan),
+            "select(x.salary > 10, get(person0, x))");
+}
+
+TEST(Logical, PushedProjectRendering) {
+  // §3.2's rewritten form: the project pushed inside the submit.
+  auto plan = submit("r0", project(get("person0", "x"), parse("x.name"),
+                                   false));
+  EXPECT_EQ(to_algebra_string(plan),
+            "submit(r0, project(x.name, get(person0, x)))");
+}
+
+TEST(Logical, UnionOfOneCollapses) {
+  auto one = union_of({get("e", "x")});
+  EXPECT_EQ(one->op, LOp::Get);
+}
+
+TEST(Logical, FactoriesValidate) {
+  EXPECT_THROW(filter(nullptr, parse("1 = 1")), InternalError);
+  EXPECT_THROW(project(get("e", "x"), nullptr, false), InternalError);
+  EXPECT_THROW(union_of({}), InternalError);
+  EXPECT_THROW(submit("r", nullptr), InternalError);
+}
+
+TEST(Logical, SignatureMasksConstants) {
+  auto a = filter(get("e", "x"), parse("x.salary > 10"));
+  auto b = filter(get("e", "x"), parse("x.salary > 9999"));
+  auto c = filter(get("e", "x"), parse("x.salary < 10"));
+  EXPECT_NE(to_algebra_string(a), to_algebra_string(b));
+  EXPECT_EQ(signature(a), signature(b));  // close match (§3.3)
+  EXPECT_NE(signature(a), signature(c));  // different comparison operator
+}
+
+TEST(Logical, SignatureMasksStringsAndConstNodes) {
+  auto a = filter(get("e", "x"), parse("x.name = \"Mary\""));
+  auto b = filter(get("e", "x"), parse("x.name = \"Sam\""));
+  EXPECT_EQ(signature(a), signature(b));
+  auto c1 = constant(Value::bag({Value::integer(1)}));
+  auto c2 = constant(Value::bag({Value::integer(2), Value::integer(3)}));
+  EXPECT_EQ(signature(c1), signature(c2));
+}
+
+TEST(Logical, SignatureDoesNotMaskIdentifiers) {
+  auto a = filter(get("e", "x"), parse("x.a1 > 5"));
+  auto b = filter(get("e", "x"), parse("x.a2 > 5"));
+  EXPECT_NE(signature(a), signature(b));  // a1/a2 are names, not constants
+}
+
+TEST(Logical, BoundVars) {
+  auto plan = filter(
+      join(get("e1", "x"), join(get("e2", "y"), get("e3", "z"), nullptr),
+           parse("x.id = y.id")),
+      parse("z.k > 0"));
+  EXPECT_EQ(bound_vars(plan), (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(Logical, RepositoriesAndExtents) {
+  auto plan = paper_plan();
+  EXPECT_EQ(repositories(plan), (std::vector<std::string>{"r0", "r1"}));
+  EXPECT_EQ(extents(plan),
+            (std::vector<std::string>{"person0", "person1"}));
+}
+
+TEST(Logical, EqualIsStructural) {
+  EXPECT_TRUE(equal(paper_plan(), paper_plan()));
+  EXPECT_FALSE(equal(paper_plan(), get("e", "x")));
+  EXPECT_FALSE(equal(nullptr, get("e", "x")));
+  EXPECT_TRUE(equal(nullptr, nullptr));
+}
+
+// ------------------------------------------------------- reconstruction ---
+
+TEST(Reconstruct, ProjectFilterGet) {
+  auto plan = project(
+      submit("r0", filter(get("person0", "x"), parse("x.salary > 10"))),
+      parse("x.name"), false);
+  EXPECT_EQ(oql::to_oql(reconstruct(plan)),
+            "select x.name from x in person0 where x.salary > 10");
+}
+
+TEST(Reconstruct, UnionOfBranches) {
+  EXPECT_EQ(oql::to_oql(reconstruct(paper_plan())),
+            "union((select x.name from x in person0), "
+            "(select x.name from x in person1))");
+}
+
+TEST(Reconstruct, JoinWithPredicates) {
+  auto plan = project(
+      filter(join(submit("r0", get("e0", "x")), submit("r1", get("e1", "y")),
+                  parse("x.id = y.id")),
+             parse("x.salary > 10")),
+      parse("struct(n: x.name, m: y.name)"), false);
+  EXPECT_EQ(oql::to_oql(reconstruct(plan)),
+            "select struct(n: x.name, m: y.name) from x in e0, y in e1 "
+            "where x.id = y.id and x.salary > 10");
+}
+
+TEST(Reconstruct, DistinctSurvives) {
+  auto plan = project(get("e", "x"), parse("x.a"), true);
+  EXPECT_EQ(oql::to_oql(reconstruct(plan)),
+            "select distinct x.a from x in e");
+}
+
+TEST(Reconstruct, ConstBecomesLiteral) {
+  auto plan = constant(Value::bag({Value::string("Sam")}));
+  EXPECT_EQ(oql::to_oql(reconstruct(plan)), "bag(\"Sam\")");
+}
+
+TEST(Reconstruct, PaperPartialAnswerShape) {
+  // §4: union(select x.name from x in person0, Bag("Sam")).
+  auto residual = project(submit("r0", get("person0", "x")), parse("x.name"),
+                          false);
+  auto data = constant(Value::bag({Value::string("Sam")}));
+  auto answer = union_of({residual, data});
+  EXPECT_EQ(oql::to_oql(reconstruct(answer)),
+            "union((select x.name from x in person0), bag(\"Sam\"))");
+}
+
+TEST(Reconstruct, EnvShapedSubtree) {
+  // Without a project on top, reconstruction rebuilds the env structs.
+  auto plan = filter(get("e", "x"), parse("x.a = 1"));
+  EXPECT_EQ(oql::to_oql(reconstruct(plan)),
+            "select struct(x: x) from x in e where x.a = 1");
+}
+
+TEST(Reconstruct, SingleVarConstEnvUnwraps) {
+  // A materialized env-bag binds its variable over the raw rows.
+  Value env_bag = Value::bag(
+      {Value::strct({{"x", Value::strct({{"a", Value::integer(1)}})}})});
+  auto plan = filter(constant(env_bag), parse("x.a = 1"));
+  EXPECT_EQ(oql::to_oql(reconstruct(plan)),
+            "select struct(x: x) from x in bag(struct(a: 1)) "
+            "where x.a = 1");
+}
+
+TEST(Reconstruct, EmptyConstEnvBindsThrowawayVariable) {
+  auto plan = filter(constant(Value::bag({})), parse("1 = 1"));
+  EXPECT_EQ(oql::to_oql(reconstruct(plan)),
+            "select nil from __empty in bag() where 1 = 1");
+}
+
+TEST(Reconstruct, MultiVarConstEnvIsUnsupported) {
+  // Documented limit: a materialized multi-variable environment cannot be
+  // rebuilt into from-bindings (it would need a tuple domain).
+  Value env_bag = Value::bag({Value::strct(
+      {{"x", Value::strct({{"a", Value::integer(1)}})},
+       {"y", Value::strct({{"b", Value::integer(2)}})}})});
+  auto plan = filter(constant(env_bag), parse("x.a = y.b"));
+  EXPECT_THROW(reconstruct(plan), InternalError);
+}
+
+TEST(Logical, SignatureOfNestedShapes) {
+  auto plan = submit(
+      "r0", join(filter(get("a", "x"), parse("x.v > 5")), get("b", "y"),
+                 parse("x.k = y.k")));
+  // Signature masks the 5 but keeps structure and names.
+  std::string sig = signature(plan);
+  EXPECT_EQ(sig.find("5"), std::string::npos) << sig;
+  EXPECT_NE(sig.find("x.v > ?"), std::string::npos) << sig;
+  EXPECT_NE(sig.find("x.k = y.k"), std::string::npos) << sig;
+}
+
+TEST(Reconstruct, RoundTripEvaluates) {
+  // Reconstructed OQL over materialized extents gives the same result as
+  // the original query.
+  oql::MapResolver resolver;
+  resolver.bind("person0",
+                Value::bag({Value::strct({{"name", Value::string("Mary")},
+                                          {"salary", Value::integer(200)}})}));
+  resolver.bind("person1",
+                Value::bag({Value::strct({{"name", Value::string("Sam")},
+                                          {"salary", Value::integer(50)}})}));
+  oql::Evaluator eval(&resolver);
+  Value direct = eval.eval(parse(
+      "union((select x.name from x in person0), "
+      "(select x.name from x in person1))"));
+  Value reconstructed = eval.eval(reconstruct(paper_plan()));
+  EXPECT_EQ(reconstructed, direct);
+}
+
+}  // namespace
+}  // namespace disco::algebra

@@ -1,0 +1,84 @@
+// Unit tests for the Answer type (§4): the two-part union(query, data)
+// form, the degenerate shapes, and the closure of to_oql().
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/answer.hpp"
+#include "oql/eval.hpp"
+#include "oql/parser.hpp"
+
+namespace disco {
+namespace {
+
+oql::ExprPtr residual() {
+  return oql::parse("select x.name from x in person0 where x.salary > 10");
+}
+
+TEST(AnswerTest, CompleteAnswerIsDataLiteral) {
+  Answer a = Answer::complete_answer(
+      Value::bag({Value::string("Mary"), Value::string("Sam")}), {});
+  EXPECT_TRUE(a.complete());
+  EXPECT_TRUE(a.residual_queries().empty());
+  EXPECT_EQ(a.to_oql(), "bag(\"Mary\", \"Sam\")");
+  // The literal evaluates back to the data (closure).
+  EXPECT_EQ(oql::Evaluator().eval(oql::parse(a.to_oql())), a.data());
+}
+
+TEST(AnswerTest, PaperTwoPartForm) {
+  Answer a = Answer::partial_answer(Value::bag({Value::string("Sam")}),
+                                    {residual()}, {});
+  EXPECT_FALSE(a.complete());
+  EXPECT_EQ(a.to_oql(),
+            "union((select x.name from x in person0 where x.salary > 10), "
+            "bag(\"Sam\"))");
+  ASSERT_EQ(a.residual_queries().size(), 1u);
+}
+
+TEST(AnswerTest, NoDataPartDropsTheEmptyBag) {
+  Answer a = Answer::partial_answer(Value::bag({}), {residual()}, {});
+  EXPECT_EQ(a.to_oql(),
+            "select x.name from x in person0 where x.salary > 10");
+}
+
+TEST(AnswerTest, MultipleResidualsUnion) {
+  Answer a = Answer::partial_answer(
+      Value::bag({}),
+      {oql::parse("select x.name from x in person0"),
+       oql::parse("select x.name from x in person1")},
+      {});
+  EXPECT_EQ(a.to_oql(),
+            "union((select x.name from x in person0), "
+            "(select x.name from x in person1))");
+}
+
+TEST(AnswerTest, ScalarDataFromLocalMode) {
+  Answer a = Answer::complete_answer(Value::integer(250), {});
+  EXPECT_EQ(a.to_oql(), "250");
+}
+
+TEST(AnswerTest, PartialNeedsResiduals) {
+  EXPECT_THROW(Answer::partial_answer(Value::bag({}), {}, {}),
+               InternalError);
+}
+
+TEST(AnswerTest, AnswerTextAlwaysReparses) {
+  Answer a = Answer::partial_answer(
+      Value::bag({Value::strct({{"name", Value::string("O'\"Brien\\")},
+                                {"salary", Value::integer(1)}})}),
+      {residual()}, {});
+  EXPECT_NO_THROW(oql::parse(a.to_oql())) << a.to_oql();
+}
+
+TEST(AnswerTest, StatsCarriedThrough) {
+  QueryStats stats;
+  stats.plans_considered = 7;
+  stats.local_mode = true;
+  stats.run.exec_calls = 3;
+  Answer a = Answer::complete_answer(Value::bag({}), stats);
+  EXPECT_EQ(a.stats().plans_considered, 7u);
+  EXPECT_TRUE(a.stats().local_mode);
+  EXPECT_EQ(a.stats().run.exec_calls, 3u);
+}
+
+}  // namespace
+}  // namespace disco

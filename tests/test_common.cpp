@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace disco {
+namespace {
+
+TEST(Strings, JoinEmpty) { EXPECT_EQ(join({}, ", "), ""); }
+
+TEST(Strings, JoinSingle) { EXPECT_EQ(join({"a"}, ", "), "a"); }
+
+TEST(Strings, JoinMany) { EXPECT_EQ(join({"a", "b", "c"}, "+"), "a+b+c"); }
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, ToLowerAndIEquals) {
+  EXPECT_EQ(to_lower("SeLeCt"), "select");
+  EXPECT_TRUE(iequals("SELECT", "select"));
+  EXPECT_TRUE(iequals("From", "FROM"));
+  EXPECT_FALSE(iequals("selec", "select"));
+  EXPECT_FALSE(iequals("selects", "select"));
+}
+
+TEST(Strings, QuoteStringEscapes) {
+  EXPECT_EQ(quote_string("plain"), "\"plain\"");
+  EXPECT_EQ(quote_string("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(quote_string("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(quote_string("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(quote_string("a\tb"), "\"a\\tb\"");
+}
+
+TEST(Strings, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, -1.5, 0.1, 3.141592653589793, 1e300, -2.5e-7}) {
+    std::string text = format_double(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+  }
+}
+
+TEST(Strings, FormatDoubleKeepsDoubleMarker) {
+  // An integer-valued double must not print as an integer literal, or the
+  // OQL round trip would change its type.
+  EXPECT_EQ(format_double(2.0), "2.0");
+  EXPECT_EQ(format_double(-7.0), "-7.0");
+}
+
+TEST(Errors, KindsCarryNames) {
+  EXPECT_STREQ(to_string(ErrorKind::Parse), "parse error");
+  EXPECT_STREQ(to_string(ErrorKind::Capability), "capability error");
+}
+
+TEST(Errors, ParseErrorCarriesPosition) {
+  ParseError err("bad token", 3, 14);
+  EXPECT_EQ(err.line(), 3);
+  EXPECT_EQ(err.column(), 14);
+  EXPECT_NE(std::string(err.what()).find("line 3"), std::string::npos);
+}
+
+TEST(Errors, InternalCheckThrowsOnFalse) {
+  EXPECT_NO_THROW(internal_check(true, "fine"));
+  EXPECT_THROW(internal_check(false, "boom"), InternalError);
+}
+
+TEST(Errors, HierarchyIsCatchableAsDiscoError) {
+  try {
+    throw CatalogError("missing extent");
+  } catch (const DiscoError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Catalog);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextInCoversRangeInclusive) {
+  SplitMix64 rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.next_in(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Fnv1aStable) {
+  const char data[] = "disco";
+  EXPECT_EQ(fnv1a(data, 5), fnv1a(data, 5));
+  EXPECT_NE(fnv1a(data, 5), fnv1a(data, 4));
+}
+
+}  // namespace
+}  // namespace disco

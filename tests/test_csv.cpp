@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "sources/csv/csv_source.hpp"
+
+namespace disco::csv {
+namespace {
+
+TEST(Csv, ParsesHeaderAndRows) {
+  CsvTable t = parse_csv("m", "site,ph,temp\nriver,7.1,12\nlake,6.8,9\n");
+  EXPECT_EQ(t.columns, (std::vector<std::string>{"site", "ph", "temp"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], Value::string("river"));
+  EXPECT_EQ(t.rows[0][1], Value::real(7.1));
+  EXPECT_EQ(t.rows[0][2], Value::integer(12));
+}
+
+TEST(Csv, TypeInference) {
+  CsvTable t = parse_csv("m", "a,b,c,d,e\n1,1.5,true,text,\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0].kind(), ValueKind::Int);
+  EXPECT_EQ(t.rows[0][1].kind(), ValueKind::Double);
+  EXPECT_EQ(t.rows[0][2], Value::boolean(true));
+  EXPECT_EQ(t.rows[0][3], Value::string("text"));
+  EXPECT_TRUE(t.rows[0][4].is_null());
+}
+
+TEST(Csv, QuotedFieldsKeepCommasAndStayStrings) {
+  CsvTable t = parse_csv("m", "a,b\n\"x,y\",\"123\"\n");
+  EXPECT_EQ(t.rows[0][0], Value::string("x,y"));
+  // Quoted "123" stays a string; unquoted would be an int.
+  EXPECT_EQ(t.rows[0][1], Value::string("123"));
+}
+
+TEST(Csv, EscapedQuotes) {
+  CsvTable t = parse_csv("m", "a\n\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.rows[0][0], Value::string("he said \"hi\""));
+}
+
+TEST(Csv, CrLfAndBlankLines) {
+  CsvTable t = parse_csv("m", "a,b\r\n1,2\r\n\r\n3,4\r\n");
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(Csv, Errors) {
+  EXPECT_THROW(parse_csv("m", ""), ExecutionError);
+  EXPECT_THROW(parse_csv("m", "a,b\n1\n"), ExecutionError);       // ragged
+  EXPECT_THROW(parse_csv("m", "a,\n1,2\n"), ExecutionError);      // empty hdr
+  EXPECT_THROW(parse_csv("m", "a\n\"open\n"), ExecutionError);    // quote
+  EXPECT_THROW(load_csv_file("m", "/no/such/file.csv"), ExecutionError);
+}
+
+TEST(Csv, AsRowBag) {
+  CsvTable t = parse_csv("m", "site,ph\nriver,7.1\n");
+  Value bag = t.as_row_bag();
+  ASSERT_EQ(bag.size(), 1u);
+  EXPECT_EQ(bag.items()[0].field("site"), Value::string("river"));
+  EXPECT_EQ(bag.items()[0].field("ph"), Value::real(7.1));
+}
+
+TEST(Csv, LoadFromFile) {
+  std::string path = testing::TempDir() + "disco_test.csv";
+  {
+    std::ofstream out(path);
+    out << "site,ph\nriver,7.1\nlake,6.8\n";
+  }
+  CsvTable t = load_csv_file("water", path);
+  EXPECT_EQ(t.name, "water");
+  EXPECT_EQ(t.rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace disco::csv

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "grammar/capability.hpp"
+#include "oql/parser.hpp"
+
+namespace disco::grammar {
+namespace {
+
+using algebra::filter;
+using algebra::get;
+using algebra::join;
+using algebra::project;
+using algebra::submit;
+using oql::parse;
+
+// The two grammars printed verbatim in §3.2 of the paper.
+const char* kNonComposing = R"(
+a :- b
+a :- c
+b :- get OPEN SOURCE CLOSE
+c :- project OPEN ATTRIBUTE COMMA SOURCE CLOSE
+)";
+
+const char* kComposing = R"(
+a :- b
+a :- c
+b :- get OPEN s CLOSE
+c :- project OPEN ATTRIBUTE COMMA s CLOSE
+s :- b
+s :- c
+s :- SOURCE
+)";
+
+TEST(Grammar, ParsePaperText) {
+  Grammar g = Grammar::parse(kNonComposing);
+  EXPECT_EQ(g.start(), "a");
+  EXPECT_EQ(g.productions().size(), 4u);
+  EXPECT_TRUE(g.productions()[2].body[0].is_terminal);
+  EXPECT_EQ(g.productions()[2].body[0].terminal, Terminal::Get);
+}
+
+TEST(Grammar, ParseErrors) {
+  EXPECT_THROW(Grammar::parse(""), ParseError);
+  EXPECT_THROW(Grammar::parse("a b c"), ParseError);
+  EXPECT_THROW(Grammar::parse("get :- SOURCE"), ParseError);  // terminal head
+}
+
+TEST(Grammar, TextRoundTrip) {
+  Grammar g = Grammar::parse(kComposing);
+  Grammar reparsed = Grammar::parse(g.to_text());
+  EXPECT_EQ(reparsed.to_text(), g.to_text());
+  EXPECT_EQ(reparsed.start(), "a");
+}
+
+TEST(Grammar, RecognizesFlatForms) {
+  Grammar g = Grammar::parse(kNonComposing);
+  // get ( SOURCE )
+  EXPECT_TRUE(g.recognizes({Terminal::Get, Terminal::Open, Terminal::Source,
+                            Terminal::Close}));
+  // project ( ATTRIBUTE , SOURCE )
+  EXPECT_TRUE(g.recognizes({Terminal::Project, Terminal::Open,
+                            Terminal::Attribute, Terminal::Comma,
+                            Terminal::Source, Terminal::Close}));
+  // project ( ATTRIBUTE , get ( SOURCE ) ) -- composition: rejected
+  EXPECT_FALSE(g.recognizes({Terminal::Project, Terminal::Open,
+                             Terminal::Attribute, Terminal::Comma,
+                             Terminal::Get, Terminal::Open, Terminal::Source,
+                             Terminal::Close, Terminal::Close}));
+  EXPECT_FALSE(g.recognizes({}));
+  EXPECT_FALSE(g.recognizes({Terminal::Get}));
+}
+
+TEST(Grammar, RecognizesComposedForms) {
+  Grammar g = Grammar::parse(kComposing);
+  EXPECT_TRUE(g.recognizes({Terminal::Project, Terminal::Open,
+                            Terminal::Attribute, Terminal::Comma,
+                            Terminal::Get, Terminal::Open, Terminal::Source,
+                            Terminal::Close, Terminal::Close}));
+}
+
+TEST(Serialize, GetProjectSelectJoin) {
+  std::vector<Terminal> tokens;
+  ASSERT_TRUE(serialize(get("e", "x"), tokens));
+  EXPECT_EQ(tokens, (std::vector<Terminal>{Terminal::Get, Terminal::Open,
+                                           Terminal::Source,
+                                           Terminal::Close}));
+  tokens.clear();
+  ASSERT_TRUE(serialize(project(get("e", "x"), parse("x.name"), false),
+                        tokens));
+  EXPECT_EQ(tokens[0], Terminal::Project);
+  EXPECT_EQ(tokens.back(), Terminal::Close);
+
+  tokens.clear();
+  ASSERT_TRUE(serialize(
+      join(get("a", "x"), get("b", "y"), parse("x.id = y.id")), tokens));
+  EXPECT_EQ(tokens[0], Terminal::Join);
+
+  tokens.clear();
+  EXPECT_FALSE(serialize(submit("r", get("e", "x")), tokens));
+  tokens.clear();
+  EXPECT_FALSE(
+      serialize(algebra::constant(Value::bag({})), tokens));
+}
+
+TEST(Accepts, PaperScenario) {
+  // §3.2: "the call may return {get, project, compose} for r0 but only
+  // {get} for r1" — project pushes to r0 but not to r1.
+  CapabilitySet r0{.get = true, .project = true, .select = false,
+                   .join = false, .compose = true};
+  CapabilitySet r1{.get = true};
+  Grammar g0 = r0.to_grammar();
+  Grammar g1 = r1.to_grammar();
+  auto pushed = project(get("person0", "x"), parse("x.name"), false);
+  EXPECT_TRUE(g0.accepts(pushed));
+  EXPECT_FALSE(g1.accepts(pushed));
+  EXPECT_TRUE(g1.accepts(get("person0", "x")));
+}
+
+TEST(Accepts, CompositionFlagMatters) {
+  CapabilitySet with{.get = true, .project = true, .select = true,
+                     .join = false, .compose = true};
+  CapabilitySet without{.get = true, .project = true, .select = true,
+                        .join = false, .compose = false};
+  auto composed = project(filter(get("e", "x"), parse("x.a > 1")),
+                          parse("x.name"), false);
+  EXPECT_TRUE(with.to_grammar().accepts(composed));
+  EXPECT_FALSE(without.to_grammar().accepts(composed));
+  // A single operator applied directly to a source is flat — fine for
+  // both grammars (the paper's project(ATTRIBUTE, SOURCE) production).
+  auto flat = filter(get("e", "x"), parse("x.a > 1"));
+  EXPECT_TRUE(with.to_grammar().accepts(flat));
+  EXPECT_TRUE(without.to_grammar().accepts(flat));
+}
+
+TEST(Accepts, JoinPushdown) {
+  // §3.2: join(get(employee0), get(manager0), dept) pushes when the
+  // wrapper accepts join.
+  CapabilitySet caps{.get = true, .project = true, .select = true,
+                     .join = true, .compose = true};
+  auto pushed_join = join(get("employee0", "x"), get("manager0", "y"),
+                          parse("x.dept = y.dept"));
+  EXPECT_TRUE(caps.to_grammar().accepts(pushed_join));
+  CapabilitySet no_join{.get = true, .project = true, .select = true,
+                        .join = false, .compose = true};
+  EXPECT_FALSE(no_join.to_grammar().accepts(pushed_join));
+}
+
+TEST(Accepts, NestedJoinComposition) {
+  CapabilitySet caps{.get = true, .project = true, .select = true,
+                     .join = true, .compose = true};
+  auto nested = join(join(get("a", "x"), get("b", "y"), parse("x.i = y.i")),
+                     get("c", "z"), parse("x.i = z.i"));
+  EXPECT_TRUE(caps.to_grammar().accepts(nested));
+}
+
+TEST(Accepts, SubmitNeverBelowWrapper) {
+  CapabilitySet caps{.get = true, .project = true, .select = true,
+                     .join = true, .compose = true};
+  auto bad = project(submit("r1", get("e", "x")), parse("x.a"), false);
+  EXPECT_FALSE(caps.to_grammar().accepts(bad));
+}
+
+struct CapabilityCase {
+  CapabilitySet caps;
+  bool expect_get;
+  bool expect_project;
+  bool expect_select;
+  bool expect_join;
+};
+
+class CapabilityLattice : public ::testing::TestWithParam<CapabilityCase> {};
+
+TEST_P(CapabilityLattice, FlatOperatorsFollowTheSet) {
+  const CapabilityCase& c = GetParam();
+  Grammar g = c.caps.to_grammar();
+  EXPECT_EQ(g.accepts(get("e", "x")), c.expect_get);
+  // Flat project/select over a bare source (non-composing shape).
+  std::vector<Terminal> project_flat{Terminal::Project, Terminal::Open,
+                                     Terminal::Attribute, Terminal::Comma,
+                                     Terminal::Source, Terminal::Close};
+  std::vector<Terminal> select_flat{Terminal::Select, Terminal::Open,
+                                    Terminal::Predicate, Terminal::Comma,
+                                    Terminal::Source, Terminal::Close};
+  std::vector<Terminal> join_flat{
+      Terminal::Join, Terminal::Open,  Terminal::Source,
+      Terminal::Comma, Terminal::Source, Terminal::Comma,
+      Terminal::Predicate, Terminal::Close};
+  if (!c.caps.compose) {
+    EXPECT_EQ(g.recognizes(project_flat), c.expect_project);
+    EXPECT_EQ(g.recognizes(select_flat), c.expect_select);
+    EXPECT_EQ(g.recognizes(join_flat), c.expect_join);
+  } else {
+    // With composition the flat forms are also in the language.
+    EXPECT_EQ(g.recognizes(project_flat), c.expect_project);
+    EXPECT_EQ(g.recognizes(select_flat), c.expect_select);
+    EXPECT_EQ(g.recognizes(join_flat), c.expect_join);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, CapabilityLattice,
+    ::testing::Values(
+        CapabilityCase{{.get = true}, true, false, false, false},
+        CapabilityCase{{.get = true, .project = true}, true, true, false,
+                       false},
+        CapabilityCase{{.get = true, .project = true, .select = true},
+                       true, true, true, false},
+        CapabilityCase{{.get = true, .project = true, .select = true,
+                        .join = true},
+                       true, true, true, true},
+        CapabilityCase{{.get = true, .project = true, .select = true,
+                        .join = true, .compose = true},
+                       true, true, true, true},
+        CapabilityCase{{.get = true, .select = true, .compose = true},
+                       true, false, true, false}));
+
+}  // namespace
+}  // namespace disco::grammar

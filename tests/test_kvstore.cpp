@@ -1,0 +1,210 @@
+// The key-value source, its lookup-only wrapper, and the EQPREDICATE
+// capability refinement (§3.2: grammars can describe "support for
+// certain comparison operators").
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/disco.hpp"
+#include "oql/parser.hpp"
+
+namespace disco {
+namespace {
+
+using algebra::filter;
+using algebra::get;
+using oql::parse;
+
+// ----------------------------------------------------------------- store ---
+
+TEST(KvStoreTest, PutLookupScan) {
+  kvstore::KvStore store("s");
+  kvstore::KvCollection& c = store.create_collection("users", "uid");
+  c.put(Value::strct({{"uid", Value::integer(1)},
+                      {"name", Value::string("Mary")}}));
+  c.put(Value::strct({{"uid", Value::integer(2)},
+                      {"name", Value::string("Sam")}}));
+  c.put(Value::strct({{"uid", Value::integer(1)},
+                      {"name", Value::string("Mary2")}}));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.lookup(Value::integer(1)).size(), 2u);
+  EXPECT_TRUE(c.lookup(Value::integer(9)).empty());
+  EXPECT_EQ(c.scan().size(), 3u);
+  // Scan is in key order.
+  EXPECT_EQ(c.scan()[2].field("uid"), Value::integer(2));
+}
+
+TEST(KvStoreTest, Validation) {
+  kvstore::KvStore store("s");
+  kvstore::KvCollection& c = store.create_collection("users", "uid");
+  EXPECT_THROW(store.create_collection("users", "uid"), CatalogError);
+  EXPECT_THROW(store.collection("nope"), CatalogError);
+  EXPECT_THROW(c.put(Value::integer(1)), TypeError);
+  EXPECT_THROW(c.put(Value::strct({{"other", Value::integer(1)}})),
+               TypeError);
+}
+
+// -------------------------------------------------------- grammar terminal ---
+
+TEST(EqPredicate, SerializationDistinguishesEqualityOnly) {
+  std::vector<grammar::Terminal> tokens;
+  ASSERT_TRUE(grammar::serialize(
+      filter(get("e", "x"), parse("x.k = 5")), tokens));
+  EXPECT_EQ(tokens[2], grammar::Terminal::EqPredicate);
+  tokens.clear();
+  ASSERT_TRUE(grammar::serialize(
+      filter(get("e", "x"), parse("x.k = 5 and x.j = 2")), tokens));
+  EXPECT_EQ(tokens[2], grammar::Terminal::EqPredicate);
+  tokens.clear();
+  ASSERT_TRUE(grammar::serialize(
+      filter(get("e", "x"), parse("x.k > 5")), tokens));
+  EXPECT_EQ(tokens[2], grammar::Terminal::Predicate);
+  tokens.clear();
+  ASSERT_TRUE(grammar::serialize(
+      filter(get("e", "x"), parse("x.k = 5 or x.j = 2")), tokens));
+  EXPECT_EQ(tokens[2], grammar::Terminal::Predicate);  // OR is not a conj
+}
+
+TEST(EqPredicate, PredicateSymbolSubsumesEqPredicateToken) {
+  // A full-DBMS grammar (PREDICATE) accepts equality-only predicates; a
+  // lookup-only grammar (EQPREDICATE) rejects ordering predicates.
+  grammar::Grammar full = grammar::CapabilitySet{
+      .get = true, .select = true}.to_grammar();
+  grammar::Grammar lookup = grammar::Grammar::parse(
+      "a :- b\n"
+      "a :- c\n"
+      "b :- get OPEN SOURCE CLOSE\n"
+      "c :- select OPEN EQPREDICATE COMMA SOURCE CLOSE\n");
+  auto eq = filter(get("e", "x"), parse("x.k = 5"));
+  auto range = filter(get("e", "x"), parse("x.k > 5"));
+  EXPECT_TRUE(full.accepts(eq));
+  EXPECT_TRUE(full.accepts(range));
+  EXPECT_TRUE(lookup.accepts(eq));
+  EXPECT_FALSE(lookup.accepts(range));
+}
+
+// ----------------------------------------------------- wrapper + mediator ---
+
+class KvWorld : public ::testing::Test {
+ protected:
+  KvWorld() {
+    kvstore::KvCollection& users = store_.create_collection("users", "uid");
+    for (int i = 0; i < 100; ++i) {
+      users.put(Value::strct(
+          {{"uid", Value::integer(i)},
+           {"name", Value::string("u" + std::to_string(i))},
+           {"tier", Value::integer(i % 3)}}));
+    }
+    auto w = std::make_shared<wrapper::KvWrapper>();
+    w->attach_store("rk", &store_);
+    mediator_.register_wrapper("wk", std::move(w));
+    mediator_.register_repository(
+        catalog::Repository{"rk", "kv-host", "kv", "3.0.0.1"},
+        net::LatencyModel{0.002, 0.0001, 0});
+    mediator_.execute_odl(R"(
+      interface User (extent users) {
+        attribute Short uid;
+        attribute String name;
+        attribute Short tier; };
+      extent userskv of User wrapper wk repository rk
+        map ((users=userskv));
+    )");
+  }
+  kvstore::KvStore store_{"s"};
+  Mediator mediator_;
+};
+
+TEST_F(KvWorld, KeyLookupPushesDown) {
+  Answer a = mediator_.query(
+      "select x.name from x in userskv where x.uid = 42");
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(a.data(), Value::bag({Value::string("u42")}));
+  // The wrapper used the index, and only one row crossed the network.
+  EXPECT_EQ(store_.stats().lookups, 1u);
+  EXPECT_EQ(store_.stats().scans, 0u);
+  EXPECT_EQ(a.stats().run.rows_fetched, 1u);
+}
+
+TEST_F(KvWorld, NonKeyEqualityStillPushesAsScanFilter) {
+  Answer a = mediator_.query(
+      "select x.name from x in userskv where x.tier = 1");
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(a.data().size(), 33u);
+  EXPECT_EQ(store_.stats().scans, 1u);
+  EXPECT_EQ(a.stats().run.rows_fetched, 33u);
+}
+
+TEST_F(KvWorld, RangePredicateStaysAtMediator) {
+  std::string plan = mediator_.explain(
+      "select x.name from x in userskv where x.uid < 5");
+  // The grammar rejects ordering comparisons: mediator-side filter over a
+  // full fetch.
+  EXPECT_NE(plan.find("mkfilter(x.uid < 5"), std::string::npos) << plan;
+  Answer a = mediator_.query(
+      "select x.name from x in userskv where x.uid < 5");
+  EXPECT_EQ(a.data().size(), 5u);
+  EXPECT_EQ(a.stats().run.rows_fetched, 100u);  // full scan crossed
+}
+
+TEST_F(KvWorld, CompositeEqualityUsesKeyProbe) {
+  Answer a = mediator_.query(
+      "select x.name from x in userskv where x.uid = 42 and x.tier = 0");
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(a.data(), Value::bag({Value::string("u42")}));
+  EXPECT_EQ(store_.stats().lookups, 1u);
+}
+
+TEST_F(KvWorld, MixedSourceJoin) {
+  // Join the kv store against a relational source at the mediator.
+  memdb::Database db("db");
+  auto& t = db.create_table("grants", {{"uid", memdb::ColumnType::Int},
+                                       {"amount", memdb::ColumnType::Int}});
+  t.insert({Value::integer(42), Value::integer(7)});
+  t.insert({Value::integer(43), Value::integer(9)});
+  auto w = std::make_shared<wrapper::MemDbWrapper>();
+  w->attach_database("rm", &db);
+  mediator_.register_wrapper("wm", std::move(w));
+  mediator_.register_repository(
+      catalog::Repository{"rm", "h", "db", "3.0.0.2"});
+  mediator_.execute_odl(R"(
+    interface Grant { attribute Short uid; attribute Short amount; };
+    extent grants of Grant wrapper wm repository rm;
+  )");
+  Answer a = mediator_.query(
+      "select struct(n: x.name, g: y.amount) from x in userskv, "
+      "y in grants where x.uid = y.uid");
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(a.data().size(), 2u);
+}
+
+TEST_F(KvWorld, WrapperRefusalsAreExplicit) {
+  auto* w = dynamic_cast<wrapper::KvWrapper*>(
+      mediator_.wrapper_by_name("wk"));
+  catalog::TypeMap map("users", {});
+  wrapper::BindingMap bindings;
+  bindings["userskv"] = wrapper::ExtentBinding{"users", &map};
+  const catalog::Repository& repo = mediator_.catalog().repository("rk");
+  // Range predicate: outside the grammar.
+  auto refused = w->submit(
+      repo, filter(get("userskv", "x"), parse("x.uid > 5")), bindings);
+  EXPECT_EQ(refused.status, wrapper::SubmitResult::Status::Refused);
+  // Unknown collection.
+  wrapper::BindingMap bad;
+  catalog::TypeMap other_map("nothing", {});
+  bad["ghost"] = wrapper::ExtentBinding{"nothing", &other_map};
+  EXPECT_EQ(w->submit(repo, get("ghost", "x"), bad).status,
+            wrapper::SubmitResult::Status::Refused);
+}
+
+TEST_F(KvWorld, UnavailabilityGivesPartialAnswers) {
+  mediator_.network().set_availability("rk",
+                                       net::Availability::always_down());
+  Answer a = mediator_.query(
+      "select x.name from x in userskv where x.uid = 42");
+  ASSERT_FALSE(a.complete());
+  mediator_.network().set_availability("rk", net::Availability::always_up());
+  Answer b = mediator_.query(a.to_oql());
+  EXPECT_EQ(b.data(), Value::bag({Value::string("u42")}));
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,315 @@
+// End-to-end mediator tests: the paper's examples, run verbatim through
+// ODL + OQL against memdb sources over the simulated network.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fixtures.hpp"
+#include "oql/parser.hpp"
+
+namespace disco {
+namespace {
+
+using disco::testing::PaperWorld;
+
+TEST(MediatorTest, PaperIntroQuery) {
+  // §1.2: "The answer to this query is a bag of strings
+  // Bag("Mary","Sam")."
+  PaperWorld world;
+  Answer a = world.mediator.query(
+      "select x.name from x in person where x.salary > 10");
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(a.data(),
+            Value::bag({Value::string("Mary"), Value::string("Sam")}));
+}
+
+TEST(MediatorTest, SingleExtentQuery) {
+  // §2.1: "returns the answer Bag("Mary")".
+  PaperWorld world;
+  Answer a = world.mediator.query(
+      "select x.name from x in person0 where x.salary > 10");
+  EXPECT_EQ(a.data(), Value::bag({Value::string("Mary")}));
+}
+
+TEST(MediatorTest, ExplicitUnionOfExtents) {
+  // §2.1: "select x.name from x in union(person0,person1) ...
+  // will return the answer Bag("Mary", "Sam")".
+  PaperWorld world;
+  Answer a = world.mediator.query(
+      "select x.name from x in union(person0, person1) "
+      "where x.salary > 10");
+  EXPECT_EQ(a.data(),
+            Value::bag({Value::string("Mary"), Value::string("Sam")}));
+}
+
+TEST(MediatorTest, AddingASourceLeavesTheQueryUnchanged) {
+  // §1.2: "the addition of a new data source ... simply requires the
+  // addition of a new extent ... The query itself does not change."
+  PaperWorld world;
+  const std::string query = "select x.name from x in person";
+  EXPECT_EQ(world.mediator.query(query).data().size(), 2u);
+
+  memdb::Database db2("db2");
+  auto& p2 = db2.create_table("person2",
+                              {{"id", memdb::ColumnType::Int},
+                               {"name", memdb::ColumnType::Text},
+                               {"salary", memdb::ColumnType::Int}});
+  p2.insert({Value::integer(3), Value::string("Lou"), Value::integer(75)});
+  world.wrapper0->attach_database("r2", &db2);
+  world.mediator.register_repository(
+      catalog::Repository{"r2", "nile", "db", "123.45.6.9"});
+  world.mediator.execute_odl(
+      "extent person2 of Person wrapper w0 repository r2;");
+
+  Answer a = world.mediator.query(query);  // same query text
+  EXPECT_EQ(a.data().size(), 3u);
+}
+
+TEST(MediatorTest, OdlDrivenSetupMatchesProgrammatic) {
+  // Full §2.1 flow through ODL only, including r0 := Repository(...).
+  memdb::Database db("db");
+  auto& t = db.create_table("person0",
+                            {{"name", memdb::ColumnType::Text},
+                             {"salary", memdb::ColumnType::Int}});
+  t.insert({Value::string("Mary"), Value::integer(200)});
+
+  Mediator m;
+  m.register_wrapper_factory("WrapperMiniSql", [&db] {
+    auto w = std::make_shared<wrapper::MemDbWrapper>();
+    w->attach_database("r0", &db);
+    return w;
+  });
+  m.execute_odl(R"(
+    interface Person (extent person) {
+      attribute String name;
+      attribute Short salary; };
+    r0 := Repository(host="rodin", name="db", address="123.45.6.7");
+    w0 := WrapperMiniSql();
+    extent person0 of Person wrapper w0 repository r0;
+  )");
+  EXPECT_EQ(m.catalog().repository("r0").host, "rodin");
+  Answer a = m.query("select x.name from x in person");
+  EXPECT_EQ(a.data(), Value::bag({Value::string("Mary")}));
+}
+
+TEST(MediatorTest, TypeMapExample) {
+  // §2.2.2: PersonPrime with map ((person0=personprime0),(name=n),
+  // (salary=s)).
+  PaperWorld world;
+  world.mediator.execute_odl(R"(
+    interface PersonPrime {
+      attribute String n;
+      attribute Short s; };
+    extent personprime0 of PersonPrime wrapper w0 repository r0
+      map ((person0=personprime0),(name=n),(salary=s));
+  )");
+  Answer a = world.mediator.query(
+      "select x.n from x in personprime0 where x.s > 100");
+  EXPECT_EQ(a.data(), Value::bag({Value::string("Mary")}));
+}
+
+TEST(MediatorTest, SubtypingAndClosure) {
+  // §2.2.1: person still has two extents; person* sees the student
+  // extents too.
+  PaperWorld world;
+  auto& s0 = world.db1.create_table("student0",
+                                    {{"id", memdb::ColumnType::Int},
+                                     {"name", memdb::ColumnType::Text},
+                                     {"salary", memdb::ColumnType::Int}});
+  s0.insert({Value::integer(9), Value::string("Stu"), Value::integer(15)});
+  world.mediator.execute_odl(R"(
+    interface Student : Person { };
+    extent student0 of Student wrapper w0 repository r1;
+  )");
+  EXPECT_EQ(world.mediator.query("select x.name from x in person")
+                .data()
+                .size(),
+            2u);
+  Answer closure =
+      world.mediator.query("select x.name from x in person*");
+  EXPECT_EQ(closure.data().size(), 3u);
+}
+
+TEST(MediatorTest, DoubleViewReconciliation) {
+  // §2.2.3 "double": sum of salaries across two sources by id join.
+  PaperWorld world;
+  // Give both sources a person with the same id.
+  world.db0.table("person0").insert(
+      {Value::integer(7), Value::string("Ann"), Value::integer(100)});
+  world.db1.table("person1").insert(
+      {Value::integer(7), Value::string("Ann"), Value::integer(30)});
+  world.mediator.execute_odl(R"(
+    define double as
+      select struct(name: x.name, salary: x.salary + y.salary)
+      from x in person0, y in person1
+      where x.id = y.id;
+  )");
+  Answer a = world.mediator.query("double");
+  ASSERT_EQ(a.data().size(), 1u);
+  EXPECT_EQ(a.data().items()[0].field("name"), Value::string("Ann"));
+  EXPECT_EQ(a.data().items()[0].field("salary"), Value::integer(130));
+}
+
+TEST(MediatorTest, MultipleViewWithAggregateOverClosure) {
+  // §2.2.3 "multiple": sum over all of person* via a correlated
+  // subquery on the implicit extent.
+  PaperWorld world;
+  world.db0.table("person0").insert(
+      {Value::integer(2), Value::string("Sam"), Value::integer(25)});
+  world.mediator.execute_odl(R"(
+    define multiple as
+      select struct(name: x.name,
+                    salary: sum(select z.salary from z in person
+                                where x.id = z.id))
+      from x in person*;
+  )");
+  Answer a = world.mediator.query("multiple");
+  ASSERT_TRUE(a.complete());
+  // Sam appears in both sources (ids 2); his total is 50 + 25 = 75.
+  bool found = false;
+  for (const Value& row : a.data().items()) {
+    if (row.field("name") == Value::string("Sam")) {
+      EXPECT_EQ(row.field("salary"), Value::integer(75));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MediatorTest, PersonNewViewOverDissimilarStructures) {
+  // §2.3: PersonTwo with regular+consult reconciled through a two-armed
+  // bag view.
+  PaperWorld world;
+  auto& p2 = world.db0.create_table("persontwo0",
+                                    {{"name", memdb::ColumnType::Text},
+                                     {"regular", memdb::ColumnType::Int},
+                                     {"consult", memdb::ColumnType::Int}});
+  p2.insert({Value::string("Kim"), Value::integer(40),
+             Value::integer(15)});
+  world.mediator.execute_odl(R"(
+    interface PersonTwo {
+      attribute String name;
+      attribute Short regular;
+      attribute Short consult; };
+    extent persontwo0 of PersonTwo wrapper w0 repository r0;
+    define personnew as
+      bag((select struct(name: x.name, salary: x.salary) from x in person),
+          (select struct(name: x.name, salary: x.regular + x.consult)
+           from x in persontwo0));
+  )");
+  Answer a = world.mediator.query("flatten(personnew)");
+  ASSERT_TRUE(a.complete());
+  ASSERT_EQ(a.data().size(), 3u);
+  bool kim = false;
+  for (const Value& row : a.data().items()) {
+    if (row.field("name") == Value::string("Kim")) {
+      EXPECT_EQ(row.field("salary"), Value::integer(55));
+      kim = true;
+    }
+  }
+  EXPECT_TRUE(kim);
+}
+
+TEST(MediatorTest, MetaExtentIsQueryable) {
+  // §2.1: extents can be inspected by querying the metaextent collection.
+  PaperWorld world;
+  Answer a = world.mediator.query(
+      "select x.name from x in metaextent "
+      "where x.interface = \"Person\"");
+  EXPECT_EQ(a.data(), Value::bag({Value::string("person0"),
+                                  Value::string("person1")}));
+}
+
+TEST(MediatorTest, EmptyTypeYieldsEmptyBag) {
+  PaperWorld world;
+  world.mediator.execute_odl(
+      "interface Ghost (extent ghosts) { attribute String name; };");
+  Answer a = world.mediator.query("select x.name from x in ghosts");
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(a.data(), Value::bag({}));
+}
+
+TEST(MediatorTest, CrossSourceJoinExecutes) {
+  PaperWorld world;
+  Answer a = world.mediator.query(
+      "select struct(a: x.name, b: y.name) "
+      "from x in person0, y in person1 where x.salary > y.salary");
+  ASSERT_EQ(a.data().size(), 1u);
+  EXPECT_EQ(a.data().items()[0].field("a"), Value::string("Mary"));
+}
+
+TEST(MediatorTest, LocalModeAggregates) {
+  PaperWorld world;
+  EXPECT_EQ(world.mediator.query("sum(select x.salary from x in person)")
+                .data(),
+            Value::integer(250));
+  EXPECT_EQ(world.mediator.query("count(person)").data(),
+            Value::integer(2));
+  EXPECT_EQ(world.mediator
+                .query("max(select x.salary from x in person)")
+                .data(),
+            Value::integer(200));
+}
+
+TEST(MediatorTest, QueryStatsPopulated) {
+  PaperWorld world;
+  Answer a = world.mediator.query("select x.name from x in person");
+  EXPECT_EQ(a.stats().run.exec_calls, 2u);
+  EXPECT_EQ(a.stats().run.rows_fetched, 2u);
+  EXPECT_GT(a.stats().run.elapsed_s, 0.0);
+  EXPECT_GE(a.stats().plans_considered, 2u);
+  EXPECT_FALSE(a.stats().local_mode);
+}
+
+TEST(MediatorTest, CostHistoryLearnsAcrossQueries) {
+  PaperWorld world;
+  EXPECT_EQ(world.mediator.cost_history().exact_entries(), 0u);
+  world.mediator.query("select x.name from x in person");
+  EXPECT_GE(world.mediator.cost_history().exact_entries(), 2u);
+  auto remote = algebra::project(algebra::get("person0", "x"),
+                                 oql::parse("x.name"), false);
+  auto est = world.mediator.cost_history().estimate("r0", remote);
+  EXPECT_EQ(est.basis, optimizer::CostHistory::Basis::Exact);
+  EXPECT_GT(est.time_s, 0.0);
+}
+
+TEST(MediatorTest, ExplainOutput) {
+  PaperWorld world;
+  std::string text =
+      world.mediator.explain("select x.name from x in person");
+  EXPECT_NE(text.find("plan: mkunion("), std::string::npos) << text;
+  EXPECT_NE(text.find("plans considered"), std::string::npos);
+  std::string local = world.mediator.explain("count(person)");
+  EXPECT_NE(local.find("mode: local evaluation"), std::string::npos);
+  EXPECT_NE(local.find("aux person:"), std::string::npos);
+}
+
+TEST(MediatorTest, ErrorsSurfaceCleanly) {
+  PaperWorld world;
+  EXPECT_THROW(world.mediator.query("select x from x in nowhere"),
+               CatalogError);
+  EXPECT_THROW(world.mediator.query("select x from"), ParseError);
+  EXPECT_THROW(world.mediator.execute_odl("extent e of Person wrapper "
+                                          "nosuch repository r0;"),
+               CatalogError);
+  EXPECT_THROW(world.mediator.execute_odl("x := NoSuchCtor();"),
+               CatalogError);
+}
+
+TEST(MediatorTest, DuplicateWrapperRejected) {
+  PaperWorld world;
+  EXPECT_THROW(world.mediator.register_wrapper(
+                   "w0", std::make_shared<wrapper::MemDbWrapper>()),
+               CatalogError);
+}
+
+TEST(MediatorTest, VirtualTimeAccumulatesAcrossQueries) {
+  PaperWorld world;
+  world.mediator.query("select x.name from x in person");
+  double after_first = world.mediator.clock().now();
+  EXPECT_GT(after_first, 0.0);
+  world.mediator.query("select x.name from x in person");
+  EXPECT_GT(world.mediator.clock().now(), after_first);
+}
+
+}  // namespace
+}  // namespace disco

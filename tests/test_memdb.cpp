@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sources/memdb/database.hpp"
+#include "sources/memdb/engine.hpp"
+#include "sources/memdb/minisql.hpp"
+
+namespace disco::memdb {
+namespace {
+
+Database people_db() {
+  Database db("db");
+  Table& person = db.create_table(
+      "person0", {{"id", ColumnType::Int},
+                  {"name", ColumnType::Text},
+                  {"salary", ColumnType::Int}});
+  person.insert({Value::integer(1), Value::string("Mary"),
+                 Value::integer(200)});
+  person.insert({Value::integer(2), Value::string("Sam"),
+                 Value::integer(50)});
+  person.insert({Value::integer(3), Value::string("Lou"),
+                 Value::integer(5)});
+  Table& dept = db.create_table("dept", {{"pid", ColumnType::Int},
+                                         {"dept", ColumnType::Text}});
+  dept.insert({Value::integer(1), Value::string("cs")});
+  dept.insert({Value::integer(2), Value::string("bio")});
+  return db;
+}
+
+// ---------------------------------------------------------------- tables ---
+
+TEST(TableTest, InsertChecksArityAndTypes) {
+  Table t("t", {{"a", ColumnType::Int}, {"b", ColumnType::Text}});
+  EXPECT_NO_THROW(t.insert({Value::integer(1), Value::string("x")}));
+  EXPECT_THROW(t.insert({Value::integer(1)}), TypeError);
+  EXPECT_THROW(t.insert({Value::string("x"), Value::string("y")}),
+               TypeError);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, NullAllowedEverywhere) {
+  Table t("t", {{"a", ColumnType::Int}});
+  EXPECT_NO_THROW(t.insert({Value::null()}));
+}
+
+TEST(TableTest, IntAcceptedForRealColumns) {
+  Table t("t", {{"a", ColumnType::Real}});
+  EXPECT_NO_THROW(t.insert({Value::integer(1)}));
+  EXPECT_NO_THROW(t.insert({Value::real(1.5)}));
+  EXPECT_THROW(t.insert({Value::string("x")}), TypeError);
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  EXPECT_THROW(Table("t", {{"a", ColumnType::Int}, {"a", ColumnType::Int}}),
+               TypeError);
+}
+
+TEST(TableTest, ColumnIndex) {
+  Table t("t", {{"a", ColumnType::Int}, {"b", ColumnType::Text}});
+  EXPECT_EQ(t.column_index("b"), 1);
+  EXPECT_EQ(t.column_index("zz"), -1);
+}
+
+TEST(DatabaseTest, TableRegistry) {
+  Database db;
+  db.create_table("t", {{"a", ColumnType::Int}});
+  EXPECT_TRUE(db.has_table("t"));
+  EXPECT_THROW(db.create_table("t", {{"a", ColumnType::Int}}), CatalogError);
+  EXPECT_THROW(db.table("nope"), CatalogError);
+  EXPECT_EQ(db.table_names(), (std::vector<std::string>{"t"}));
+}
+
+// --------------------------------------------------------------- parsing ---
+
+TEST(MiniSqlParse, SelectStar) {
+  Query q = parse_minisql("SELECT * FROM person0");
+  EXPECT_TRUE(q.star);
+  ASSERT_EQ(q.tables.size(), 1u);
+  EXPECT_EQ(q.tables[0].table, "person0");
+  EXPECT_EQ(q.tables[0].alias, "person0");
+  EXPECT_EQ(q.where, nullptr);
+}
+
+TEST(MiniSqlParse, ColumnsAliasesAndQualifiers) {
+  Query q = parse_minisql(
+      "SELECT name, p.salary AS pay FROM person0 AS p");
+  ASSERT_EQ(q.items.size(), 2u);
+  EXPECT_EQ(q.items[0].column.column, "name");
+  EXPECT_EQ(q.items[1].column.table, "p");
+  EXPECT_EQ(q.items[1].alias, "pay");
+  EXPECT_EQ(q.tables[0].alias, "p");
+}
+
+TEST(MiniSqlParse, ImplicitAlias) {
+  Query q = parse_minisql("SELECT * FROM person0 p, dept d");
+  ASSERT_EQ(q.tables.size(), 2u);
+  EXPECT_EQ(q.tables[0].alias, "p");
+  EXPECT_EQ(q.tables[1].alias, "d");
+}
+
+TEST(MiniSqlParse, WherePredicateTree) {
+  Query q = parse_minisql(
+      "SELECT * FROM t WHERE a > 10 AND (b = \"x\" OR NOT c <= 2.5)");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind, Pred::Kind::And);
+  EXPECT_EQ(q.where->right->kind, Pred::Kind::Or);
+  EXPECT_EQ(q.where->right->right->kind, Pred::Kind::Not);
+  auto parts = conjuncts(q.where);
+  EXPECT_EQ(parts.size(), 2u);
+}
+
+TEST(MiniSqlParse, LiteralKinds) {
+  Query q = parse_minisql(
+      "SELECT * FROM t WHERE a = -5 AND b = 2.5 AND c = true AND "
+      "d = \"s\" AND e = null AND f = -2.5");
+  auto parts = conjuncts(q.where);
+  ASSERT_EQ(parts.size(), 6u);
+  EXPECT_EQ(parts[0]->rhs.literal, Value::integer(-5));
+  EXPECT_EQ(parts[1]->rhs.literal, Value::real(2.5));
+  EXPECT_EQ(parts[2]->rhs.literal, Value::boolean(true));
+  EXPECT_EQ(parts[3]->rhs.literal, Value::string("s"));
+  EXPECT_EQ(parts[4]->rhs.literal, Value::null());
+  EXPECT_EQ(parts[5]->rhs.literal, Value::real(-2.5));
+}
+
+TEST(MiniSqlParse, Errors) {
+  EXPECT_THROW(parse_minisql("FROM t"), ParseError);
+  EXPECT_THROW(parse_minisql("SELECT"), ParseError);
+  EXPECT_THROW(parse_minisql("SELECT * FROM"), ParseError);
+  EXPECT_THROW(parse_minisql("SELECT * FROM t WHERE"), ParseError);
+  EXPECT_THROW(parse_minisql("SELECT * FROM t WHERE a"), ParseError);
+  EXPECT_THROW(parse_minisql("SELECT * FROM t extra junk"), ParseError);
+  EXPECT_THROW(parse_minisql("SELECT * FROM t WHERE a = (1"), ParseError);
+}
+
+TEST(MiniSqlParse, ToSqlRoundTrip) {
+  const char* queries[] = {
+      "SELECT * FROM person0",
+      "SELECT name FROM person0",
+      "SELECT p.name AS n, p.salary FROM person0 p WHERE p.salary > 10",
+      "SELECT * FROM a x, b y WHERE x.k = y.k AND x.v <> \"z\"",
+  };
+  for (const char* text : queries) {
+    Query q = parse_minisql(text);
+    Query reparsed = parse_minisql(q.to_sql());
+    EXPECT_EQ(reparsed.to_sql(), q.to_sql()) << text;
+  }
+}
+
+// -------------------------------------------------------------- execution ---
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : db_(people_db()), engine_(&db_) {}
+  ResultSet run(const std::string& sql) { return engine_.execute_sql(sql); }
+  Database db_;
+  Engine engine_;
+};
+
+TEST_F(EngineTest, FullScan) {
+  ResultSet rs = run("SELECT * FROM person0");
+  EXPECT_EQ(rs.rows.size(), 3u);
+  ASSERT_EQ(rs.columns.size(), 3u);
+  EXPECT_EQ(rs.columns[0].alias, "person0");
+  EXPECT_EQ(rs.columns[1].name, "name");
+}
+
+TEST_F(EngineTest, FilterPushdown) {
+  ResultSet rs = run("SELECT * FROM person0 WHERE salary > 10");
+  EXPECT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(engine_.last_stats().rows_scanned, 3u);
+}
+
+TEST_F(EngineTest, Projection) {
+  ResultSet rs = run("SELECT name FROM person0 WHERE salary > 100");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  ASSERT_EQ(rs.columns.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::string("Mary"));
+}
+
+TEST_F(EngineTest, ProjectionAlias) {
+  ResultSet rs = run("SELECT name AS n FROM person0");
+  EXPECT_EQ(rs.columns[0].name, "n");
+}
+
+TEST_F(EngineTest, StringComparison) {
+  ResultSet rs = run("SELECT * FROM person0 WHERE name = \"Sam\"");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][2], Value::integer(50));
+}
+
+TEST_F(EngineTest, OrAndNot) {
+  EXPECT_EQ(run("SELECT * FROM person0 WHERE name = \"Sam\" OR salary > 100")
+                .rows.size(),
+            2u);
+  EXPECT_EQ(run("SELECT * FROM person0 WHERE NOT salary > 10").rows.size(),
+            1u);
+}
+
+TEST_F(EngineTest, JoinTwoTables) {
+  ResultSet rs = run(
+      "SELECT p.name, d.dept FROM person0 p, dept d WHERE p.id = d.pid");
+  EXPECT_EQ(rs.rows.size(), 2u);
+  ASSERT_EQ(rs.columns.size(), 2u);
+  EXPECT_EQ(rs.columns[0].alias, "p");
+  EXPECT_EQ(rs.columns[1].alias, "d");
+}
+
+TEST_F(EngineTest, JoinWithExtraFilter) {
+  ResultSet rs = run(
+      "SELECT p.name FROM person0 p, dept d "
+      "WHERE p.id = d.pid AND d.dept = \"cs\"");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::string("Mary"));
+}
+
+TEST_F(EngineTest, CrossProductWithoutPredicate) {
+  ResultSet rs = run("SELECT * FROM person0, dept");
+  EXPECT_EQ(rs.rows.size(), 6u);  // 3 x 2
+}
+
+TEST_F(EngineTest, SelfJoinNeedsAliases) {
+  ResultSet rs = run(
+      "SELECT a.name, b.name FROM person0 a, person0 b "
+      "WHERE a.salary > b.salary");
+  EXPECT_EQ(rs.rows.size(), 3u);  // (Mary,Sam) (Mary,Lou) (Sam,Lou)
+  EXPECT_THROW(run("SELECT * FROM person0, person0"), ExecutionError);
+}
+
+TEST_F(EngineTest, AmbiguousColumnRejected) {
+  EXPECT_THROW(
+      run("SELECT name FROM person0 a, person0 b WHERE a.id = b.id"),
+      ExecutionError);
+}
+
+TEST_F(EngineTest, UnknownColumnRejected) {
+  EXPECT_THROW(run("SELECT zz FROM person0"), ExecutionError);
+  EXPECT_THROW(run("SELECT * FROM person0 WHERE zz = 1"), ExecutionError);
+}
+
+TEST_F(EngineTest, UnknownTableRejected) {
+  EXPECT_THROW(run("SELECT * FROM missing"), CatalogError);
+}
+
+TEST_F(EngineTest, NumericCoercionInPredicates) {
+  ResultSet rs = run("SELECT * FROM person0 WHERE salary = 200.0");
+  EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+// Join algorithm equivalence: all three strategies produce the same
+// multiset of rows, including duplicate keys.
+class JoinStrategyTest : public ::testing::TestWithParam<JoinStrategy> {};
+
+TEST_P(JoinStrategyTest, StrategiesAgree) {
+  Database db;
+  Table& l = db.create_table("l", {{"k", ColumnType::Int},
+                                   {"lv", ColumnType::Int}});
+  Table& r = db.create_table("r", {{"k", ColumnType::Int},
+                                   {"rv", ColumnType::Int}});
+  // Duplicate keys on both sides to exercise run handling in merge join.
+  for (int i = 0; i < 30; ++i) {
+    l.insert({Value::integer(i % 10), Value::integer(i)});
+    r.insert({Value::integer(i % 5), Value::integer(100 + i)});
+  }
+  Engine reference(&db);
+  reference.set_join_strategy(JoinStrategy::NestedLoop);
+  ResultSet expected = reference.execute_sql(
+      "SELECT * FROM l, r WHERE l.k = r.k");
+
+  Engine engine(&db);
+  engine.set_join_strategy(GetParam());
+  ResultSet actual =
+      engine.execute_sql("SELECT * FROM l, r WHERE l.k = r.k");
+
+  ASSERT_EQ(actual.rows.size(), expected.rows.size());
+  // Compare as multisets via sorted row bags.
+  auto to_bag = [](const ResultSet& rs) {
+    std::vector<Value> items;
+    for (const Row& row : rs.rows) items.push_back(Value::list(row));
+    return Value::bag(std::move(items));
+  };
+  EXPECT_EQ(to_bag(actual), to_bag(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, JoinStrategyTest,
+                         ::testing::Values(JoinStrategy::NestedLoop,
+                                           JoinStrategy::Hash,
+                                           JoinStrategy::Merge,
+                                           JoinStrategy::Auto));
+
+TEST_F(EngineTest, AutoUsesHashJoinOnLargeEquiJoins) {
+  Database db;
+  Table& l = db.create_table("l", {{"k", ColumnType::Int}});
+  Table& r = db.create_table("r", {{"k", ColumnType::Int}});
+  for (int i = 0; i < 50; ++i) {
+    l.insert({Value::integer(i)});
+    r.insert({Value::integer(i)});
+  }
+  Engine engine(&db);
+  engine.execute_sql("SELECT * FROM l, r WHERE l.k = r.k");
+  EXPECT_EQ(engine.last_stats().hash_joins, 1u);
+  EXPECT_EQ(engine.last_stats().nested_loop_joins, 0u);
+}
+
+TEST_F(EngineTest, ThreeWayJoin) {
+  Database db;
+  Table& a = db.create_table("a", {{"k", ColumnType::Int}});
+  Table& b = db.create_table("b", {{"k", ColumnType::Int},
+                                   {"j", ColumnType::Int}});
+  Table& c = db.create_table("c", {{"j", ColumnType::Int}});
+  for (int i = 0; i < 10; ++i) {
+    a.insert({Value::integer(i)});
+    b.insert({Value::integer(i), Value::integer(i * 2)});
+    c.insert({Value::integer(i * 2)});
+  }
+  Engine engine(&db);
+  ResultSet rs = engine.execute_sql(
+      "SELECT * FROM a, b, c WHERE a.k = b.k AND b.j = c.j");
+  EXPECT_EQ(rs.rows.size(), 10u);
+}
+
+TEST_F(EngineTest, NonEquiJoinFallsBackToNestedLoop) {
+  Database db;
+  Table& l = db.create_table("l", {{"k", ColumnType::Int}});
+  Table& r = db.create_table("r", {{"k", ColumnType::Int}});
+  for (int i = 0; i < 20; ++i) {
+    l.insert({Value::integer(i)});
+    r.insert({Value::integer(i)});
+  }
+  Engine engine(&db);
+  ResultSet rs = engine.execute_sql("SELECT * FROM l, r WHERE l.k < r.k");
+  EXPECT_EQ(rs.rows.size(), 190u);  // 20*19/2
+  EXPECT_EQ(engine.last_stats().nested_loop_joins, 1u);
+}
+
+}  // namespace
+}  // namespace disco::memdb

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/network.hpp"
+
+namespace disco::net {
+namespace {
+
+Endpoint make_endpoint(const std::string& name) {
+  Endpoint ep;
+  ep.name = name;
+  ep.latency = LatencyModel{0.010, 0.001, 0};
+  return ep;
+}
+
+TEST(VirtualClockTest, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  EXPECT_THROW(clock.advance(-1), InternalError);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+TEST(NetworkTest, EndpointRegistry) {
+  Network net;
+  net.add_endpoint(make_endpoint("r0"));
+  EXPECT_TRUE(net.has_endpoint("r0"));
+  EXPECT_FALSE(net.has_endpoint("r1"));
+  EXPECT_THROW(net.endpoint("r1"), CatalogError);
+  EXPECT_THROW(net.call("r1", 0, 0.0), CatalogError);
+  EXPECT_THROW(net.set_availability("r1", Availability::always_down()),
+               CatalogError);
+}
+
+TEST(NetworkTest, LatencyIsBasePlusPerRow) {
+  Network net;
+  net.add_endpoint(make_endpoint("r0"));
+  CallOutcome out = net.call("r0", 100, 0.0);
+  ASSERT_TRUE(out.available);
+  EXPECT_DOUBLE_EQ(out.latency_s, 0.010 + 0.001 * 100);
+}
+
+TEST(NetworkTest, AlwaysDownNeverResponds) {
+  Network net;
+  Endpoint ep = make_endpoint("r0");
+  ep.availability = Availability::always_down();
+  net.add_endpoint(ep);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(net.call("r0", 1, static_cast<double>(i)).available);
+  }
+  EXPECT_EQ(net.stats("r0").failures, 5u);
+}
+
+TEST(NetworkTest, PeriodicSchedule) {
+  Network net;
+  Endpoint ep = make_endpoint("r0");
+  ep.availability = Availability::periodic(/*up_s=*/2, /*down_s=*/3);
+  net.add_endpoint(ep);
+  EXPECT_TRUE(net.call("r0", 0, 0.0).available);   // [0,2) up
+  EXPECT_TRUE(net.call("r0", 0, 1.9).available);
+  EXPECT_FALSE(net.call("r0", 0, 2.0).available);  // [2,5) down
+  EXPECT_FALSE(net.call("r0", 0, 4.9).available);
+  EXPECT_TRUE(net.call("r0", 0, 5.0).available);   // next period
+  EXPECT_FALSE(net.call("r0", 0, 7.5).available);
+}
+
+TEST(NetworkTest, PeriodicPhaseShift) {
+  Network net;
+  Endpoint ep = make_endpoint("r0");
+  ep.availability = Availability::periodic(2, 3, /*phase_s=*/2);
+  net.add_endpoint(ep);
+  // Phase 2 means the schedule starts 2 seconds in: down at t=0.
+  EXPECT_FALSE(net.call("r0", 0, 0.0).available);
+  EXPECT_TRUE(net.call("r0", 0, 3.0).available);
+}
+
+TEST(NetworkTest, RandomAvailabilityIsSeededAndRoughlyCalibrated) {
+  Network net(/*seed=*/42);
+  Endpoint ep = make_endpoint("r0");
+  ep.availability = Availability::random(0.7);
+  net.add_endpoint(ep);
+  int up = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (net.call("r0", 0, 0.0).available) ++up;
+  }
+  EXPECT_GT(up, 620);
+  EXPECT_LT(up, 780);
+
+  // Same seed, same sequence.
+  Network net2(/*seed=*/42);
+  net2.add_endpoint(ep);
+  int up2 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (net2.call("r0", 0, 0.0).available) ++up2;
+  }
+  EXPECT_EQ(up, up2);
+}
+
+TEST(NetworkTest, JitterBoundedAndSeeded) {
+  Network net(7);
+  Endpoint ep = make_endpoint("r0");
+  ep.latency = LatencyModel{0.010, 0, 0.005};
+  net.add_endpoint(ep);
+  for (int i = 0; i < 100; ++i) {
+    CallOutcome out = net.call("r0", 0, 0.0);
+    EXPECT_GE(out.latency_s, 0.010);
+    EXPECT_LT(out.latency_s, 0.015);
+  }
+}
+
+TEST(NetworkTest, StatsAccumulateAndReset) {
+  Network net;
+  net.add_endpoint(make_endpoint("r0"));
+  net.call("r0", 10, 0.0);
+  net.call("r0", 5, 0.0);
+  const TrafficStats& stats = net.stats("r0");
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_EQ(stats.rows, 15u);
+  EXPECT_GT(stats.busy_s, 0.0);
+  net.reset_stats();
+  EXPECT_EQ(net.stats("r0").calls, 0u);
+}
+
+TEST(NetworkTest, AvailabilityCanBeChangedAtRuntime) {
+  // This is the lever the §4 tests use: take r0 down, query, bring it up.
+  Network net;
+  net.add_endpoint(make_endpoint("r0"));
+  EXPECT_TRUE(net.call("r0", 0, 0.0).available);
+  net.set_availability("r0", Availability::always_down());
+  EXPECT_FALSE(net.call("r0", 0, 0.0).available);
+  net.set_availability("r0", Availability::always_up());
+  EXPECT_TRUE(net.call("r0", 0, 0.0).available);
+}
+
+TEST(NetworkTest, ValidationOfModels) {
+  EXPECT_THROW(Availability::periodic(0, 1), InternalError);
+  EXPECT_THROW(Availability::random(1.5), InternalError);
+  Network net;
+  Endpoint ep;
+  EXPECT_THROW(net.add_endpoint(ep), InternalError);  // unnamed
+}
+
+}  // namespace
+}  // namespace disco::net

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "odl/odl.hpp"
+#include "oql/printer.hpp"
+
+namespace disco::odl {
+namespace {
+
+TEST(Odl, PaperInterfaceWithImplicitExtent) {
+  auto statements = parse_odl(
+      "interface Person (extent person) {\n"
+      "  attribute String name;\n"
+      "  attribute Short salary; };");
+  ASSERT_EQ(statements.size(), 1u);
+  const auto& def = std::get<InterfaceDef>(statements[0]);
+  EXPECT_EQ(def.type.name, "Person");
+  EXPECT_EQ(def.type.implicit_extent, "person");
+  ASSERT_EQ(def.type.attributes.size(), 2u);
+  EXPECT_EQ(def.type.attributes[0].name, "name");
+  EXPECT_EQ(def.type.attributes[0].type, ScalarType::String);
+  EXPECT_EQ(def.type.attributes[1].type, ScalarType::Short);
+}
+
+TEST(Odl, PaperSubtypeInterface) {
+  // §2.2.1: interface Student:Person { }
+  auto statements = parse_odl("interface Student:Person { };");
+  const auto& def = std::get<InterfaceDef>(statements[0]);
+  EXPECT_EQ(def.type.name, "Student");
+  EXPECT_EQ(def.type.super, "Person");
+  EXPECT_TRUE(def.type.attributes.empty());
+}
+
+TEST(Odl, ClausesInEitherOrder) {
+  auto a = parse_odl("interface S : P (extent s) { };");
+  auto b = parse_odl("interface S (extent s) : P { };");
+  EXPECT_EQ(std::get<InterfaceDef>(a[0]).type.super, "P");
+  EXPECT_EQ(std::get<InterfaceDef>(a[0]).type.implicit_extent, "s");
+  EXPECT_EQ(std::get<InterfaceDef>(b[0]).type.super, "P");
+  EXPECT_EQ(std::get<InterfaceDef>(b[0]).type.implicit_extent, "s");
+}
+
+TEST(Odl, PaperExtentDeclaration) {
+  auto statements =
+      parse_odl("extent person0 of Person wrapper w0 repository r0;");
+  const auto& def = std::get<ExtentDef>(statements[0]);
+  EXPECT_EQ(def.extent.name, "person0");
+  EXPECT_EQ(def.extent.interface, "Person");
+  EXPECT_EQ(def.extent.wrapper, "w0");
+  EXPECT_EQ(def.extent.repository, "r0");
+  EXPECT_TRUE(def.extent.map.is_identity());
+}
+
+TEST(Odl, PaperMapClause) {
+  // §2.2.2 verbatim.
+  auto statements = parse_odl(
+      "extent personprime0 of PersonPrime wrapper w0 repository r0\n"
+      "  map ((person0=personprime0),(name=n),(salary=s));");
+  const auto& def = std::get<ExtentDef>(statements[0]);
+  EXPECT_EQ(def.extent.map.source_relation("personprime0"), "person0");
+  EXPECT_EQ(def.extent.map.to_source_attribute("n"), "name");
+  EXPECT_EQ(def.extent.map.to_source_attribute("s"), "salary");
+}
+
+TEST(Odl, PaperViewDefinition) {
+  // §2.2.3 "double" view.
+  auto statements = parse_odl(
+      "define double as\n"
+      "  select struct(name: x.name, salary: x.salary + y.salary)\n"
+      "  from x in person0, y in person1\n"
+      "  where x.id = y.id;");
+  const auto& def = std::get<ViewDefStmt>(statements[0]);
+  EXPECT_EQ(def.name, "double");
+  EXPECT_EQ(oql::to_oql(def.query),
+            "select struct(name: x.name, salary: x.salary + y.salary) "
+            "from x in person0, y in person1 where x.id = y.id");
+}
+
+TEST(Odl, PaperRepositoryAssignment) {
+  // §2.1 verbatim.
+  auto statements = parse_odl(
+      "r0 := Repository(host=\"rodin\", name=\"db\", "
+      "address=\"123.45.6.7\");");
+  const auto& def = std::get<Assignment>(statements[0]);
+  EXPECT_EQ(def.var, "r0");
+  EXPECT_EQ(def.constructor, "Repository");
+  ASSERT_EQ(def.args.size(), 3u);
+  EXPECT_EQ(def.args[0], (std::pair<std::string, std::string>{"host",
+                                                              "rodin"}));
+}
+
+TEST(Odl, WrapperAssignment) {
+  auto statements = parse_odl("w0 := WrapperPostgres();");
+  const auto& def = std::get<Assignment>(statements[0]);
+  EXPECT_EQ(def.var, "w0");
+  EXPECT_EQ(def.constructor, "WrapperPostgres");
+  EXPECT_TRUE(def.args.empty());
+}
+
+TEST(Odl, MultipleStatements) {
+  auto statements = parse_odl(
+      "interface Person { attribute String name; };\n"
+      "r0 := Repository(host=\"h\");\n"
+      "w0 := W();\n"
+      "extent person0 of Person wrapper w0 repository r0;\n"
+      "define v as select x from x in person0;");
+  EXPECT_EQ(statements.size(), 5u);
+}
+
+TEST(Odl, Comments) {
+  auto statements = parse_odl(
+      "// water-quality schema\n"
+      "interface M { attribute Double ph; /* pH */ };");
+  EXPECT_EQ(statements.size(), 1u);
+}
+
+TEST(Odl, Errors) {
+  EXPECT_THROW(parse_odl("interface { };"), ParseError);
+  EXPECT_THROW(parse_odl("interface P { attribute Blob x; };"), ParseError);
+  EXPECT_THROW(parse_odl("interface P { attribute String; };"), ParseError);
+  EXPECT_THROW(parse_odl("interface P { attribute String x }"), ParseError);
+  EXPECT_THROW(parse_odl("extent e Person wrapper w repository r;"),
+               ParseError);
+  EXPECT_THROW(parse_odl("extent e of Person wrapper w;"), ParseError);
+  EXPECT_THROW(parse_odl("define v select x from x in e;"), ParseError);
+  EXPECT_THROW(parse_odl("r0 := Repository(host=42);"), ParseError);
+  EXPECT_THROW(parse_odl("banana;"), ParseError);
+  EXPECT_THROW(parse_odl("extent e of Person wrapper w repository r"
+                         " map ((a=b)"),
+               ParseError);
+}
+
+TEST(Odl, AllScalarTypes) {
+  auto statements = parse_odl(
+      "interface T { attribute Boolean a; attribute Short b; "
+      "attribute Long c; attribute Float d; attribute Double e; "
+      "attribute String f; };");
+  const auto& def = std::get<InterfaceDef>(statements[0]);
+  ASSERT_EQ(def.type.attributes.size(), 6u);
+  EXPECT_EQ(def.type.attributes[3].type, ScalarType::Float);
+}
+
+}  // namespace
+}  // namespace disco::odl

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fixtures.hpp"
+#include "optimizer/optimizer.hpp"
+#include "oql/parser.hpp"
+#include "oql/printer.hpp"
+
+namespace disco::optimizer {
+namespace {
+
+using oql::parse;
+
+// ---------------------------------------------------------- cost history ---
+
+TEST(CostHistoryTest, DefaultIsZeroTimeOneRow) {
+  // §3.3: "a default time cost of 0 and a data cost of 1 is used."
+  CostHistory history;
+  auto remote = algebra::get("person0", "x");
+  CostHistory::Estimate est = history.estimate("r0", remote);
+  EXPECT_EQ(est.basis, CostHistory::Basis::Default);
+  EXPECT_EQ(est.time_s, 0.0);
+  EXPECT_EQ(est.rows, 1.0);
+}
+
+TEST(CostHistoryTest, ExactMatchAfterRecording) {
+  CostHistory history;
+  auto remote = algebra::filter(algebra::get("e", "x"), parse("x.a > 10"));
+  history.record("r0", remote, 0.5, 100);
+  CostHistory::Estimate est = history.estimate("r0", remote);
+  EXPECT_EQ(est.basis, CostHistory::Basis::Exact);
+  EXPECT_DOUBLE_EQ(est.time_s, 0.5);
+  EXPECT_DOUBLE_EQ(est.rows, 100.0);
+}
+
+TEST(CostHistoryTest, SmoothingCombinesObservations) {
+  CostHistory history(/*alpha=*/0.5);
+  auto remote = algebra::get("e", "x");
+  history.record("r0", remote, 1.0, 10);
+  history.record("r0", remote, 0.0, 30);
+  CostHistory::Estimate est = history.estimate("r0", remote);
+  EXPECT_DOUBLE_EQ(est.time_s, 0.5);   // 0.5*0 + 0.5*1
+  EXPECT_DOUBLE_EQ(est.rows, 20.0);    // 0.5*30 + 0.5*10
+  EXPECT_EQ(est.observations, 2u);
+}
+
+TEST(CostHistoryTest, CloseMatchWhenConstantsDiffer) {
+  // §3.3: "a selection logical operator whose comparison operators match
+  // but whose constants do not match."
+  CostHistory history;
+  auto seen = algebra::filter(algebra::get("e", "x"), parse("x.a > 10"));
+  auto close = algebra::filter(algebra::get("e", "x"), parse("x.a > 999"));
+  history.record("r0", seen, 0.7, 50);
+  CostHistory::Estimate est = history.estimate("r0", close);
+  EXPECT_EQ(est.basis, CostHistory::Basis::Close);
+  EXPECT_DOUBLE_EQ(est.time_s, 0.7);
+}
+
+TEST(CostHistoryTest, DifferentOperatorIsNotClose) {
+  CostHistory history;
+  auto seen = algebra::filter(algebra::get("e", "x"), parse("x.a > 10"));
+  auto other = algebra::filter(algebra::get("e", "x"), parse("x.a < 10"));
+  history.record("r0", seen, 0.7, 50);
+  // Not close — but the repository average still informs the estimate.
+  CostHistory::Estimate est = history.estimate("r0", other);
+  EXPECT_EQ(est.basis, CostHistory::Basis::Repository);
+  EXPECT_DOUBLE_EQ(est.time_s, 0.7);
+}
+
+TEST(CostHistoryTest, RepositoryAverageBlocksOscillation) {
+  // After the pushed plan has run once, the never-run alternative must
+  // not estimate cheaper just because it was never observed.
+  CostHistory history;
+  auto pushed = algebra::project(algebra::get("e", "x"), parse("x.a"),
+                                 false);
+  history.record("r0", pushed, 0.010, 5);
+  auto raw = algebra::get("e", "x");
+  CostHistory::Estimate est = history.estimate("r0", raw);
+  EXPECT_EQ(est.basis, CostHistory::Basis::Repository);
+  EXPECT_DOUBLE_EQ(est.time_s, 0.010);
+}
+
+TEST(CostHistoryTest, PerRepositoryKeys) {
+  CostHistory history;
+  auto remote = algebra::get("e", "x");
+  history.record("r0", remote, 0.7, 50);
+  EXPECT_EQ(history.estimate("r1", remote).basis,
+            CostHistory::Basis::Default);
+}
+
+// -------------------------------------------------------------- planning ---
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  Optimizer make(OptimizerOptions options = {}) {
+    return Optimizer(
+        &world_.mediator.catalog(),
+        [this](const std::string& name) {
+          return world_.mediator.wrapper_by_name(name);
+        },
+        &world_.mediator.cost_history(), options);
+  }
+  std::string plan_text(const std::string& query,
+                        OptimizerOptions options = {}) {
+    Optimizer opt = make(options);
+    Optimizer::Result result = opt.optimize(parse(query));
+    internal_check(result.plan != nullptr, "expected plan mode");
+    return physical::to_physical_string(result.plan);
+  }
+
+  disco::testing::PaperWorld world_;
+};
+
+TEST_F(OptimizerTest, PaperTranslationExample) {
+  // §3.2: select x.name from x in person distributes over both extents,
+  // and with the 0/1 default cost the projection is pushed to the
+  // sources.
+  EXPECT_EQ(plan_text("select x.name from x in person"),
+            "mkunion(exec(field(r0), project(x.name, get(person0, x))), "
+            "exec(field(r1), project(x.name, get(person1, x))))");
+}
+
+TEST_F(OptimizerTest, ExplicitExtentSingleBranch) {
+  EXPECT_EQ(plan_text("select x.name from x in person0"),
+            "exec(field(r0), project(x.name, get(person0, x)))");
+}
+
+TEST_F(OptimizerTest, SelectPushdown) {
+  EXPECT_EQ(
+      plan_text("select x.name from x in person0 where x.salary > 10"),
+      "exec(field(r0), project(x.name, select(x.salary > 10, "
+      "get(person0, x))))");
+}
+
+TEST_F(OptimizerTest, WeakWrapperKeepsWorkAtMediator) {
+  // Re-register person0 behind a get-only wrapper.
+  auto weak = std::make_shared<wrapper::MemDbWrapper>(
+      grammar::CapabilitySet{.get = true});
+  weak->attach_database("r0", &world_.db0);
+  world_.mediator.register_wrapper("weak", std::move(weak));
+  world_.mediator.execute_odl(
+      "extent personw of Person wrapper weak repository r0 "
+      "map ((person0=personw));");
+  EXPECT_EQ(
+      plan_text("select x.name from x in personw where x.salary > 10"),
+      "mkproj(x.name, mkfilter(x.salary > 10, "
+      "exec(field(r0), get(personw, x))))");
+}
+
+TEST_F(OptimizerTest, NonPushablePredicateStaysAtMediator) {
+  // Arithmetic predicates are outside every source language here.
+  EXPECT_EQ(
+      plan_text("select x.name from x in person0 where x.salary + 1 > 10"),
+      "mkproj(x.name, mkfilter(x.salary + 1 > 10, "
+      "exec(field(r0), get(person0, x))))");
+}
+
+TEST_F(OptimizerTest, ComputedProjectionStaysAtMediator) {
+  EXPECT_EQ(plan_text("select x.salary * 2 from x in person0"),
+            "mkproj(x.salary * 2, exec(field(r0), get(person0, x)))");
+}
+
+TEST_F(OptimizerTest, DistinctBlocksProjectPushdown) {
+  EXPECT_EQ(plan_text("select distinct x.name from x in person0"),
+            "mkproj(distinct x.name, exec(field(r0), get(person0, x)))");
+}
+
+TEST_F(OptimizerTest, CrossSourceJoinAtMediator) {
+  std::string text = plan_text(
+      "select struct(a: x.name, b: y.name) from x in person0, "
+      "y in person1 where x.id = y.id");
+  // Sources differ (r0, r1): the join must run at the mediator, as a
+  // hash join on the equi key.
+  EXPECT_NE(text.find("hashjoin(x.id = y.id"), std::string::npos) << text;
+  EXPECT_NE(text.find("exec(field(r0)"), std::string::npos);
+  EXPECT_NE(text.find("exec(field(r1)"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, SameRepositoryJoinPushesDown) {
+  // §3.2's employee/manager example: both relations in r0.
+  auto& emp = world_.db0.create_table(
+      "employee0",
+      {{"name", memdb::ColumnType::Text}, {"dept", memdb::ColumnType::Int}});
+  emp.insert({Value::string("e1"), Value::integer(1)});
+  auto& mgr = world_.db0.create_table(
+      "manager0",
+      {{"name", memdb::ColumnType::Text}, {"dept", memdb::ColumnType::Int}});
+  mgr.insert({Value::string("m1"), Value::integer(1)});
+  world_.mediator.execute_odl(R"(
+    interface Employee { attribute String name; attribute Short dept; };
+    interface Manager { attribute String name; attribute Short dept; };
+    extent employee0 of Employee wrapper w0 repository r0;
+    extent manager0 of Manager wrapper w0 repository r0;
+  )");
+  std::string text = plan_text(
+      "select struct(e: x.name, m: y.name) from x in employee0, "
+      "y in manager0 where x.dept = y.dept");
+  // The whole branch collapses into one submit: the join (and here even
+  // the projection) executes at the source.
+  EXPECT_NE(text.find("join(get(employee0, x), get(manager0, y), "
+                      "x.dept = y.dept)"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("hashjoin"), std::string::npos) << text;
+}
+
+TEST_F(OptimizerTest, JoinMergeDisabledByOption) {
+  auto& emp = world_.db0.create_table(
+      "employee1", {{"dept", memdb::ColumnType::Int}});
+  emp.insert({Value::integer(1)});
+  auto& mgr = world_.db0.create_table(
+      "manager1", {{"dept", memdb::ColumnType::Int}});
+  mgr.insert({Value::integer(1)});
+  world_.mediator.execute_odl(R"(
+    interface E1 { attribute Short dept; };
+    interface M1 { attribute Short dept; };
+    extent employee1 of E1 wrapper w0 repository r0;
+    extent manager1 of M1 wrapper w0 repository r0;
+  )");
+  OptimizerOptions options;
+  options.enable_join_merge = false;
+  std::string text = plan_text(
+      "select struct(a: x.dept, b: y.dept) from x in employee1, "
+      "y in manager1 where x.dept = y.dept",
+      options);
+  EXPECT_EQ(text.find("join(get("), std::string::npos) << text;
+  EXPECT_NE(text.find("hashjoin"), std::string::npos) << text;
+}
+
+TEST_F(OptimizerTest, ConsidersMultipleAlternatives) {
+  Optimizer opt = make();
+  auto result = opt.optimize(
+      parse("select x.name from x in person0 where x.salary > 10"));
+  EXPECT_GE(result.plans_considered, 2u);
+}
+
+TEST_F(OptimizerTest, LearnedCostCanReversePushdown) {
+  // Teach the history that the pushed expression is pathologically slow
+  // on r0 (e.g. the source has no index and the wrapper translation is
+  // bad); the optimizer should then prefer fetching raw rows.
+  auto pushed = algebra::project(
+      algebra::filter(algebra::get("person0", "x"), parse("x.salary > 10")),
+      parse("x.name"), false);
+  auto filtered = algebra::filter(algebra::get("person0", "x"),
+                                  parse("x.salary > 10"));
+  auto raw = algebra::get("person0", "x");
+  for (int i = 0; i < 3; ++i) {
+    world_.mediator.cost_history().record("r0", pushed, 10.0, 1);
+    world_.mediator.cost_history().record("r0", filtered, 10.0, 1);
+    world_.mediator.cost_history().record("r0", raw, 0.001, 1);
+  }
+  std::string text =
+      plan_text("select x.name from x in person0 where x.salary > 10");
+  EXPECT_EQ(text,
+            "mkproj(x.name, mkfilter(x.salary > 10, "
+            "exec(field(r0), get(person0, x))))");
+}
+
+TEST_F(OptimizerTest, ViewExpansionBeforePlanning) {
+  world_.mediator.catalog().define_view(
+      "rich", parse("select x.name from x in person where x.salary > 100"));
+  std::string text = plan_text("rich");
+  EXPECT_NE(text.find("select(x.salary > 100"), std::string::npos) << text;
+}
+
+TEST_F(OptimizerTest, ClosureDistributesOverSubtypeExtents) {
+  world_.mediator.execute_odl(R"(
+    interface Student : Person { };
+  )");
+  auto& s0 = world_.db1.create_table("student0",
+                                     {{"id", memdb::ColumnType::Int},
+                                      {"name", memdb::ColumnType::Text},
+                                      {"salary", memdb::ColumnType::Int}});
+  s0.insert({Value::integer(3), Value::string("Stu"), Value::integer(10)});
+  world_.mediator.execute_odl(
+      "extent student0 of Student wrapper w0 repository r1;");
+  Optimizer opt = make();
+  auto result = opt.optimize(parse("select x.name from x in person*"));
+  ASSERT_NE(result.plan, nullptr);
+  std::string text = physical::to_physical_string(result.plan);
+  EXPECT_NE(text.find("person0"), std::string::npos);
+  EXPECT_NE(text.find("person1"), std::string::npos);
+  EXPECT_NE(text.find("student0"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, NestedSubqueryRegistersAux) {
+  Optimizer opt = make();
+  auto result = opt.optimize(parse(
+      "select struct(name: x.name, total: sum(select z.salary from z in "
+      "person where z.name = x.name)) from x in person0"));
+  ASSERT_NE(result.plan, nullptr);
+  ASSERT_EQ(result.aux.size(), 1u);
+  EXPECT_EQ(result.aux[0].first, "person");
+}
+
+TEST_F(OptimizerTest, LocalModeForNonSelectTopLevel) {
+  Optimizer opt = make();
+  auto result = opt.optimize(parse("sum(select x.salary from x in person)"));
+  EXPECT_EQ(result.plan, nullptr);
+  ASSERT_NE(result.local, nullptr);
+  ASSERT_EQ(result.aux.size(), 1u);
+  EXPECT_EQ(result.aux[0].first, "person");
+}
+
+TEST_F(OptimizerTest, ConstantDomainPlans) {
+  Optimizer opt = make();
+  auto result = opt.optimize(
+      parse("select x * 2 from x in bag(1, 2, 3) where x > 1"));
+  ASSERT_NE(result.plan, nullptr);
+  EXPECT_EQ(result.plans_considered, 1u);
+}
+
+TEST_F(OptimizerTest, UnknownNameFails) {
+  Optimizer opt = make();
+  EXPECT_THROW(opt.optimize(parse("select x from x in nowhere")),
+               CatalogError);
+  EXPECT_THROW(opt.optimize(parse("select x.a from x in person0 "
+                                  "where x.a = unknown_thing")),
+               CatalogError);
+}
+
+TEST_F(OptimizerTest, BranchExplosionGuard) {
+  OptimizerOptions options;
+  options.max_branches = 3;
+  Optimizer opt = make(options);
+  // 2 x 2 = 4 branches > 3.
+  EXPECT_THROW(opt.optimize(parse(
+                   "select struct(a: x.name, b: y.name) "
+                   "from x in person, y in person")),
+               ExecutionError);
+}
+
+TEST_F(OptimizerTest, CostModelPrefersPushdownUnderDefaults) {
+  // §3.3: with the 0/1 default "the optimizer will choose plans where the
+  // maximum amount of computation is done at the data source".
+  Optimizer opt = make();
+  auto pushed_result = opt.optimize(
+      parse("select x.name from x in person0 where x.salary > 10"));
+  std::string text = physical::to_physical_string(pushed_result.plan);
+  EXPECT_EQ(text.find("mkfilter"), std::string::npos) << text;
+  EXPECT_EQ(text.find("mkproj"), std::string::npos) << text;
+}
+
+TEST_F(OptimizerTest, MergeJoinOnRequest) {
+  OptimizerOptions options;
+  options.prefer_merge_join = true;
+  std::string text = plan_text(
+      "select struct(a: x.name, b: y.name) from x in person0, "
+      "y in person1 where x.id = y.id",
+      options);
+  EXPECT_NE(text.find("mergejoin(x.id = y.id"), std::string::npos) << text;
+  EXPECT_EQ(text.find("hashjoin"), std::string::npos) << text;
+}
+
+TEST_F(OptimizerTest, JoinOrderAvoidsCrossProducts) {
+  // `from x in a, y in b, z in c where x.id = z.id and y.id = z.id`: a
+  // naive left-deep order joins a and b with no predicate (cross
+  // product); the connectivity reorder chains a-c then c-b.
+  auto add = [&](const char* table, const char* repo) {
+    auto& t = (repo == std::string("r0") ? world_.db0 : world_.db1)
+                  .create_table(table, {{"id", memdb::ColumnType::Int}});
+    t.insert({Value::integer(1)});
+    world_.mediator.execute_odl(
+        std::string("interface T_") + table + " { attribute Short id; };\n"
+        "extent " + table + " of T_" + table + " wrapper w0 repository " +
+        repo + ";");
+  };
+  add("ja", "r0");
+  add("jb", "r0");
+  add("jc", "r1");
+  std::string text = plan_text(
+      "select struct(a: x.id, b: y.id, c: z.id) from x in ja, y in jb, "
+      "z in jc where x.id = z.id and y.id = z.id");
+  // Every mediator join carries an equi key (hashjoin), no predicate-less
+  // nljoin cross product appears.
+  EXPECT_EQ(text.find("nljoin"), std::string::npos) << text;
+}
+
+TEST_F(OptimizerTest, MetaextentQueriesPlan) {
+  Optimizer opt = make();
+  auto result = opt.optimize(parse(
+      "select x.name from x in metaextent where x.interface = \"Person\""));
+  ASSERT_NE(result.plan, nullptr);
+  // metaextent is mediator meta-data: a const leaf, no exec at all.
+  std::string text = physical::to_physical_string(result.plan);
+  EXPECT_EQ(text.find("exec("), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace disco::optimizer

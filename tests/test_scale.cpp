@@ -1,0 +1,136 @@
+// Scale and robustness smoke tests: the shapes the paper worries about
+// ("As heterogeneous database systems are scaled up in the number of
+// data sources...", §1) exercised at sizes that would expose accidental
+// quadratic blowups or stack abuse.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/disco.hpp"
+#include "oql/eval.hpp"
+#include "oql/parser.hpp"
+#include "oql/printer.hpp"
+
+namespace disco {
+namespace {
+
+TEST(Scale, TwoHundredFiftySixSources) {
+  constexpr size_t kSources = 256;
+  std::vector<std::unique_ptr<memdb::Database>> databases;
+  Mediator mediator;
+  auto w = std::make_shared<wrapper::MemDbWrapper>();
+  mediator.execute_odl(R"(
+    interface Person (extent person) {
+      attribute String name;
+      attribute Short salary; };
+  )");
+  for (size_t s = 0; s < kSources; ++s) {
+    auto db = std::make_unique<memdb::Database>("db" + std::to_string(s));
+    auto& t = db->create_table("person" + std::to_string(s),
+                               {{"name", memdb::ColumnType::Text},
+                                {"salary", memdb::ColumnType::Int}});
+    t.insert({Value::string("p" + std::to_string(s)),
+              Value::integer(static_cast<int64_t>(s))});
+    std::string repo = "r" + std::to_string(s);
+    w->attach_database(repo, db.get());
+    databases.push_back(std::move(db));
+    mediator.register_repository(
+        catalog::Repository{repo, "h", "db", "10.0.0.1"});
+    if (s == 0) mediator.register_wrapper("w0", w);
+    mediator.execute_odl("extent person" + std::to_string(s) +
+                         " of Person wrapper w0 repository " + repo + ";");
+  }
+  Answer a = mediator.query(
+      "select x.name from x in person where x.salary >= 0");
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(a.data().size(), kSources);
+  EXPECT_EQ(a.stats().run.exec_calls, kSources);
+
+  // Half the sources go dark; the answer still covers the other half and
+  // carries one residual per dark source.
+  for (size_t s = 0; s < kSources; s += 2) {
+    mediator.network().set_availability("r" + std::to_string(s),
+                                        net::Availability::always_down());
+  }
+  Answer half = mediator.query("select x.name from x in person");
+  EXPECT_EQ(half.data().size(), kSources / 2);
+  EXPECT_EQ(half.residual_queries().size(), kSources / 2);
+  EXPECT_NO_THROW(oql::parse(half.to_oql()));
+}
+
+TEST(Scale, DeeplyNestedExpressionsParseAndPrint) {
+  std::string query = "1";
+  for (int i = 0; i < 200; ++i) query = "(" + query + " + 1)";
+  oql::ExprPtr e = oql::parse(query);
+  EXPECT_EQ(oql::Evaluator().eval(e), Value::integer(201));
+  EXPECT_NO_THROW(oql::parse(oql::to_oql(e)));
+}
+
+TEST(Scale, LongViewChains) {
+  memdb::Database db("db");
+  db.create_table("person0", {{"name", memdb::ColumnType::Text},
+                              {"salary", memdb::ColumnType::Int}})
+      .insert({Value::string("Mary"), Value::integer(200)});
+  Mediator m;
+  auto w = std::make_shared<wrapper::MemDbWrapper>();
+  w->attach_database("r0", &db);
+  m.register_wrapper("w0", std::move(w));
+  m.register_repository(catalog::Repository{"r0", "h", "db", "1.1.1.1"});
+  m.execute_odl(R"(
+    interface Person { attribute String name; attribute Short salary; };
+    extent person0 of Person wrapper w0 repository r0;
+    define v0 as select x from x in person0;
+  )");
+  for (int i = 1; i < 40; ++i) {
+    m.execute_odl("define v" + std::to_string(i) + " as select x from x in v" +
+                  std::to_string(i - 1) + ";");
+  }
+  Answer a = m.query("select x.name from x in v39");
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(a.data(), Value::bag({Value::string("Mary")}));
+}
+
+TEST(Scale, WidePartialAnswerRoundTrip) {
+  // A partial answer embedding thousands of literal rows still parses
+  // and evaluates.
+  std::vector<Value> rows;
+  for (int i = 0; i < 3000; ++i) {
+    rows.push_back(Value::strct({{"n", Value::integer(i)}}));
+  }
+  Answer a = Answer::partial_answer(
+      Value::bag(std::move(rows)),
+      {oql::parse("select x.n from x in missing0")}, {});
+  oql::ExprPtr reparsed;
+  ASSERT_NO_THROW(reparsed = oql::parse(a.to_oql()));
+  ASSERT_EQ(reparsed->kind, oql::ExprKind::Call);
+  // The literal data reparses as a bag(...) constructor expression;
+  // evaluating it restores the identical value.
+  ASSERT_EQ(reparsed->args.size(), 2u);
+  EXPECT_EQ(oql::Evaluator().eval(reparsed->args[1]), a.data());
+}
+
+TEST(Scale, ManyConjunctsPushDown) {
+  memdb::Database db("db");
+  auto& t = db.create_table("wide", {{"a", memdb::ColumnType::Int},
+                                     {"b", memdb::ColumnType::Int},
+                                     {"c", memdb::ColumnType::Int}});
+  t.insert({Value::integer(1), Value::integer(2), Value::integer(3)});
+  t.insert({Value::integer(9), Value::integer(9), Value::integer(9)});
+  Mediator m;
+  auto w = std::make_shared<wrapper::MemDbWrapper>();
+  w->attach_database("r0", &db);
+  m.register_wrapper("w0", std::move(w));
+  m.register_repository(catalog::Repository{"r0", "h", "db", "1.1.1.1"});
+  m.execute_odl(R"(
+    interface Wide { attribute Short a; attribute Short b;
+                     attribute Short c; };
+    extent wide of Wide wrapper w0 repository r0;
+  )");
+  Answer a = m.query(
+      "select x.a from x in wide where x.a = 1 and x.b = 2 and x.c = 3 "
+      "and x.a < x.b and x.b < x.c and not x.a > 5");
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(a.data(), Value::bag({Value::integer(1)}));
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,109 @@
+// The catalog component C of Figure 1 (core/system_catalog.hpp).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fixtures.hpp"
+
+namespace disco {
+namespace {
+
+using disco::testing::PaperWorld;
+
+class SystemCatalogTest : public ::testing::Test {
+ protected:
+  SystemCatalogTest() {
+    // A second mediator with a different domain.
+    water_.execute_odl(R"(
+      interface Measurement (extent measurements) {
+        attribute String site;
+        attribute Double ph; };
+    )");
+    auto w = std::make_shared<wrapper::MemDbWrapper>();
+    auto& table = db_.create_table("station0",
+                                   {{"site", memdb::ColumnType::Text},
+                                    {"ph", memdb::ColumnType::Real}});
+    table.insert({Value::string("km0"), Value::real(7.0)});
+    w->attach_database("river0", &db_);
+    water_.register_wrapper("wsql", std::move(w));
+    water_.register_repository(
+        catalog::Repository{"river0", "site-0", "wq", "10.1.0.0"});
+    water_.execute_odl(
+        "extent station0 of Measurement wrapper wsql repository river0;");
+
+    catalog_.register_mediator("people", &people_.mediator);
+    catalog_.register_mediator("water", &water_);
+  }
+
+  PaperWorld people_;
+  memdb::Database db_{"wq"};
+  Mediator water_;
+  SystemCatalog catalog_;
+};
+
+TEST_F(SystemCatalogTest, Registry) {
+  EXPECT_EQ(catalog_.mediator_names(),
+            (std::vector<std::string>{"people", "water"}));
+  EXPECT_EQ(catalog_.mediator("water"), &water_);
+  EXPECT_THROW(catalog_.mediator("nope"), CatalogError);
+  EXPECT_THROW(catalog_.register_mediator("water", &water_), CatalogError);
+}
+
+TEST_F(SystemCatalogTest, SystemOverview) {
+  Value overview = catalog_.system_overview();
+  ASSERT_EQ(overview.size(), 3u);  // person0, person1, station0
+  EXPECT_EQ(overview.items()[0].field("mediator"), Value::string("people"));
+  EXPECT_EQ(overview.items()[2].field("name"), Value::string("station0"));
+}
+
+TEST_F(SystemCatalogTest, TypeDirectory) {
+  EXPECT_EQ(catalog_.mediators_serving_type("Person"),
+            (std::vector<std::string>{"people"}));
+  EXPECT_EQ(catalog_.mediators_serving_type("Measurement"),
+            (std::vector<std::string>{"water"}));
+  EXPECT_TRUE(catalog_.mediators_serving_type("Nothing").empty());
+}
+
+TEST_F(SystemCatalogTest, AttributeSearch) {
+  EXPECT_EQ(catalog_.mediators_providing_attributes({"name", "salary"}),
+            (std::vector<std::string>{"people"}));
+  EXPECT_EQ(catalog_.mediators_providing_attributes({"ph"}),
+            (std::vector<std::string>{"water"}));
+  EXPECT_TRUE(
+      catalog_.mediators_providing_attributes({"name", "ph"}).empty());
+}
+
+TEST_F(SystemCatalogTest, TypeWithoutExtentsIsNotServed) {
+  water_.execute_odl("interface Orphan { attribute String x; };");
+  EXPECT_TRUE(catalog_.mediators_serving_type("Orphan").empty());
+}
+
+TEST_F(SystemCatalogTest, CatalogSpeaksOql) {
+  // "Catalogs ... provide an overview of the entire system" — and the
+  // overview is queryable in the system's own language.
+  Value mediators = catalog_.query("select m.name from m in mediators");
+  EXPECT_EQ(mediators,
+            Value::bag({Value::string("people"), Value::string("water")}));
+
+  Value extents = catalog_.query(
+      "select e.name from e in extents where e.mediator = \"people\"");
+  EXPECT_EQ(extents.size(), 2u);
+
+  Value hosts = catalog_.query(
+      "select struct(m: r.mediator, h: r.host) from r in repositories "
+      "where r.name = \"river0\"");
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts.items()[0].field("h"), Value::string("site-0"));
+
+  Value typed = catalog_.query(
+      "select t.mediator from t in types where t.name = \"Measurement\"");
+  EXPECT_EQ(typed, Value::bag({Value::string("water")}));
+}
+
+TEST_F(SystemCatalogTest, ViewsAreLiveNotSnapshots) {
+  EXPECT_EQ(catalog_.query("count(extents)"), Value::integer(3));
+  people_.mediator.execute_odl("drop extent person1;");
+  EXPECT_EQ(catalog_.query("count(extents)"), Value::integer(2));
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "types/type_registry.hpp"
+
+namespace disco {
+namespace {
+
+InterfaceType person_type() {
+  return InterfaceType{"Person",
+                       "",
+                       {{"name", ScalarType::String},
+                        {"salary", ScalarType::Short}},
+                       "person"};
+}
+
+TEST(ScalarTypes, NamesRoundTrip) {
+  for (ScalarType t : {ScalarType::Bool, ScalarType::Short, ScalarType::Long,
+                       ScalarType::Float, ScalarType::Double,
+                       ScalarType::String}) {
+    auto parsed = scalar_type_from_name(to_string(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(scalar_type_from_name("Blob").has_value());
+}
+
+TEST(ScalarTypes, Conformance) {
+  EXPECT_TRUE(value_conforms(Value::integer(5), ScalarType::Short));
+  EXPECT_TRUE(value_conforms(Value::integer(5), ScalarType::Long));
+  EXPECT_TRUE(value_conforms(Value::integer(5), ScalarType::Double));
+  EXPECT_TRUE(value_conforms(Value::real(5.5), ScalarType::Float));
+  EXPECT_FALSE(value_conforms(Value::real(5.5), ScalarType::Short));
+  EXPECT_TRUE(value_conforms(Value::string("x"), ScalarType::String));
+  EXPECT_FALSE(value_conforms(Value::string("x"), ScalarType::Long));
+  EXPECT_TRUE(value_conforms(Value::boolean(true), ScalarType::Bool));
+}
+
+TEST(ScalarTypes, NullConformsToEverything) {
+  for (ScalarType t : {ScalarType::Bool, ScalarType::Short,
+                       ScalarType::String}) {
+    EXPECT_TRUE(value_conforms(Value::null(), t));
+  }
+}
+
+TEST(TypeRegistry, DefineAndLookup) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  EXPECT_TRUE(reg.contains("Person"));
+  EXPECT_FALSE(reg.contains("Student"));
+  EXPECT_EQ(reg.get("Person").implicit_extent, "person");
+  EXPECT_EQ(reg.find("Nope"), nullptr);
+  EXPECT_THROW(reg.get("Nope"), CatalogError);
+}
+
+TEST(TypeRegistry, RejectsDuplicates) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  EXPECT_THROW(reg.define(person_type()), CatalogError);
+}
+
+TEST(TypeRegistry, RejectsUnknownSupertype) {
+  TypeRegistry reg;
+  EXPECT_THROW(reg.define(InterfaceType{"Student", "Person", {}, ""}),
+               CatalogError);
+}
+
+TEST(TypeRegistry, InheritedAttributes) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  reg.define(InterfaceType{
+      "Student", "Person", {{"school", ScalarType::String}}, "student"});
+  auto attrs = reg.all_attributes("Student");
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0].name, "name");    // supertype-first
+  EXPECT_EQ(attrs[1].name, "salary");
+  EXPECT_EQ(attrs[2].name, "school");
+}
+
+TEST(TypeRegistry, AttributeRedefinitionSameTypeOk) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  EXPECT_NO_THROW(reg.define(InterfaceType{
+      "Clone", "Person", {{"name", ScalarType::String}}, ""}));
+  // Not duplicated in the flattened view.
+  EXPECT_EQ(reg.all_attributes("Clone").size(), 2u);
+}
+
+TEST(TypeRegistry, AttributeRedefinitionConflictingTypeThrows) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  EXPECT_THROW(reg.define(InterfaceType{
+                   "Bad", "Person", {{"name", ScalarType::Long}}, ""}),
+               TypeError);
+}
+
+TEST(TypeRegistry, SubtypeChecks) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  reg.define(InterfaceType{"Student", "Person", {}, ""});
+  reg.define(InterfaceType{"PhdStudent", "Student", {}, ""});
+  EXPECT_TRUE(reg.is_subtype_of("Person", "Person"));
+  EXPECT_TRUE(reg.is_subtype_of("Student", "Person"));
+  EXPECT_TRUE(reg.is_subtype_of("PhdStudent", "Person"));
+  EXPECT_FALSE(reg.is_subtype_of("Person", "Student"));
+}
+
+TEST(TypeRegistry, WithSubtypesIsTheClosureOfStar) {
+  // §2.2.1: person* ranges over Person and all its subtypes.
+  TypeRegistry reg;
+  reg.define(person_type());
+  reg.define(InterfaceType{"Student", "Person", {}, ""});
+  reg.define(InterfaceType{"Employee", "Person", {}, ""});
+  reg.define(InterfaceType{"Other", "", {}, ""});
+  auto closure = reg.with_subtypes("Person");
+  ASSERT_EQ(closure.size(), 3u);
+  EXPECT_EQ(closure[0], "Person");
+  EXPECT_EQ(closure[1], "Student");
+  EXPECT_EQ(closure[2], "Employee");
+}
+
+TEST(TypeRegistry, ImplicitExtentLookup) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  const InterfaceType* t = reg.type_for_implicit_extent("person");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->name, "Person");
+  EXPECT_EQ(reg.type_for_implicit_extent("nothing"), nullptr);
+}
+
+TEST(TypeRegistry, CheckRowAcceptsConformingStruct) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  Value row = Value::strct({{"name", Value::string("Mary")},
+                            {"salary", Value::integer(200)}});
+  EXPECT_NO_THROW(reg.check_row("Person", row));
+}
+
+TEST(TypeRegistry, CheckRowToleratesExtraFields) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  Value row = Value::strct({{"name", Value::string("Mary")},
+                            {"salary", Value::integer(200)},
+                            {"extra", Value::boolean(true)}});
+  EXPECT_NO_THROW(reg.check_row("Person", row));
+}
+
+TEST(TypeRegistry, CheckRowRejectsMissingAttribute) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  Value row = Value::strct({{"name", Value::string("Mary")}});
+  EXPECT_THROW(reg.check_row("Person", row), TypeError);
+}
+
+TEST(TypeRegistry, CheckRowRejectsWrongKind) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  Value row = Value::strct({{"name", Value::string("Mary")},
+                            {"salary", Value::string("lots")}});
+  EXPECT_THROW(reg.check_row("Person", row), TypeError);
+  EXPECT_THROW(reg.check_row("Person", Value::integer(3)), TypeError);
+}
+
+TEST(TypeRegistry, CheckRowChecksInheritedAttributes) {
+  TypeRegistry reg;
+  reg.define(person_type());
+  reg.define(InterfaceType{
+      "Student", "Person", {{"school", ScalarType::String}}, ""});
+  Value missing_super = Value::strct({{"school", Value::string("MIT")}});
+  EXPECT_THROW(reg.check_row("Student", missing_super), TypeError);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "value/value.hpp"
+
+namespace disco {
+namespace {
+
+Value person(std::string name, int64_t salary) {
+  return Value::strct({{"name", Value::string(std::move(name))},
+                       {"salary", Value::integer(salary)}});
+}
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), ValueKind::Null);
+}
+
+TEST(Value, ScalarAccessors) {
+  EXPECT_EQ(Value::boolean(true).as_bool(), true);
+  EXPECT_EQ(Value::integer(-7).as_int(), -7);
+  EXPECT_EQ(Value::real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::string("hi").as_string(), "hi");
+}
+
+TEST(Value, IntWidensToDouble) {
+  EXPECT_EQ(Value::integer(3).as_double(), 3.0);
+}
+
+TEST(Value, WrongAccessorThrows) {
+  EXPECT_THROW(Value::integer(1).as_string(), ExecutionError);
+  EXPECT_THROW(Value::string("x").as_int(), ExecutionError);
+  EXPECT_THROW(Value::real(1.0).as_bool(), ExecutionError);
+  EXPECT_THROW(Value::null().items(), ExecutionError);
+  EXPECT_THROW(Value::integer(1).fields(), ExecutionError);
+}
+
+TEST(Value, NumericEqualityAcrossKinds) {
+  EXPECT_EQ(Value::integer(1), Value::real(1.0));
+  EXPECT_NE(Value::integer(1), Value::real(1.5));
+}
+
+TEST(Value, BagEqualityIsMultiset) {
+  Value a = Value::bag({Value::integer(1), Value::integer(2),
+                        Value::integer(1)});
+  Value b = Value::bag({Value::integer(2), Value::integer(1),
+                        Value::integer(1)});
+  Value c = Value::bag({Value::integer(1), Value::integer(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // multiplicity matters
+}
+
+TEST(Value, SetRemovesDuplicatesAndNormalizesOrder) {
+  Value s = Value::set({Value::integer(2), Value::integer(1),
+                        Value::integer(2)});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s, Value::set({Value::integer(1), Value::integer(2)}));
+}
+
+TEST(Value, ListIsPositional) {
+  Value a = Value::list({Value::integer(1), Value::integer(2)});
+  Value b = Value::list({Value::integer(2), Value::integer(1)});
+  EXPECT_NE(a, b);
+}
+
+TEST(Value, BagAndSetAreDistinctKinds) {
+  Value b = Value::bag({Value::integer(1)});
+  Value s = Value::set({Value::integer(1)});
+  EXPECT_NE(b, s);
+}
+
+TEST(Value, StructFieldAccess) {
+  Value p = person("Mary", 200);
+  EXPECT_EQ(p.field("name").as_string(), "Mary");
+  EXPECT_EQ(p.field("salary").as_int(), 200);
+  EXPECT_EQ(p.find_field("missing"), nullptr);
+  EXPECT_THROW(p.field("missing"), ExecutionError);
+}
+
+TEST(Value, StructPreservesFieldOrder) {
+  Value p = person("Mary", 200);
+  ASSERT_EQ(p.fields().size(), 2u);
+  EXPECT_EQ(p.fields()[0].first, "name");
+  EXPECT_EQ(p.fields()[1].first, "salary");
+}
+
+TEST(Value, StructEqualityIsFieldwise) {
+  EXPECT_EQ(person("Mary", 200), person("Mary", 200));
+  EXPECT_NE(person("Mary", 200), person("Mary", 201));
+  EXPECT_NE(person("Mary", 200), person("Sam", 200));
+}
+
+TEST(Value, CompareIsTotalOrder) {
+  std::vector<Value> values = {
+      Value::null(),
+      Value::boolean(false),
+      Value::boolean(true),
+      Value::integer(-1),
+      Value::integer(3),
+      Value::real(3.5),
+      Value::string("a"),
+      Value::string("b"),
+      Value::bag({Value::integer(1)}),
+      Value::set({Value::integer(1)}),
+      Value::list({Value::integer(1)}),
+      person("Mary", 200),
+  };
+  for (const Value& a : values) {
+    EXPECT_EQ(Value::compare(a, a), 0);
+    for (const Value& b : values) {
+      int ab = Value::compare(a, b);
+      int ba = Value::compare(b, a);
+      EXPECT_EQ(ab, -ba) << a.to_oql() << " vs " << b.to_oql();
+      for (const Value& c : values) {
+        // Transitivity spot check: a<=b and b<=c imply a<=c.
+        if (ab <= 0 && Value::compare(b, c) <= 0) {
+          EXPECT_LE(Value::compare(a, c), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::integer(1).hash(), Value::real(1.0).hash());
+  Value a = Value::bag({Value::integer(1), Value::integer(2)});
+  Value b = Value::bag({Value::integer(2), Value::integer(1)});
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(person("Mary", 200).hash(), person("Mary", 200).hash());
+}
+
+TEST(Value, ToOqlScalars) {
+  EXPECT_EQ(Value::null().to_oql(), "nil");
+  EXPECT_EQ(Value::boolean(true).to_oql(), "true");
+  EXPECT_EQ(Value::integer(42).to_oql(), "42");
+  EXPECT_EQ(Value::real(2.0).to_oql(), "2.0");
+  EXPECT_EQ(Value::string("Mary").to_oql(), "\"Mary\"");
+}
+
+TEST(Value, ToOqlCollections) {
+  Value bag = Value::bag({Value::string("Mary"), Value::string("Sam")});
+  EXPECT_EQ(bag.to_oql(), "bag(\"Mary\", \"Sam\")");
+  EXPECT_EQ(Value::bag({}).to_oql(), "bag()");
+  EXPECT_EQ(Value::list({Value::integer(1)}).to_oql(), "list(1)");
+}
+
+TEST(Value, ToOqlStruct) {
+  EXPECT_EQ(person("Mary", 200).to_oql(),
+            "struct(name: \"Mary\", salary: 200)");
+}
+
+TEST(Value, UnionOfBagsIsBagWithMultiplicity) {
+  // §1.3: "In DISCO, the union of two bags is a bag."
+  Value a = Value::bag({Value::integer(1)});
+  Value b = Value::bag({Value::integer(1), Value::integer(2)});
+  Value u = Value::union_with(a, b);
+  EXPECT_EQ(u.kind(), ValueKind::Bag);
+  EXPECT_EQ(u.size(), 3u);
+}
+
+TEST(Value, UnionOfSetsIsSet) {
+  Value a = Value::set({Value::integer(1)});
+  Value b = Value::set({Value::integer(1), Value::integer(2)});
+  Value u = Value::union_with(a, b);
+  EXPECT_EQ(u.kind(), ValueKind::Set);
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST(Value, UnionRejectsScalars) {
+  EXPECT_THROW(Value::union_with(Value::integer(1), Value::bag({})),
+               ExecutionError);
+}
+
+TEST(Value, MakeRowBag) {
+  Value rows = make_row_bag({"name", "salary"},
+                            {{Value::string("Mary"), Value::integer(200)},
+                             {Value::string("Sam"), Value::integer(50)}});
+  EXPECT_EQ(rows.kind(), ValueKind::Bag);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.items()[0], person("Mary", 200));
+}
+
+TEST(Value, MakeRowBagRejectsArityMismatch) {
+  EXPECT_THROW(make_row_bag({"a", "b"}, {{Value::integer(1)}}),
+               InternalError);
+}
+
+TEST(Value, CopyIsShallowAndCheap) {
+  Value big = Value::bag(std::vector<Value>(1000, Value::integer(7)));
+  Value copy = big;  // shared payload
+  EXPECT_EQ(copy, big);
+  EXPECT_EQ(copy.items().data(), big.items().data());
+}
+
+TEST(Value, NestedStructures) {
+  Value nested = Value::strct(
+      {{"inner", Value::bag({person("Mary", 200), person("Sam", 50)})}});
+  EXPECT_EQ(nested.field("inner").size(), 2u);
+  EXPECT_EQ(nested.field("inner").items()[1].field("name").as_string(),
+            "Sam");
+}
+
+}  // namespace
+}  // namespace disco
