@@ -1,0 +1,116 @@
+// Experiment: the concurrent executor's speedup (DESIGN.md §2).
+//
+// The paper's §4 semantics says the exec calls of a plan "proceed in
+// parallel"; the virtual-time runtime only *accounts* for that. This
+// bench makes the parallelism real: an 8-source fan-out query where
+// every source sits ~5ms (simulated, replayed in wall time) away, run
+//
+//   * sequentially (workers=1: the wall-clock path, one call at a time),
+//   * fanned out   (workers=4: calls overlap on the thread pool),
+//
+// plus the virtual-time baseline (workers=0, no wall waits at all) and a
+// multi-client throughput section on the shared pool.
+//
+//   build/bench/bench_parallel
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "worlds.hpp"
+
+int main() {
+  using namespace disco;
+  using namespace disco::bench;
+
+  const size_t kSources = 8;
+  const size_t kRows = 200;
+  const int kRepeats = 5;
+  const net::LatencyModel kLatency{0.005, 1e-6, 0};
+  const char* kQuery = "select x.name from x in person where x.salary > 500";
+  const auto caps = grammar::CapabilitySet{.get = true,
+                                           .project = true,
+                                           .select = true,
+                                           .join = true,
+                                           .compose = true};
+
+  auto world_with = [&](size_t workers) {
+    Mediator::Options options;
+    options.exec.workers = workers;
+    return std::make_unique<ScaledWorld>(kSources, kRows, caps, kLatency,
+                                         /*seed=*/7, options);
+  };
+
+  auto time_queries = [&](Mediator& mediator) {
+    Stopwatch watch;
+    size_t rows = 0;
+    for (int i = 0; i < kRepeats; ++i) {
+      rows += mediator.query(kQuery).data().size();
+    }
+    return std::make_pair(watch.seconds() / kRepeats, rows / kRepeats);
+  };
+
+  std::printf("parallel executor: %zu-source fan-out, %.0fms per source "
+              "(simulated, replayed in wall time), %d repeats\n\n",
+              kSources, kLatency.base_s * 1e3, kRepeats);
+
+  // Virtual-time baseline: no wall waits, elapsed time is simulated.
+  auto virtual_world = world_with(0);
+  auto [virtual_wall, rows] = time_queries(virtual_world->mediator);
+  std::printf("%-22s %10.2f ms wall   (simulated elapsed %.2f ms)\n",
+              "workers=0 (virtual)", virtual_wall * 1e3,
+              virtual_world->mediator.query(kQuery).stats().run.elapsed_s *
+                  1e3);
+
+  // Wall-clock, serialized: one worker drains the fan-out one call at a
+  // time, so the query costs ~ sum of the source latencies.
+  auto serial_world = world_with(1);
+  auto [serial_wall, serial_rows] = time_queries(serial_world->mediator);
+  std::printf("%-22s %10.2f ms wall\n", "workers=1 (serial)",
+              serial_wall * 1e3);
+
+  // Wall-clock, fanned out: the pool overlaps the source waits.
+  auto parallel_world = world_with(4);
+  auto [parallel_wall, parallel_rows] = time_queries(parallel_world->mediator);
+  std::printf("%-22s %10.2f ms wall\n", "workers=4 (parallel)",
+              parallel_wall * 1e3);
+
+  const double speedup = serial_wall / parallel_wall;
+  std::printf("\nspeedup (workers=4 vs workers=1): %.2fx  %s\n", speedup,
+              speedup >= 2.0 ? "(>= 2x)" : "(below the 2x target!)");
+  if (rows != serial_rows || rows != parallel_rows) {
+    std::printf("ROW MISMATCH: virtual=%zu serial=%zu parallel=%zu\n", rows,
+                serial_rows, parallel_rows);
+    return 1;
+  }
+
+  // Multi-client throughput: 8 application threads hammer the workers=4
+  // mediator; the shared pool bounds total source-call parallelism.
+  const size_t kClients = 8;
+  const int kQueriesPerClient = 10;
+  parallel_world->mediator.network().reset_stats();
+  Stopwatch watch;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        parallel_world->mediator.query(kQuery);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double elapsed = watch.seconds();
+  const size_t total = kClients * kQueriesPerClient;
+
+  net::TrafficStats traffic = parallel_world->mediator.traffic_stats();
+  exec::MetricsSnapshot metrics = parallel_world->mediator.exec_metrics();
+  std::printf("\n%zu clients x %d queries on workers=4: %.1f queries/s "
+              "(%.2f ms/query)\n",
+              kClients, kQueriesPerClient, total / elapsed,
+              elapsed / total * 1e3);
+  std::printf("federation traffic: calls=%llu rows=%llu failures=%llu\n",
+              static_cast<unsigned long long>(traffic.calls),
+              static_cast<unsigned long long>(traffic.rows),
+              static_cast<unsigned long long>(traffic.failures));
+  std::printf("executor metrics:   %s\n", metrics.to_string().c_str());
+  return speedup >= 2.0 ? 0 : 1;
+}

@@ -23,7 +23,8 @@ struct ScaledWorld {
                                          .join = true,
                                          .compose = true},
               net::LatencyModel latency = {0.010, 0.00002, 0},
-              uint64_t seed = 7) {
+              uint64_t seed = 7, Mediator::Options mediator_options = {})
+      : mediator(mediator_options) {
     SplitMix64 rng(seed);
     auto w = std::make_shared<wrapper::MemDbWrapper>(caps);
     wrapper = w.get();

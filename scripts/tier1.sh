@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then
+# run the `concurrency` label on its own (the concurrent-executor suite).
+#
+#   scripts/tier1.sh                # plain build + tests
+#   DISCO_TSAN=1 scripts/tier1.sh   # additionally rebuild the concurrency
+#                                   # suite under ThreadSanitizer
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$(nproc)"
+ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$repo/build" -L concurrency --output-on-failure
+
+if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
+  echo "== ThreadSanitizer pass (concurrency label) =="
+  cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
+  cmake --build "$repo/build-tsan" -j "$(nproc)" --target test_exec
+  ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
+fi
+
+echo "tier-1 OK"

@@ -1,5 +1,7 @@
 #include "core/mediator.hpp"
 
+#include <optional>
+
 #include "algebra/to_oql.hpp"
 #include "common/error.hpp"
 #include "odl/odl.hpp"
@@ -13,7 +15,13 @@ namespace disco {
 Mediator::Mediator() : Mediator(Options{}) {}
 
 Mediator::Mediator(Options options)
-    : options_(std::move(options)), network_(options_.network_seed) {}
+    : options_(std::move(options)), network_(options_.network_seed) {
+  if (options_.exec.workers > 0) {
+    pool_ = std::make_unique<exec::ThreadPool>(options_.exec.workers);
+    dispatcher_ = std::make_unique<exec::ParallelDispatcher>(
+        pool_.get(), &network_, options_.exec, &exec_metrics_);
+  }
+}
 
 void Mediator::register_wrapper(const std::string& name,
                                 std::shared_ptr<wrapper::Wrapper> wrapper) {
@@ -112,6 +120,7 @@ physical::ExecContext Mediator::make_context(
     return wrapper_by_name(name);
   };
   context.resolver = resolver;
+  context.dispatcher = dispatcher_.get();
   context.deadline_s = deadline_s;
   context.validate_rows = options_.validate_source_rows;
   context.record_exec = [this](const std::string& repository,
@@ -126,22 +135,40 @@ Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
   if (!options_.enable_plan_cache) {
     return query(oql::parse(oql_text), options);
   }
-  // §3.3: cached plans are recomputed when the catalog changes.
-  if (plan_cache_version_ != catalog_.version()) {
-    plan_cache_.clear();
-    plan_cache_version_ = catalog_.version();
-    ++plan_cache_stats_.invalidations;
+  // §3.3: cached plans are recomputed when the catalog changes — and when
+  // cost observations materially move the learned model, so a plan chosen
+  // with the 0/1 default does not outlive the first real measurements.
+  const uint64_t catalog_version = catalog_.version();
+  const uint64_t history_version = history_.version();
+  std::optional<optimizer::Optimizer::Result> planned;
+  {
+    std::unique_lock lock(plan_cache_mutex_);
+    if (plan_cache_catalog_version_ != catalog_version ||
+        plan_cache_history_version_ != history_version) {
+      plan_cache_.clear();
+      plan_cache_catalog_version_ = catalog_version;
+      plan_cache_history_version_ = history_version;
+      ++plan_cache_stats_.invalidations;
+    }
+    auto it = plan_cache_.find(oql_text);
+    if (it != plan_cache_.end()) {
+      ++plan_cache_stats_.hits;
+      planned = it->second;  // cheap: shared subtrees
+    } else {
+      ++plan_cache_stats_.misses;
+    }
   }
-  auto it = plan_cache_.find(oql_text);
-  if (it == plan_cache_.end()) {
-    ++plan_cache_stats_.misses;
-    optimizer::Optimizer::Result planned =
-        make_optimizer().optimize(oql::parse(oql_text));
-    it = plan_cache_.emplace(oql_text, std::move(planned)).first;
-  } else {
-    ++plan_cache_stats_.hits;
+  if (!planned) {
+    planned = make_optimizer().optimize(oql::parse(oql_text));
+    std::unique_lock lock(plan_cache_mutex_);
+    // Cache only if the world did not move while we optimized; a stale
+    // insert would serve outdated plans to later queries.
+    if (plan_cache_catalog_version_ == catalog_version &&
+        plan_cache_history_version_ == history_version) {
+      plan_cache_.emplace(oql_text, *planned);
+    }
   }
-  return run_planned(it->second, options);
+  return run_planned(*planned, options);
 }
 
 Answer Mediator::query(const oql::ExprPtr& query_expr,
@@ -174,6 +201,7 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
       stats.run.exec_calls += run.stats.exec_calls;
       stats.run.unavailable_calls += run.stats.unavailable_calls;
       stats.run.rows_fetched += run.stats.rows_fetched;
+      stats.run.retry_attempts += run.stats.retry_attempts;
       stats.run.elapsed_s += run.stats.elapsed_s;
       if (!run.complete()) {
         aux_incomplete = true;
@@ -205,6 +233,7 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
   stats.run.exec_calls += run.stats.exec_calls;
   stats.run.unavailable_calls += run.stats.unavailable_calls;
   stats.run.rows_fetched += run.stats.rows_fetched;
+  stats.run.retry_attempts += run.stats.retry_attempts;
   stats.run.elapsed_s += run.stats.elapsed_s;
 
   if (run.complete()) {

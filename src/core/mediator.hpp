@@ -20,16 +20,28 @@
 //     extent person0 of Person wrapper w0 repository r0;
 //   )");
 //   disco::Answer a = m.query("select x.name from x in person");
+//
+// Concurrency: query() is safe to call from many threads at once —
+// the plan cache sits under a shared_mutex, CostHistory and the network
+// are internally synchronized, and with Options::exec.workers > 0 the
+// source calls of each plan fan out across one shared thread pool.
+// Administration (execute_odl, register_*) is NOT safe concurrently with
+// queries: define the federation first, then serve traffic.
 #pragma once
 
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
 #include "catalog/catalog.hpp"
 #include "core/answer.hpp"
+#include "exec/dispatcher.hpp"
+#include "exec/metrics.hpp"
+#include "exec/thread_pool.hpp"
 #include "net/network.hpp"
 #include "optimizer/cost.hpp"
 #include "optimizer/optimizer.hpp"
@@ -57,9 +69,15 @@ class Mediator {
     bool validate_source_rows = false;
     /// Reuse optimized plans for repeated query texts. Invalidated by any
     /// catalog change (§3.3: "the mediator must monitor updates to
-    /// extents, and modify or recompute plans"). Cached plans do not see
-    /// cost-history updates until the next invalidation.
+    /// extents, and modify or recompute plans") and by material
+    /// cost-history updates, so cached plans are re-optimized once real
+    /// cost observations arrive.
     bool enable_plan_cache = false;
+    /// Concurrent executor (src/exec/): workers == 0 keeps the paper's
+    /// deterministic sequential virtual-time simulation; workers >= 1
+    /// switches to wall-clock mode — source calls fan out over a thread
+    /// pool with per-call deadlines and retry-with-backoff.
+    exec::ExecOptions exec;
   };
 
   Mediator();
@@ -107,8 +125,20 @@ class Mediator {
     uint64_t misses = 0;
     uint64_t invalidations = 0;
   };
-  const PlanCacheStats& plan_cache_stats() const {
+  /// Snapshot (the counters move concurrently under load).
+  PlanCacheStats plan_cache_stats() const {
+    std::shared_lock lock(plan_cache_mutex_);
     return plan_cache_stats_;
+  }
+
+  /// Aggregated per-endpoint network counters across the whole
+  /// federation — one number stream for load tests instead of polling
+  /// every repository. Thread-safe.
+  net::TrafficStats traffic_stats() const { return network_.total_stats(); }
+
+  /// Concurrent-executor counters (zeroes when exec.workers == 0).
+  exec::MetricsSnapshot exec_metrics() const {
+    return exec_metrics_.snapshot();
   }
 
  private:
@@ -129,10 +159,21 @@ class Mediator {
                      std::function<std::shared_ptr<wrapper::Wrapper>()>>
       factories_;
 
-  // Plan cache (Options::enable_plan_cache).
+  // Concurrent executor (Options::exec.workers > 0); shared by every
+  // query so the pool bounds total source-call parallelism.
+  exec::Metrics exec_metrics_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::unique_ptr<exec::ParallelDispatcher> dispatcher_;
+
+  // Plan cache (Options::enable_plan_cache), shared across concurrent
+  // queries. Invalidated when the catalog *or* the cost-history version
+  // moves, so §3.3's "recompute plans that are affected" also covers
+  // fresh cost observations.
+  mutable std::shared_mutex plan_cache_mutex_;
   mutable std::unordered_map<std::string, optimizer::Optimizer::Result>
       plan_cache_;
-  mutable uint64_t plan_cache_version_ = 0;
+  mutable uint64_t plan_cache_catalog_version_ = 0;
+  mutable uint64_t plan_cache_history_version_ = 0;
   mutable PlanCacheStats plan_cache_stats_;
 };
 

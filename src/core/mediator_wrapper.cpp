@@ -127,12 +127,16 @@ wrapper::SubmitResult MediatorWrapper::submit(
   } catch (const ExecutionError& e) {
     return wrapper::SubmitResult::refused(e.what());
   }
-  last_oql_ = oql::to_oql(algebra::reconstruct(renamed));
+  const std::string remote_oql = oql::to_oql(algebra::reconstruct(renamed));
+  {
+    std::lock_guard<std::mutex> lock(last_oql_mutex_);
+    last_oql_ = remote_oql;
+  }
 
-  Answer answer = remote_->query(last_oql_);
+  Answer answer = remote_->query(remote_oql);
   if (!answer.complete()) {
     throw ExecutionError(
-        "remote mediator returned a partial answer for: " + last_oql_);
+        "remote mediator returned a partial answer for: " + remote_oql);
   }
 
   // Env-shaped results carry remote attribute names inside each variable's

@@ -17,6 +17,8 @@
 // work in §6.2.
 #pragma once
 
+#include <mutex>
+
 #include "core/mediator.hpp"
 #include "wrapper/wrapper.hpp"
 
@@ -35,10 +37,15 @@ class MediatorWrapper : public wrapper::Wrapper {
   std::string kind() const override { return "mediator"; }
 
   /// Last OQL text shipped to the remote mediator (for tests).
-  const std::string& last_oql() const { return last_oql_; }
+  /// Snapshot: submit() may run concurrently on executor threads.
+  std::string last_oql() const {
+    std::lock_guard<std::mutex> lock(last_oql_mutex_);
+    return last_oql_;
+  }
 
  private:
   Mediator* remote_;
+  mutable std::mutex last_oql_mutex_;
   std::string last_oql_;
 };
 

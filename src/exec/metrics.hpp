@@ -1,0 +1,94 @@
+// Executor-wide counters, updated lock-free from dispatcher threads.
+//
+// §3.3 records per-call cost observations into CostHistory for the
+// optimizer; this block is the *operational* counterpart — aggregate
+// dispatch outcomes for monitoring a mediator under concurrent load
+// (bench_parallel, examples/concurrent_federation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace disco::exec {
+
+/// Plain-value copy of the counters at one instant.
+struct MetricsSnapshot {
+  uint64_t dispatched = 0;   ///< source calls entering the dispatcher
+  uint64_t succeeded = 0;    ///< calls that returned data in time
+  uint64_t failed = 0;       ///< calls given up on (blips or deadline)
+  uint64_t timed_out = 0;    ///< subset of failed: per-call deadline hit
+  uint64_t retries = 0;      ///< re-attempts after an availability blip
+  uint64_t rows = 0;         ///< rows fetched by successful calls
+  double sim_latency_s = 0;  ///< summed simulated latency of successes
+  double wall_s = 0;         ///< summed wall time inside dispatch calls
+
+  std::string to_string() const {
+    return "dispatched=" + std::to_string(dispatched) +
+           " succeeded=" + std::to_string(succeeded) +
+           " failed=" + std::to_string(failed) +
+           " timed_out=" + std::to_string(timed_out) +
+           " retries=" + std::to_string(retries) +
+           " rows=" + std::to_string(rows);
+  }
+};
+
+class Metrics {
+ public:
+  void on_dispatch() { dispatched_.fetch_add(1, std::memory_order_relaxed); }
+  void on_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void on_success(size_t rows, double sim_latency_s) {
+    succeeded_.fetch_add(1, std::memory_order_relaxed);
+    rows_.fetch_add(rows, std::memory_order_relaxed);
+    add_micros(sim_latency_us_, sim_latency_s);
+  }
+  void on_failure(bool timed_out) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (timed_out) timed_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_wall(double wall_s) { add_micros(wall_us_, wall_s); }
+
+  MetricsSnapshot snapshot() const {
+    MetricsSnapshot s;
+    s.dispatched = dispatched_.load(std::memory_order_relaxed);
+    s.succeeded = succeeded_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.timed_out = timed_out_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.rows = rows_.load(std::memory_order_relaxed);
+    s.sim_latency_s =
+        static_cast<double>(sim_latency_us_.load(std::memory_order_relaxed)) /
+        1e6;
+    s.wall_s =
+        static_cast<double>(wall_us_.load(std::memory_order_relaxed)) / 1e6;
+    return s;
+  }
+
+  void reset() {
+    dispatched_ = 0;
+    succeeded_ = 0;
+    failed_ = 0;
+    timed_out_ = 0;
+    retries_ = 0;
+    rows_ = 0;
+    sim_latency_us_ = 0;
+    wall_us_ = 0;
+  }
+
+ private:
+  static void add_micros(std::atomic<uint64_t>& counter, double seconds) {
+    counter.fetch_add(static_cast<uint64_t>(seconds * 1e6),
+                      std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> dispatched_{0};
+  std::atomic<uint64_t> succeeded_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> sim_latency_us_{0};
+  std::atomic<uint64_t> wall_us_{0};
+};
+
+}  // namespace disco::exec

@@ -1,0 +1,52 @@
+#include "exec/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace disco::exec {
+
+ThreadPool::ThreadPool(size_t workers) {
+  internal_check(workers > 0, "thread pool needs at least one worker");
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    internal_check(!stopping_, "submit on a stopping thread pool");
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+}  // namespace disco::exec

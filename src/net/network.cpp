@@ -8,7 +8,10 @@ namespace disco::net {
 
 void VirtualClock::advance(double seconds) {
   internal_check(seconds >= 0, "clock cannot go backwards");
-  now_ += seconds;
+  double observed = now_.load(std::memory_order_relaxed);
+  while (!now_.compare_exchange_weak(observed, observed + seconds,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 Availability Availability::periodic(double up_s, double down_s,
@@ -33,15 +36,18 @@ Availability Availability::random(double up_probability) {
 
 void Network::add_endpoint(Endpoint endpoint) {
   internal_check(!endpoint.name.empty(), "endpoint needs a name");
+  std::unique_lock lock(registry_mutex_);
   stats_.try_emplace(endpoint.name);
   endpoints_[endpoint.name] = std::move(endpoint);
 }
 
 bool Network::has_endpoint(const std::string& name) const {
+  std::shared_lock lock(registry_mutex_);
   return endpoints_.contains(name);
 }
 
 const Endpoint& Network::endpoint(const std::string& name) const {
+  std::shared_lock lock(registry_mutex_);
   auto it = endpoints_.find(name);
   if (it == endpoints_.end()) {
     throw CatalogError("unknown network endpoint '" + name + "'");
@@ -51,6 +57,7 @@ const Endpoint& Network::endpoint(const std::string& name) const {
 
 void Network::set_availability(const std::string& name,
                                Availability availability) {
+  std::unique_lock lock(registry_mutex_);
   auto it = endpoints_.find(name);
   if (it == endpoints_.end()) {
     throw CatalogError("unknown network endpoint '" + name + "'");
@@ -59,6 +66,7 @@ void Network::set_availability(const std::string& name,
 }
 
 void Network::set_latency(const std::string& name, LatencyModel latency) {
+  std::unique_lock lock(registry_mutex_);
   auto it = endpoints_.find(name);
   if (it == endpoints_.end()) {
     throw CatalogError("unknown network endpoint '" + name + "'");
@@ -79,41 +87,78 @@ bool Network::is_up(const Endpoint& endpoint, double at) {
       if (position < 0) position += period;
       return position < a.up_s;
     }
-    case Availability::Mode::Random:
+    case Availability::Mode::Random: {
+      std::lock_guard<std::mutex> lock(rng_mutex_);
       return rng_.next_double() < a.up_probability;
+    }
   }
   return false;
 }
 
 CallOutcome Network::call(const std::string& name, size_t result_rows,
                           double at) {
-  const Endpoint& ep = endpoint(name);
-  TrafficStats& stats = stats_[name];
-  ++stats.calls;
+  Endpoint ep;
+  TrafficStats* stats = nullptr;
+  {
+    std::shared_lock lock(registry_mutex_);
+    auto it = endpoints_.find(name);
+    if (it == endpoints_.end()) {
+      throw CatalogError("unknown network endpoint '" + name + "'");
+    }
+    ep = it->second;  // copy: the model is small and calls must not hold
+                      // the registry lock while drawing random numbers
+    stats = &stats_.find(name)->second;  // shape is stable during queries
+  }
+  std::mutex& stripe = stats_stripe(name);
+  {
+    std::lock_guard<std::mutex> lock(stripe);
+    ++stats->calls;
+  }
   if (!is_up(ep, at)) {
-    ++stats.failures;
+    std::lock_guard<std::mutex> lock(stripe);
+    ++stats->failures;
     return CallOutcome{false, 0};
   }
   double latency = ep.latency.base_s +
                    ep.latency.per_row_s * static_cast<double>(result_rows);
   if (ep.latency.jitter_s > 0) {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
     latency += rng_.next_double() * ep.latency.jitter_s;
   }
-  stats.rows += result_rows;
-  stats.busy_s += latency;
+  {
+    std::lock_guard<std::mutex> lock(stripe);
+    stats->rows += result_rows;
+    stats->busy_s += latency;
+  }
   return CallOutcome{true, latency};
 }
 
-const TrafficStats& Network::stats(const std::string& name) const {
+TrafficStats Network::stats(const std::string& name) const {
+  std::shared_lock lock(registry_mutex_);
   auto it = stats_.find(name);
   if (it == stats_.end()) {
     throw CatalogError("no stats for endpoint '" + name + "'");
   }
+  std::lock_guard<std::mutex> stripe(stats_stripe(name));
   return it->second;
 }
 
+TrafficStats Network::total_stats() const {
+  std::shared_lock lock(registry_mutex_);
+  TrafficStats total;
+  for (const auto& [name, stats] : stats_) {
+    std::lock_guard<std::mutex> stripe(stats_stripe(name));
+    total += stats;
+  }
+  return total;
+}
+
 void Network::reset_stats() {
-  for (auto& [name, stats] : stats_) stats = TrafficStats{};
+  std::unique_lock lock(registry_mutex_);
+  for (auto& [name, stats] : stats_) {
+    std::lock_guard<std::mutex> stripe(stats_stripe(name));
+    stats = TrafficStats{};
+  }
 }
 
 }  // namespace disco::net

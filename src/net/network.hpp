@@ -17,10 +17,24 @@
 // own completion latency; a call completes "in time" when its latency
 // fits within the query deadline. The query's elapsed time is the max
 // over its parallel calls, capped by the deadline.
+//
+// Thread safety: call() and the stats accessors may be invoked from many
+// executor threads at once (exec::ParallelDispatcher). The endpoint
+// registry is guarded by a shared_mutex (reads share it), traffic
+// counters by striped mutexes keyed on the endpoint name, and the jitter
+// RNG by its own small mutex — so single-threaded call sequences draw the
+// exact same random stream as before and the virtual-time tests stay
+// deterministic. No lock is ever held across a wrapper call: wrappers run
+// entirely outside this class. Registering endpoints concurrently with
+// calls to them is not supported (DDL vs. query, like the catalog).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -28,15 +42,16 @@
 
 namespace disco::net {
 
-/// Simulated time in seconds.
+/// Simulated time in seconds. Monotonic; safe to read and advance from
+/// concurrent queries (advance is a CAS add).
 class VirtualClock {
  public:
-  double now() const { return now_; }
+  double now() const { return now_.load(std::memory_order_relaxed); }
   void advance(double seconds);
-  void reset() { now_ = 0; }
+  void reset() { now_.store(0, std::memory_order_relaxed); }
 
  private:
-  double now_ = 0;
+  std::atomic<double> now_{0};
 };
 
 struct LatencyModel {
@@ -88,6 +103,14 @@ struct TrafficStats {
   uint64_t failures = 0;
   uint64_t rows = 0;
   double busy_s = 0;
+
+  TrafficStats& operator+=(const TrafficStats& other) {
+    calls += other.calls;
+    failures += other.failures;
+    rows += other.rows;
+    busy_s += other.busy_s;
+    return *this;
+  }
 };
 
 class Network {
@@ -97,7 +120,8 @@ class Network {
   /// Registers (or replaces) an endpoint.
   void add_endpoint(Endpoint endpoint);
   bool has_endpoint(const std::string& name) const;
-  /// Throws CatalogError when absent.
+  /// Throws CatalogError when absent. Not safe concurrently with
+  /// add_endpoint (returns a reference into the registry).
   const Endpoint& endpoint(const std::string& name) const;
 
   /// Convenience mutators used by tests and failure-injection benches.
@@ -105,17 +129,29 @@ class Network {
   void set_latency(const std::string& name, LatencyModel latency);
 
   /// Simulates one request issued at time `at` whose reply carries
-  /// `result_rows` rows. Does not advance any clock; the caller owns time.
+  /// `result_rows` rows. Does not advance any clock; the caller owns
+  /// time. Thread-safe.
   CallOutcome call(const std::string& name, size_t result_rows, double at);
 
-  const TrafficStats& stats(const std::string& name) const;
+  /// Snapshot of one endpoint's counters. Thread-safe.
+  TrafficStats stats(const std::string& name) const;
+  /// Aggregated counters across every endpoint (Mediator::traffic_stats).
+  TrafficStats total_stats() const;
   void reset_stats();
 
  private:
-  bool is_up(const Endpoint& endpoint, double at);
+  static constexpr size_t kStatsStripes = 16;
 
+  bool is_up(const Endpoint& endpoint, double at);
+  std::mutex& stats_stripe(const std::string& name) const {
+    return stats_mutexes_[std::hash<std::string>{}(name) % kStatsStripes];
+  }
+
+  mutable std::shared_mutex registry_mutex_;  ///< endpoints_ + stats_ shape
   std::unordered_map<std::string, Endpoint> endpoints_;
   std::unordered_map<std::string, TrafficStats> stats_;
+  mutable std::array<std::mutex, kStatsStripes> stats_mutexes_;
+  std::mutex rng_mutex_;
   SplitMix64 rng_;
 };
 

@@ -27,8 +27,20 @@
 // still estimates 0, so the optimizer would flee from whatever it just
 // measured. The repository average is still "recorded cost information"
 // in the paper's sense — it just pools it per source.
+//
+// Thread safety: record() runs from executor threads while estimate()
+// runs inside concurrent optimizations. State is sharded by repository
+// (every key is repository-prefixed, so one call touches one shard) under
+// per-shard shared_mutexes. version() is a monotonic counter bumped when
+// an observation *materially* changes the model — a new exact signature,
+// or an EWMA moving by more than 20% — which the mediator's plan cache
+// watches to re-optimize cached plans after cost observations (§3.3:
+// "modify or recompute plans that are affected").
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -42,7 +54,7 @@ class CostHistory {
   explicit CostHistory(double alpha = 0.5) : alpha_(alpha) {}
 
   /// Records one finished exec call (§3.3). `remote` is the expression
-  /// that was shipped to the wrapper.
+  /// that was shipped to the wrapper. Thread-safe.
   void record(const std::string& repository,
               const algebra::LogicalPtr& remote, double time_s, size_t rows);
 
@@ -55,12 +67,19 @@ class CostHistory {
     size_t observations = 0;
   };
 
+  /// Thread-safe.
   Estimate estimate(const std::string& repository,
                     const algebra::LogicalPtr& remote) const;
 
-  size_t exact_entries() const { return exact_.size(); }
-  size_t repository_entries() const { return per_repository_.size(); }
-  size_t close_entries() const { return close_.size(); }
+  /// Monotonic model version: bumped whenever a recorded observation
+  /// materially changes an estimate. Plan caches invalidate on change.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  size_t exact_entries() const;
+  size_t repository_entries() const;
+  size_t close_entries() const;
   void clear();
 
  private:
@@ -69,14 +88,27 @@ class CostHistory {
     double rows_ewma = 0;
     size_t count = 0;
   };
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::string, Entry> exact;
+    std::unordered_map<std::string, Entry> close;
+    std::unordered_map<std::string, Entry> per_repository;
+  };
+  static constexpr size_t kShards = 8;
 
-  void update(std::unordered_map<std::string, Entry>& map,
+  Shard& shard_for(const std::string& repository) const {
+    return shards_[std::hash<std::string>{}(repository) % kShards];
+  }
+  /// Returns true when the update was material (new key, or an EWMA
+  /// moved by more than kMaterialChange relative).
+  bool update(std::unordered_map<std::string, Entry>& map,
               const std::string& key, double time_s, double rows);
 
+  static constexpr double kMaterialChange = 0.2;
+
   double alpha_;
-  std::unordered_map<std::string, Entry> exact_;
-  std::unordered_map<std::string, Entry> close_;
-  std::unordered_map<std::string, Entry> per_repository_;
+  mutable std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> version_{0};
 };
 
 /// Plan cost in the optimizer's model. Network time composes by max

@@ -1,6 +1,7 @@
 #include "physical/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
@@ -26,13 +27,35 @@ RunResult Runtime::run(const PhysicalPtr& plan) {
   max_latency_ = 0;
   any_blocked_ = false;
 
-  Outcome outcome = eval(plan);
+  const auto wall_start = std::chrono::steady_clock::now();
+  Outcome outcome;
+  if (wall_clock_mode()) {
+    prefetch_execs(plan);
+    try {
+      outcome = eval(plan);
+    } catch (...) {
+      drain_prefetched();
+      throw;
+    }
+    drain_prefetched();
+  } else {
+    outcome = eval(plan);
+  }
 
-  // §4 time accounting: parallel calls; if anything blocked we waited for
-  // the whole designated period.
-  double elapsed = any_blocked_ && std::isfinite(context_.deadline_s)
-                       ? context_.deadline_s
-                       : max_latency_;
+  double elapsed;
+  if (wall_clock_mode()) {
+    // Wall-clock mode: the calls genuinely overlapped on the pool and the
+    // latency waits really happened; elapsed time is simply measured.
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            wall_start)
+                  .count();
+  } else {
+    // §4 time accounting: parallel calls; if anything blocked we waited
+    // for the whole designated period.
+    elapsed = any_blocked_ && std::isfinite(context_.deadline_s)
+                  ? context_.deadline_s
+                  : max_latency_;
+  }
   context_.clock->advance(elapsed);
   stats_.elapsed_s = elapsed;
 
@@ -41,6 +64,48 @@ RunResult Runtime::run(const PhysicalPtr& plan) {
   result.residuals = std::move(outcome.residuals);
   result.stats = stats_;
   return result;
+}
+
+void Runtime::prefetch_execs(const PhysicalPtr& plan) {
+  switch (plan->op) {
+    case POp::Exec: {
+      PhysicalPtr node = plan;  // keep the node alive inside the task
+      if (prefetched_.contains(node.get())) return;  // shared subplan
+      prefetched_.emplace(
+          node.get(), context_.dispatcher->async([this, node] {
+            return fetch_from_source(node->repository, node->wrapper,
+                                     node->remote);
+          }));
+      return;
+    }
+    case POp::Filter:
+    case POp::Project:
+      prefetch_execs(plan->child);
+      return;
+    case POp::HashJoin:
+    case POp::MergeJoin:
+    case POp::NestedLoopJoin:
+      prefetch_execs(plan->left);
+      prefetch_execs(plan->right);
+      return;
+    case POp::BindJoin:
+      // Only the build side: the probe expression depends on the build
+      // side's keys and is dispatched when eval_bind_join reaches it.
+      prefetch_execs(plan->left);
+      return;
+    case POp::Union:
+      for (const PhysicalPtr& child : plan->children) prefetch_execs(child);
+      return;
+    case POp::Const:
+      return;
+  }
+}
+
+void Runtime::drain_prefetched() noexcept {
+  for (auto& [node, future] : prefetched_) {
+    if (future.valid()) future.wait();
+  }
+  prefetched_.clear();
 }
 
 Runtime::Outcome Runtime::eval(const PhysicalPtr& node) {
@@ -109,11 +174,9 @@ Runtime::Outcome Runtime::eval(const PhysicalPtr& node) {
   throw InternalError("corrupt physical plan in runtime");
 }
 
-Runtime::Outcome Runtime::call_source(
-    const std::string& repository_name, const std::string& wrapper_name,
-    const algebra::LogicalPtr& remote,
-    const algebra::LogicalPtr& logical_for_residual) {
-  ++stats_.exec_calls;
+Runtime::Fetch Runtime::fetch_from_source(const std::string& repository_name,
+                                          const std::string& wrapper_name,
+                                          const algebra::LogicalPtr& remote) {
   const catalog::Repository& repository =
       context_.catalog->repository(repository_name);
   wrapper::Wrapper* wrapper = context_.wrapper_by_name(wrapper_name);
@@ -127,18 +190,58 @@ Runtime::Outcome Runtime::call_source(
   // unavailable (§4). Only simulated work is wasted.
   wrapper::BindingMap bindings =
       wrapper::bindings_for(remote, *context_.catalog);
-  wrapper::SubmitResult result =
-      wrapper->submit(repository, remote, bindings);
-  if (result.status == wrapper::SubmitResult::Status::Refused) {
-    throw CapabilityError(
-        "wrapper '" + wrapper_name + "' refused a checked expression: " +
-        result.detail);
+  Fetch fetch;
+  fetch.submit = wrapper->submit(repository, remote, bindings);
+  if (fetch.submit.status == wrapper::SubmitResult::Status::Refused) {
+    return fetch;  // call_source throws, on the query's own thread
   }
 
-  size_t rows = result.data.size();
-  net::CallOutcome reply =
-      context_.network->call(repository_name, rows, issue_time_);
-  if (!reply.available || reply.latency_s > context_.deadline_s) {
+  size_t rows = fetch.submit.data.size();
+  if (wall_clock_mode()) {
+    // Retry/backoff/deadline semantics live in the dispatcher; the wait
+    // for the (scaled) simulated latency really happens.
+    fetch.net = context_.dispatcher->call(repository_name, rows, issue_time_,
+                                          context_.deadline_s);
+  } else {
+    net::CallOutcome reply =
+        context_.network->call(repository_name, rows, issue_time_);
+    fetch.net.attempts = 1;
+    fetch.net.latency_s = reply.latency_s;
+    if (!reply.available) {
+      fetch.net.available = false;
+    } else if (reply.latency_s > context_.deadline_s) {
+      fetch.net.timed_out = true;
+    } else {
+      fetch.net.available = true;
+    }
+  }
+  return fetch;
+}
+
+Runtime::Outcome Runtime::call_source(
+    const Physical* origin, const std::string& repository_name,
+    const std::string& wrapper_name, const algebra::LogicalPtr& remote,
+    const algebra::LogicalPtr& logical_for_residual) {
+  ++stats_.exec_calls;
+  Fetch fetch;
+  auto it = origin != nullptr ? prefetched_.find(origin) : prefetched_.end();
+  if (it != prefetched_.end()) {
+    std::future<Fetch> future = std::move(it->second);
+    prefetched_.erase(it);
+    fetch = future.get();  // rethrows pool-thread exceptions here
+  } else {
+    fetch = fetch_from_source(repository_name, wrapper_name, remote);
+  }
+  if (fetch.submit.status == wrapper::SubmitResult::Status::Refused) {
+    throw CapabilityError(
+        "wrapper '" + wrapper_name + "' refused a checked expression: " +
+        fetch.submit.detail);
+  }
+
+  if (fetch.net.attempts > 1) {
+    stats_.retry_attempts += fetch.net.attempts - 1;
+  }
+  if (!fetch.net.available) {
     ++stats_.unavailable_calls;
     any_blocked_ = true;
     Outcome out;
@@ -146,10 +249,12 @@ Runtime::Outcome Runtime::call_source(
     return out;
   }
 
-  max_latency_ = std::max(max_latency_, reply.latency_s);
+  wrapper::SubmitResult result = std::move(fetch.submit);
+  size_t rows = result.data.size();
+  max_latency_ = std::max(max_latency_, fetch.net.latency_s);
   stats_.rows_fetched += rows;
   if (context_.record_exec) {
-    context_.record_exec(repository_name, remote, reply.latency_s, rows);
+    context_.record_exec(repository_name, remote, fetch.net.latency_s, rows);
   }
   if (context_.validate_rows && remote->op != algebra::LOp::Project) {
     // §2.1's run-time type check: every variable's rows must inhabit the
@@ -190,7 +295,7 @@ Runtime::Outcome Runtime::call_source(
 }
 
 Runtime::Outcome Runtime::eval_exec(const Physical& node) {
-  return call_source(node.repository, node.wrapper, node.remote,
+  return call_source(&node, node.repository, node.wrapper, node.remote,
                      node.logical);
 }
 
@@ -362,8 +467,8 @@ Runtime::Outcome Runtime::eval_bind_join(const Physical& node) {
     }
   }
 
-  Outcome right =
-      call_source(node.repository, node.wrapper, remote, node.logical);
+  Outcome right = call_source(/*origin=*/nullptr, node.repository,
+                              node.wrapper, remote, node.logical);
   if (!right.residuals.empty()) {
     out.residuals.push_back(node.logical);
     return out;

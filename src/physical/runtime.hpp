@@ -26,17 +26,29 @@
 //     §3.2, so this is also what the paper's algebra can express);
 //   * union concatenates.
 // The final answer is union(residuals..., data) — a query again.
+//
+// Two execution modes share the operator code (DESIGN.md §2, "Execution
+// concurrency"):
+//   * virtual-time (ExecContext::dispatcher == nullptr): the seed's
+//     deterministic simulation — calls run sequentially, parallelism is
+//     accounted as max over latencies, the VirtualClock advances;
+//   * wall-clock (dispatcher set): exec leaves are prefetched onto the
+//     dispatcher's thread pool, simulated latency is actually waited
+//     out, blips are retried with backoff, and elapsed time is measured.
 #pragma once
 
 #include <cmath>
 #include <functional>
+#include <future>
 #include <limits>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/logical.hpp"
 #include "catalog/catalog.hpp"
+#include "exec/dispatcher.hpp"
 #include "net/network.hpp"
 #include "oql/eval.hpp"
 #include "physical/plan.hpp"
@@ -54,6 +66,8 @@ struct ExecContext {
   /// Extra collections visible to predicate/projection evaluation
   /// (materialized auxiliary extents for nested subqueries); may be null.
   const oql::CollectionResolver* resolver = nullptr;
+  /// Wall-clock executor; null selects the sequential virtual-time path.
+  exec::ParallelDispatcher* dispatcher = nullptr;
   /// Query deadline in seconds of virtual time (§4's "designated time").
   double deadline_s = std::numeric_limits<double>::infinity();
   /// §2.1: "At run-time, the wrapper checks that these types are indeed
@@ -73,7 +87,8 @@ struct RunStats {
   size_t exec_calls = 0;
   size_t unavailable_calls = 0;  ///< down or past-deadline
   size_t rows_fetched = 0;
-  double elapsed_s = 0;  ///< virtual time consumed by the plan
+  size_t retry_attempts = 0;  ///< wall-clock mode: attempts beyond the first
+  double elapsed_s = 0;  ///< virtual (or wall, in wall-clock mode) time
 };
 
 struct RunResult {
@@ -98,6 +113,12 @@ class Runtime {
     std::vector<Value> data;  ///< env structs or projected values
     std::vector<algebra::LogicalPtr> residuals;
   };
+  /// One source call: the wrapper's reply plus the (possibly retried)
+  /// network outcome. Produced on a pool thread in wall-clock mode.
+  struct Fetch {
+    wrapper::SubmitResult submit;
+    exec::DispatchOutcome net;
+  };
 
   Outcome eval(const PhysicalPtr& node);
   Outcome eval_exec(const Physical& node);
@@ -105,11 +126,24 @@ class Runtime {
   Outcome eval_bind_join(const Physical& node);
   /// Shared exec machinery: runs `remote` at `repository` through
   /// `wrapper_name`; on unavailability the residual is
-  /// `logical_for_residual`.
-  Outcome call_source(const std::string& repository,
+  /// `logical_for_residual`. `origin` identifies the plan node for
+  /// prefetch lookup (null for bind-join probes, whose remote expression
+  /// is built at eval time).
+  Outcome call_source(const Physical* origin, const std::string& repository,
                       const std::string& wrapper_name,
                       const algebra::LogicalPtr& remote,
                       const algebra::LogicalPtr& logical_for_residual);
+  /// Wrapper submit + simulated network call, in either mode. Touches
+  /// only thread-safe components, so it can run on a pool thread.
+  Fetch fetch_from_source(const std::string& repository,
+                          const std::string& wrapper_name,
+                          const algebra::LogicalPtr& remote);
+  bool wall_clock_mode() const { return context_.dispatcher != nullptr; }
+  /// Wall-clock mode: launch every exec leaf of `plan` onto the pool.
+  void prefetch_execs(const PhysicalPtr& plan);
+  /// Blocks until every still-pending prefetched call finished, so pool
+  /// tasks never outlive this Runtime (exception path, DAG-shaped plans).
+  void drain_prefetched() noexcept;
 
   ExecContext context_;
   oql::Evaluator evaluator_;
@@ -117,6 +151,7 @@ class Runtime {
   double max_latency_ = 0;     ///< slowest completed call
   bool any_blocked_ = false;   ///< at least one call missed the deadline
   RunStats stats_;
+  std::unordered_map<const Physical*, std::future<Fetch>> prefetched_;
 };
 
 }  // namespace disco::physical

@@ -297,7 +297,10 @@ SubmitResult MemDbWrapper::submit(const catalog::Repository& repository,
     return SubmitResult::refused(std::get<Refusal>(result).reason);
   }
   const Translation& translation = std::get<Translation>(result);
-  last_sql_ = translation.sql;
+  {
+    std::lock_guard<std::mutex> lock(last_sql_mutex_);
+    last_sql_ = translation.sql;
+  }
 
   // The language boundary: ship *text*, let the source parse and run it.
   memdb::Engine engine(db_it->second);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "sources/memdb/database.hpp"
 #include "sources/memdb/engine.hpp"
@@ -46,12 +47,17 @@ class MemDbWrapper : public Wrapper {
 
   /// The last MiniSQL text shipped to a source — observable evidence that
   /// translation crossed the language boundary. For tests and benches.
-  const std::string& last_sql() const { return last_sql_; }
+  /// Snapshot: submit() may run concurrently on executor threads.
+  std::string last_sql() const {
+    std::lock_guard<std::mutex> lock(last_sql_mutex_);
+    return last_sql_;
+  }
 
  private:
   grammar::CapabilitySet capability_set_;
   std::optional<grammar::Grammar> grammar_override_;
   std::unordered_map<std::string, memdb::Database*> databases_;
+  mutable std::mutex last_sql_mutex_;
   std::string last_sql_;
 };
 
