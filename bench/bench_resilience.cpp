@@ -1,0 +1,210 @@
+// Experiment: time-to-complete under flapping sources with the circuit
+// breaker on vs off (DESIGN.md §4, src/session/).
+//
+// The federation: six person databases behind repositories ~10ms
+// (simulated) away, replayed in compressed wall time. Repository r0
+// flaps: hard down during outage windows, up in between. Two phases:
+//
+//   * flap phase — synchronous queries issued while r0 cycles down/up.
+//     With the breaker off every query over the dark source pays the
+//     call deadline; once the breaker trips, queries short-circuit and
+//     the partial answer is immediate.
+//   * recovery phase — async sessions submitted while r0 is dark, then
+//     r0 comes back for good. Measured: wall time from recovery until
+//     every QueryHandle has finished itself (probe closes the circuit,
+//     the recovery notification resubmits the residuals).
+//
+// Results go to BENCH_resilience.json (or argv[1]).
+//
+//   build/bench/bench_resilience
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "worlds.hpp"
+
+namespace {
+
+using namespace disco;
+using namespace disco::bench;
+
+constexpr size_t kSources = 6;
+constexpr size_t kRows = 50;
+constexpr int kFlapCycles = 3;
+constexpr int kQueriesPerWindow = 4;
+constexpr size_t kSessions = 8;
+const char* kQuery = "select x.name from x in person where x.salary > 100";
+
+struct RunResult {
+  double flap_query_ms_avg = 0;    ///< mean sync-query wall time, flap phase
+  double flap_query_ms_max = 0;
+  int partial_answers = 0;         ///< partials seen during the flap phase
+  double recovery_to_complete_ms = 0;  ///< r0 back -> all sessions done
+  uint64_t short_circuits = 0;
+  uint64_t probes = 0;
+  uint64_t resubmissions = 0;
+  uint64_t sessions_completed = 0;
+};
+
+Mediator::Options bench_options(bool breaker_on) {
+  Mediator::Options options;
+  options.exec.workers = 4;
+  options.exec.latency_scale = 0.001;  // 10ms simulated -> 10us wall
+  options.exec.call_deadline_s = 100.0;  // a blocked call costs ~100ms wall
+  // Stubborn retries (simulated seconds): a hard-down source burns
+  // backoff until the call deadline, so without the breaker every query
+  // over it pays the full ~100ms wall. That is the cost short-circuiting
+  // avoids.
+  options.exec.retry.max_attempts = 6;
+  options.exec.retry.initial_backoff_s = 10.0;
+  options.exec.retry.max_backoff_s = 30.0;
+  options.health.enabled = breaker_on;
+  options.health.failure_threshold = 2;
+  // Simulated seconds; the health clock runs at 1/latency_scale x wall
+  // speed, so the cooldown is ~100ms wall and probes sweep every ~20ms.
+  options.health.open_cooldown_s = 100.0;
+  options.health.probe_interval_s = 20.0;
+  options.health.probe_deadline_s = 1.0;
+  options.session.retry_interval_s = 0.1;  // wall seconds
+  return options;
+}
+
+RunResult run_once(bool breaker_on) {
+  ScaledWorld world(kSources, kRows,
+                    grammar::CapabilitySet{.get = true,
+                                           .project = true,
+                                           .select = true,
+                                           .join = true,
+                                           .compose = true},
+                    net::LatencyModel{0.010, 1e-5, 0}, /*seed=*/7,
+                    bench_options(breaker_on));
+  auto& mediator = world.mediator;
+  auto& net = mediator.network();
+  RunResult out;
+
+  // --- flap phase: r0 cycles hard-down / up while queries arrive.
+  int timed_queries = 0;
+  for (int cycle = 0; cycle < kFlapCycles; ++cycle) {
+    for (bool down : {true, false}) {
+      net.set_availability("r0", down ? net::Availability::always_down()
+                                      : net::Availability::always_up());
+      for (int q = 0; q < kQueriesPerWindow; ++q) {
+        Stopwatch watch;
+        Answer answer = mediator.query(kQuery);
+        const double ms = watch.seconds() * 1e3;
+        out.flap_query_ms_avg += ms;
+        out.flap_query_ms_max = std::max(out.flap_query_ms_max, ms);
+        ++timed_queries;
+        if (!answer.complete()) ++out.partial_answers;
+      }
+    }
+  }
+  out.flap_query_ms_avg /= timed_queries;
+
+  // --- recovery phase: sessions submitted against a dark r0, which then
+  // comes back for good; the handles must finish themselves.
+  net.set_availability("r0", net::Availability::always_down());
+  // Make sure the breaker (when on) is tripped before submitting.
+  (void)mediator.query(kQuery);
+  (void)mediator.query(kQuery);
+  std::vector<session::QueryHandle> handles;
+  for (size_t i = 0; i < kSessions; ++i) {
+    handles.push_back(mediator.submit(kQuery));
+  }
+  // Let the cooldown run out while the source is still dark, so the
+  // measured interval is recovery-detection + resubmission, not cooldown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  net.set_availability("r0", net::Availability::always_up());
+  Stopwatch recovery;
+  for (session::QueryHandle& handle : handles) {
+    Answer final = handle.wait();
+    if (final.complete()) ++out.sessions_completed;
+    out.resubmissions += handle.resubmissions();
+  }
+  out.recovery_to_complete_ms = recovery.seconds() * 1e3;
+
+  exec::MetricsSnapshot metrics = mediator.exec_metrics();
+  out.short_circuits = metrics.short_circuits;
+  out.probes = metrics.probes;
+  return out;
+}
+
+void print_result(const char* label, const RunResult& r) {
+  std::printf("%-12s flap avg %8.2f ms  max %8.2f ms  partials %2d   "
+              "recovery->complete %8.2f ms  short_circuits=%llu probes=%llu "
+              "resubmissions=%llu\n",
+              label, r.flap_query_ms_avg, r.flap_query_ms_max,
+              r.partial_answers, r.recovery_to_complete_ms,
+              static_cast<unsigned long long>(r.short_circuits),
+              static_cast<unsigned long long>(r.probes),
+              static_cast<unsigned long long>(r.resubmissions));
+}
+
+void write_json(const char* path, const RunResult& off, const RunResult& on) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  auto emit = [&](const char* key, const RunResult& r, const char* tail) {
+    std::fprintf(
+        f,
+        "  \"%s\": {\n"
+        "    \"flap_query_ms_avg\": %.3f,\n"
+        "    \"flap_query_ms_max\": %.3f,\n"
+        "    \"partial_answers\": %d,\n"
+        "    \"recovery_to_complete_ms\": %.3f,\n"
+        "    \"short_circuits\": %llu,\n"
+        "    \"probes\": %llu,\n"
+        "    \"resubmissions\": %llu,\n"
+        "    \"sessions_completed\": %llu\n"
+        "  }%s\n",
+        key, r.flap_query_ms_avg, r.flap_query_ms_max, r.partial_answers,
+        r.recovery_to_complete_ms,
+        static_cast<unsigned long long>(r.short_circuits),
+        static_cast<unsigned long long>(r.probes),
+        static_cast<unsigned long long>(r.resubmissions),
+        static_cast<unsigned long long>(r.sessions_completed), tail);
+  };
+  std::fprintf(f, "{\n  \"bench\": \"resilience\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"sources\": %zu, \"flap_cycles\": %d, "
+               "\"queries_per_window\": %d, \"sessions\": %zu, "
+               "\"call_deadline_wall_ms\": 100},\n",
+               kSources, kFlapCycles, kQueriesPerWindow, kSessions);
+  emit("breaker_off", off, ",");
+  emit("breaker_on", on, ",");
+  std::fprintf(f, "  \"flap_speedup\": %.2f\n}\n",
+               on.flap_query_ms_avg > 0
+                   ? off.flap_query_ms_avg / on.flap_query_ms_avg
+                   : 0.0);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("resilience: %zu sources, r0 flapping (%d cycles x %d "
+              "queries), %zu async sessions across an outage\n\n",
+              kSources, kFlapCycles, kQueriesPerWindow, kSessions);
+
+  RunResult off = run_once(/*breaker_on=*/false);
+  print_result("breaker off", off);
+  RunResult on = run_once(/*breaker_on=*/true);
+  print_result("breaker on", on);
+
+  std::printf("\nflap-phase speedup (breaker on vs off): %.2fx\n",
+              on.flap_query_ms_avg > 0
+                  ? off.flap_query_ms_avg / on.flap_query_ms_avg
+                  : 0.0);
+
+  write_json(argc > 1 ? argv[1] : "BENCH_resilience.json", off, on);
+  const bool sane = off.sessions_completed == kSessions &&
+                    on.sessions_completed == kSessions &&
+                    on.short_circuits > 0 && on.probes > 0;
+  if (!sane) std::printf("SANITY FAILURE: see counters above\n");
+  return sane ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// Async queries that finish themselves (src/session/, DESIGN.md §7).
+//
+//   build/examples/resilient_sessions
+//
+// The paper's §4 partial answers are one half of resilience: a query
+// over a dark source still returns, carrying the unanswered part as a
+// residual query. This example shows the other half — the mediator's
+// session layer notices when the source comes back and completes the
+// answer on its own:
+//
+//   * the circuit breaker trips after repeated failures, so queries over
+//     the dark repository short-circuit instead of waiting out deadlines,
+//   * a background probe (on the executor's thread pool) watches the
+//     open circuit and closes it when the source answers again,
+//   * Mediator::submit() returns a QueryHandle; the ResubmissionManager
+//     re-executes only the residual queries on recovery and merges the
+//     rows into the answer the handle already holds.
+#include <iostream>
+#include <thread>
+
+#include "core/disco.hpp"
+
+int main() {
+  using namespace disco;
+
+  Mediator::Options options;
+  options.exec.workers = 2;           // wall-clock mode: real thread pool
+  options.exec.latency_scale = 0.01;  // replay 10ms sim latency as 0.1ms
+  options.exec.call_deadline_s = 5.0;
+  options.health.enabled = true;      // circuit breakers + prober on
+  options.health.failure_threshold = 2;
+  options.health.open_cooldown_s = 5.0;    // simulated seconds
+  options.health.probe_interval_s = 2.0;   // ~20ms wall between sweeps
+  // Rely on the recovery notification, not the periodic retry sweep, so
+  // the probe -> circuit-closed -> resubmit path is what you see below.
+  options.session.retry_interval_s = 2.0;
+  Mediator mediator(options);
+
+  // The paper's running federation: Mary in r0, Sam in r1.
+  memdb::Database db0{"db0"}, db1{"db1"};
+  auto& p0 = db0.create_table("person0", {{"id", memdb::ColumnType::Int},
+                                          {"name", memdb::ColumnType::Text},
+                                          {"salary", memdb::ColumnType::Int}});
+  p0.insert({Value::integer(1), Value::string("Mary"), Value::integer(200)});
+  auto& p1 = db1.create_table("person1", {{"id", memdb::ColumnType::Int},
+                                          {"name", memdb::ColumnType::Text},
+                                          {"salary", memdb::ColumnType::Int}});
+  p1.insert({Value::integer(2), Value::string("Sam"), Value::integer(50)});
+
+  auto wrapper = std::make_shared<wrapper::MemDbWrapper>();
+  wrapper->attach_database("r0", &db0);
+  wrapper->attach_database("r1", &db1);
+  mediator.register_wrapper("w0", std::move(wrapper));
+  mediator.register_repository(
+      catalog::Repository{"r0", "rodin", "db", "123.45.6.7"},
+      net::LatencyModel{0.010, 0.0001, 0});
+  mediator.register_repository(
+      catalog::Repository{"r1", "ada", "db", "123.45.6.8"},
+      net::LatencyModel{0.020, 0.0001, 0});
+  mediator.execute_odl(R"(
+    interface Person (extent person) {
+      attribute Long id;
+      attribute String name;
+      attribute Short salary; };
+    extent person0 of Person wrapper w0 repository r0;
+    extent person1 of Person wrapper w0 repository r1;
+  )");
+
+  const std::string query = "select x.name from x in person";
+
+  // r0 goes dark; a couple of failures trip its breaker.
+  mediator.network().set_availability("r0", net::Availability::always_down());
+  for (int i = 0; i < 2; ++i) (void)mediator.query(query);
+  std::cout << "r0 circuit: "
+            << session::to_string(mediator.health_tracker().state("r0"))
+            << "\n";
+
+  // Submit asynchronously: the handle is immediately useful.
+  session::QueryHandle handle = mediator.submit(query);
+  handle.wait_for(0.2);  // give the initial run a moment
+  Answer partial = handle.snapshot();
+  std::cout << "snapshot while r0 is dark (state="
+            << session::to_string(handle.state())
+            << "):\n  " << partial.to_oql() << "\n";
+
+  handle.on_complete([](const Answer& answer) {
+    std::cout << "callback: session completed with " << answer.data().size()
+              << " rows\n";
+  });
+
+  // The source recovers; the prober closes the circuit and the manager
+  // resubmits the residual. The same handle completes itself.
+  mediator.network().set_availability("r0", net::Availability::always_up());
+  Answer full = handle.wait();
+  std::cout << "final answer (resubmissions=" << handle.resubmissions()
+            << "): " << full.to_oql() << "\n";
+  std::cout << "r0 circuit: "
+            << session::to_string(mediator.health_tracker().state("r0"))
+            << ", probes=" << mediator.exec_metrics().probes << "\n";
+  return full.complete() ? 0 : 1;
+}

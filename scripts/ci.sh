@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification, the concurrency suites on their
+# own, and (opt-in) a ThreadSanitizer pass over them.
+#
+#   scripts/ci.sh                 # build + full tests + concurrency label
+#   DISCO_TSAN=1 scripts/ci.sh    # additionally rebuild the concurrency
+#                                 # suites under ThreadSanitizer
+#   DISCO_BENCH=1 scripts/ci.sh   # additionally run the resilience bench
+#                                 # (writes BENCH_resilience.json)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== tier-1: build + full test suite =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$(nproc)"
+ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)"
+
+echo "== concurrency label (executor + session subsystem) =="
+ctest --test-dir "$repo/build" -L concurrency --output-on-failure
+
+if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
+  echo "== ThreadSanitizer pass (concurrency label) =="
+  cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
+  cmake --build "$repo/build-tsan" -j "$(nproc)" \
+    --target test_exec test_session
+  ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
+fi
+
+if [[ "${DISCO_BENCH:-0}" != "0" ]]; then
+  echo "== resilience bench =="
+  cmake --build "$repo/build" -j "$(nproc)" --target bench_resilience
+  "$repo/build/bench/bench_resilience" "$repo/BENCH_resilience.json"
+fi
+
+echo "ci OK"

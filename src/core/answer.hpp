@@ -47,6 +47,10 @@ class Answer {
   /// The residual queries over unavailable sources, as OQL text.
   std::vector<std::string> residual_queries() const;
 
+  /// The residual queries as expressions — what the session layer
+  /// re-executes on resubmission (src/session/).
+  const std::vector<oql::ExprPtr>& residuals() const { return residuals_; }
+
   /// The whole answer as one OQL expression (§4's union(query, data)).
   /// For complete answers this is the data literal.
   oql::ExprPtr as_expr() const;

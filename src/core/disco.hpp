@@ -10,6 +10,8 @@
 #include "core/mediator_wrapper.hpp"  // composing mediators (Fig. 1)
 #include "core/system_catalog.hpp"    // the catalog component C (Fig. 1)
 #include "net/network.hpp"            // simulated network & availability
+#include "session/health.hpp"         // circuit breakers & probing
+#include "session/session.hpp"        // async QueryHandle sessions
 #include "sources/csv/csv_source.hpp" // CSV data sources
 #include "sources/kvstore/kv_store.hpp" // key-value data sources
 #include "sources/memdb/database.hpp" // memdb relational data sources

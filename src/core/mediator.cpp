@@ -1,5 +1,6 @@
 #include "core/mediator.hpp"
 
+#include <chrono>
 #include <optional>
 
 #include "algebra/to_oql.hpp"
@@ -12,6 +13,22 @@
 
 namespace disco {
 
+namespace {
+
+/// RAII pairing of the shared admin-exclusion lock with the in-flight
+/// query counter (the counter exists so admin errors can say how many).
+struct QueryGate {
+  QueryGate(std::shared_mutex& mutex, std::atomic<size_t>& counter)
+      : lock(mutex), counter(&counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~QueryGate() { counter->fetch_sub(1, std::memory_order_relaxed); }
+  std::shared_lock<std::shared_mutex> lock;
+  std::atomic<size_t>* counter;
+};
+
+}  // namespace
+
 Mediator::Mediator() : Mediator(Options{}) {}
 
 Mediator::Mediator(Options options)
@@ -21,10 +38,97 @@ Mediator::Mediator(Options options)
     dispatcher_ = std::make_unique<exec::ParallelDispatcher>(
         pool_.get(), &network_, options_.exec, &exec_metrics_);
   }
+
+  // Health tracking (src/session/). The tracker's time base is simulated
+  // seconds in both modes: the VirtualClock in virtual-time mode, wall
+  // time divided by latency_scale in wall-clock mode — so cooldowns and
+  // probe intervals mean the same thing everywhere.
+  session::SourceHealthTracker::Clock health_clock;
+  if (options_.exec.workers > 0) {
+    const auto epoch = std::chrono::steady_clock::now();
+    const double scale = options_.exec.latency_scale;
+    health_clock = [epoch, scale] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           epoch)
+                 .count() /
+             scale;
+    };
+  } else {
+    health_clock = [this] { return clock_.now(); };
+  }
+  tracker_ = std::make_unique<session::SourceHealthTracker>(
+      options_.health, std::move(health_clock));
+  if (dispatcher_ != nullptr) {
+    // Wall-clock mode: every dispatched call's final outcome feeds the
+    // tracker from the dispatcher threads. (Virtual-time mode feeds it
+    // through ExecContext::report_health instead — see make_context.)
+    dispatcher_->set_outcome_listener(
+        [this](const std::string& endpoint,
+               const exec::DispatchOutcome& outcome) {
+          tracker_->on_outcome(endpoint, outcome.available,
+                               outcome.latency_s);
+        });
+  }
+
+  sessions_ = std::make_unique<session::ResubmissionManager>(
+      [this](const std::string& text, double deadline_s) {
+        QueryOptions q;
+        q.deadline_s = deadline_s;
+        return query(text, q);
+      },
+      options_.session);
+  tracker_->set_listener([this](const std::string&, session::CircuitState,
+                                session::CircuitState to) {
+    // A circuit closed: some source came back — resubmit residuals now
+    // instead of waiting out the retry interval.
+    if (to == session::CircuitState::Closed) sessions_->notify_recovery();
+  });
+
+  if (options_.health.enabled && dispatcher_ != nullptr) {
+    // Background half-open probes, priced like zero-row calls. Probe
+    // latencies keep the §3.3 cost model warm while a source is dark:
+    // successful probes are recorded under a sentinel expression, so the
+    // per-repository average reflects the source's current round-trip
+    // time the moment it recovers.
+    static const algebra::LogicalPtr kProbeSignature =
+        algebra::get("__health_probe", "p");
+    prober_ = std::make_unique<session::Prober>(
+        tracker_.get(), pool_.get(),
+        options_.health.probe_interval_s * options_.exec.latency_scale,
+        [this](const std::string& repository) {
+          return dispatcher_->probe(repository, clock_.now(),
+                                    options_.health.probe_deadline_s);
+        },
+        [this](const std::string& repository,
+               const exec::DispatchOutcome& outcome) {
+          if (outcome.available) {
+            history_.record(repository, kProbeSignature, outcome.latency_s,
+                            0);
+          }
+        });
+  }
+}
+
+std::unique_lock<std::shared_mutex> Mediator::admin_lock(const char* what) {
+  std::unique_lock lock(admin_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    throw ExecutionError(
+        std::string("cannot ") + what + " while " +
+        std::to_string(active_queries_.load(std::memory_order_relaxed)) +
+        " query(ies) are in flight: administration and queries must not "
+        "overlap (define the federation first, then serve traffic)");
+  }
+  return lock;
 }
 
 void Mediator::register_wrapper(const std::string& name,
                                 std::shared_ptr<wrapper::Wrapper> wrapper) {
+  auto guard = admin_lock("register a wrapper");
+  register_wrapper_locked(name, std::move(wrapper));
+}
+
+void Mediator::register_wrapper_locked(
+    const std::string& name, std::shared_ptr<wrapper::Wrapper> wrapper) {
   internal_check(wrapper != nullptr, "null wrapper");
   if (wrappers_.contains(name)) {
     throw CatalogError("wrapper '" + name + "' is already defined");
@@ -35,6 +139,7 @@ void Mediator::register_wrapper(const std::string& name,
 void Mediator::register_wrapper_factory(
     const std::string& constructor,
     std::function<std::shared_ptr<wrapper::Wrapper>()> factory) {
+  auto guard = admin_lock("register a wrapper factory");
   internal_check(static_cast<bool>(factory), "null wrapper factory");
   factories_[constructor] = std::move(factory);
 }
@@ -42,6 +147,13 @@ void Mediator::register_wrapper_factory(
 void Mediator::register_repository(catalog::Repository repository,
                                    net::LatencyModel latency,
                                    net::Availability availability) {
+  auto guard = admin_lock("register a repository");
+  register_repository_locked(std::move(repository), latency, availability);
+}
+
+void Mediator::register_repository_locked(catalog::Repository repository,
+                                          net::LatencyModel latency,
+                                          net::Availability availability) {
   net::Endpoint endpoint;
   endpoint.name = repository.name;
   endpoint.latency = latency;
@@ -59,6 +171,7 @@ wrapper::Wrapper* Mediator::wrapper_by_name(const std::string& name) const {
 }
 
 void Mediator::execute_odl(const std::string& text) {
+  auto guard = admin_lock("execute ODL");
   for (const odl::Statement& statement : odl::parse_odl(text)) {
     if (const auto* interface_def = std::get_if<odl::InterfaceDef>(&statement)) {
       catalog_.types().define(interface_def->type);
@@ -89,25 +202,34 @@ void Mediator::execute_odl(const std::string& text) {
             throw CatalogError("Repository has no attribute '" + key + "'");
           }
         }
-        register_repository(std::move(repository),
-                            options_.default_latency);
+        register_repository_locked(std::move(repository),
+                                   options_.default_latency,
+                                   net::Availability{});
       } else {
         auto factory = factories_.find(assignment->constructor);
         if (factory == factories_.end()) {
           throw CatalogError("unknown constructor '" +
                              assignment->constructor + "'");
         }
-        register_wrapper(assignment->var, factory->second());
+        register_wrapper_locked(assignment->var, factory->second());
       }
     }
   }
 }
 
 optimizer::Optimizer Mediator::make_optimizer() const {
-  return optimizer::Optimizer(
+  optimizer::Optimizer opt(
       &catalog_,
       [this](const std::string& name) { return wrapper_by_name(name); },
       &history_, options_.optimizer);
+  if (options_.health.enabled) {
+    // Health-aware costing: plans leaning on open-circuit or flaky
+    // sources price their expected retries (availability 0 while Open).
+    opt.set_health([this](const std::string& repository) {
+      return tracker_->availability(repository);
+    });
+  }
+  return opt;
 }
 
 physical::ExecContext Mediator::make_context(
@@ -128,12 +250,29 @@ physical::ExecContext Mediator::make_context(
                                double time_s, size_t rows) {
     history_.record(repository, remote, time_s, rows);
   };
+  if (options_.health.enabled) {
+    context.admit_source = [this](const std::string& repository) {
+      bool admitted = tracker_->admit(repository);
+      if (!admitted) exec_metrics_.on_short_circuit();
+      return admitted;
+    };
+  }
+  if (dispatcher_ == nullptr) {
+    // Virtual-time mode has no dispatcher outcome listener; the runtime
+    // reports each finished source call here. Health is tracked even
+    // when breaking is disabled (passive monitoring).
+    context.report_health = [this](const std::string& repository,
+                                   bool available, double latency_s) {
+      tracker_->on_outcome(repository, available, latency_s);
+    };
+  }
   return context;
 }
 
 Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
+  QueryGate gate(admin_mutex_, active_queries_);
   if (!options_.enable_plan_cache) {
-    return query(oql::parse(oql_text), options);
+    return query_impl(oql::parse(oql_text), options);
   }
   // §3.3: cached plans are recomputed when the catalog changes — and when
   // cost observations materially move the learned model, so a plan chosen
@@ -173,9 +312,20 @@ Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
 
 Answer Mediator::query(const oql::ExprPtr& query_expr,
                        QueryOptions options) {
+  QueryGate gate(admin_mutex_, active_queries_);
+  return query_impl(query_expr, options);
+}
+
+Answer Mediator::query_impl(const oql::ExprPtr& query_expr,
+                            QueryOptions options) {
   optimizer::Optimizer::Result planned =
       make_optimizer().optimize(query_expr);
   return run_planned(planned, options);
+}
+
+session::QueryHandle Mediator::submit(const std::string& oql_text,
+                                      QueryOptions options) {
+  return sessions_->submit(oql_text, options.deadline_s);
 }
 
 Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
@@ -200,6 +350,7 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
       physical::RunResult run = runtime.run(plan);
       stats.run.exec_calls += run.stats.exec_calls;
       stats.run.unavailable_calls += run.stats.unavailable_calls;
+      stats.run.short_circuit_calls += run.stats.short_circuit_calls;
       stats.run.rows_fetched += run.stats.rows_fetched;
       stats.run.retry_attempts += run.stats.retry_attempts;
       stats.run.elapsed_s += run.stats.elapsed_s;
@@ -232,6 +383,7 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
   physical::RunResult run = runtime.run(planned.plan);
   stats.run.exec_calls += run.stats.exec_calls;
   stats.run.unavailable_calls += run.stats.unavailable_calls;
+  stats.run.short_circuit_calls += run.stats.short_circuit_calls;
   stats.run.rows_fetched += run.stats.rows_fetched;
   stats.run.retry_attempts += run.stats.retry_attempts;
   stats.run.elapsed_s += run.stats.elapsed_s;

@@ -25,10 +25,21 @@
 // the plan cache sits under a shared_mutex, CostHistory and the network
 // are internally synchronized, and with Options::exec.workers > 0 the
 // source calls of each plan fan out across one shared thread pool.
-// Administration (execute_odl, register_*) is NOT safe concurrently with
-// queries: define the federation first, then serve traffic.
+// Administration (execute_odl, register_*) is NOT allowed concurrently
+// with queries and is *enforced*: admin calls throw ExecutionError while
+// any query is in flight (define the federation first, then serve
+// traffic).
+//
+// Resilience (src/session/): every source-call outcome feeds a
+// SourceHealthTracker. With Options::health.enabled the tracker's
+// circuit breakers short-circuit calls to dark sources (partial answers
+// with zero wait instead of a timeout), a background prober re-tests
+// open circuits, and the optimizer penalizes plans leaning on unhealthy
+// sources. submit() returns a QueryHandle whose partial answer finishes
+// itself as sources recover.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -45,6 +56,8 @@
 #include "net/network.hpp"
 #include "optimizer/cost.hpp"
 #include "optimizer/optimizer.hpp"
+#include "session/health.hpp"
+#include "session/session.hpp"
 #include "wrapper/wrapper.hpp"
 
 namespace disco {
@@ -78,6 +91,12 @@ class Mediator {
     /// switches to wall-clock mode — source calls fan out over a thread
     /// pool with per-call deadlines and retry-with-backoff.
     exec::ExecOptions exec;
+    /// Circuit breakers + background probing (src/session/). Health is
+    /// always *tracked*; set health.enabled to also short-circuit calls
+    /// to open circuits and run the half-open prober.
+    session::HealthOptions health;
+    /// Background completion of partial answers (Mediator::submit()).
+    session::SessionOptions session;
   };
 
   Mediator();
@@ -116,6 +135,27 @@ class Mediator {
   Answer query(const std::string& oql_text, QueryOptions options = {});
   Answer query(const oql::ExprPtr& query, QueryOptions options = {});
 
+  // -- asynchronous sessions (src/session/) ----------------------------------
+  /// Submits a query for background execution and returns immediately.
+  /// The handle's snapshot() is the current best (§4 partial) answer;
+  /// the ResubmissionManager re-executes the residuals as sources
+  /// recover until the answer is complete. Thread-safe.
+  session::QueryHandle submit(const std::string& oql_text,
+                              QueryOptions options = {});
+
+  /// Per-repository circuit-breaker state and EWMA health.
+  session::SourceHealthTracker& health_tracker() { return *tracker_; }
+  const session::SourceHealthTracker& health_tracker() const {
+    return *tracker_;
+  }
+  session::SourceHealth source_health(const std::string& repository) const {
+    return tracker_->health(repository);
+  }
+  /// Background-completion counters (submitted/completed/resubmissions).
+  session::ResubmissionManager::Stats session_stats() const {
+    return sessions_->stats();
+  }
+
   /// Optimizer output for a query: chosen physical plan, cost estimate,
   /// alternatives considered. For debugging and the benches.
   std::string explain(const std::string& oql_text) const;
@@ -142,11 +182,27 @@ class Mediator {
   }
 
  private:
+  /// query() without the admin/query exclusion gate (the public entry
+  /// points hold the shared side; nesting shared locks would deadlock
+  /// against a waiting admin writer).
+  Answer query_impl(const oql::ExprPtr& query, QueryOptions options);
   Answer run_planned(const optimizer::Optimizer::Result& planned,
                      QueryOptions options);
   optimizer::Optimizer make_optimizer() const;
   physical::ExecContext make_context(const oql::CollectionResolver* resolver,
                                      double deadline_s);
+
+  /// "No administration during queries": returns the held (unique) admin
+  /// lock, or throws ExecutionError naming `what` when queries are in
+  /// flight. Queries hold the shared side for their whole duration.
+  std::unique_lock<std::shared_mutex> admin_lock(const char* what);
+  /// Registration bodies without the gate, for use under admin_lock()
+  /// (execute_odl registers repositories/wrappers while holding it).
+  void register_wrapper_locked(const std::string& name,
+                               std::shared_ptr<wrapper::Wrapper> wrapper);
+  void register_repository_locked(catalog::Repository repository,
+                                  net::LatencyModel latency,
+                                  net::Availability availability);
 
   Options options_;
   catalog::Catalog catalog_;
@@ -175,6 +231,20 @@ class Mediator {
   mutable uint64_t plan_cache_catalog_version_ = 0;
   mutable uint64_t plan_cache_history_version_ = 0;
   mutable PlanCacheStats plan_cache_stats_;
+
+  // Admin/query exclusion (enforced "define first, then serve"):
+  // queries hold the shared side, admin try-locks the unique side and
+  // throws instead of blocking.
+  mutable std::shared_mutex admin_mutex_;
+  std::atomic<size_t> active_queries_{0};
+
+  // Session subsystem (src/session/). Declared last on purpose —
+  // destroyed first, in order: sessions_ (its worker runs queries
+  // against everything above), then prober_ (submits probe jobs to
+  // pool_ and reports into tracker_), then tracker_.
+  std::unique_ptr<session::SourceHealthTracker> tracker_;
+  std::unique_ptr<session::Prober> prober_;
+  std::unique_ptr<session::ResubmissionManager> sessions_;
 };
 
 }  // namespace disco

@@ -30,10 +30,33 @@ ParallelDispatcher::ParallelDispatcher(ThreadPool* pool,
   internal_check(options_.latency_scale > 0, "latency scale must be > 0");
 }
 
+void ParallelDispatcher::set_outcome_listener(OutcomeListener listener) {
+  on_outcome_ = std::move(listener);
+}
+
 DispatchOutcome ParallelDispatcher::call(const std::string& endpoint,
                                          size_t result_rows, double issue_at,
                                          double deadline_s) {
-  metrics_->on_dispatch();
+  return dispatch(endpoint, result_rows, issue_at, deadline_s,
+                  /*probe=*/false);
+}
+
+DispatchOutcome ParallelDispatcher::probe(const std::string& endpoint,
+                                          double issue_at,
+                                          double deadline_s) {
+  return dispatch(endpoint, /*result_rows=*/0, issue_at, deadline_s,
+                  /*probe=*/true);
+}
+
+DispatchOutcome ParallelDispatcher::dispatch(const std::string& endpoint,
+                                             size_t result_rows,
+                                             double issue_at,
+                                             double deadline_s, bool probe) {
+  if (probe) {
+    metrics_->on_probe();
+  } else {
+    metrics_->on_dispatch();
+  }
   const double deadline = std::min(deadline_s, options_.call_deadline_s);
   // Per-call deterministic jitter stream: seeded from a shared counter so
   // no lock is shared between concurrent calls.
@@ -58,7 +81,8 @@ DispatchOutcome ParallelDispatcher::call(const std::string& endpoint,
     }
     out.attempts = attempt;
     net::CallOutcome reply =
-        network_->call(endpoint, result_rows, issue_at + spent);
+        probe ? network_->probe(endpoint, issue_at + spent)
+              : network_->call(endpoint, result_rows, issue_at + spent);
     if (reply.available) {
       double remaining = deadline - spent;
       if (reply.latency_s > remaining) {
@@ -92,9 +116,12 @@ DispatchOutcome ParallelDispatcher::call(const std::string& endpoint,
   out.wall_s = elapsed() * options_.latency_scale;
   metrics_->on_wall(out.wall_s);
   if (out.available) {
-    metrics_->on_success(result_rows, out.latency_s);
+    if (!probe) metrics_->on_success(result_rows, out.latency_s);
   } else {
-    metrics_->on_failure(out.timed_out);
+    if (!probe) metrics_->on_failure(out.timed_out);
+  }
+  if (!probe && on_outcome_) {
+    on_outcome_(endpoint, out);
   }
   return out;
 }

@@ -20,6 +20,9 @@ struct MetricsSnapshot {
   uint64_t timed_out = 0;    ///< subset of failed: per-call deadline hit
   uint64_t retries = 0;      ///< re-attempts after an availability blip
   uint64_t rows = 0;         ///< rows fetched by successful calls
+  // Session subsystem (src/session/) counters:
+  uint64_t short_circuits = 0;  ///< calls refused by an open circuit
+  uint64_t probes = 0;          ///< background half-open probe calls
   double sim_latency_s = 0;  ///< summed simulated latency of successes
   double wall_s = 0;         ///< summed wall time inside dispatch calls
 
@@ -29,7 +32,11 @@ struct MetricsSnapshot {
            " failed=" + std::to_string(failed) +
            " timed_out=" + std::to_string(timed_out) +
            " retries=" + std::to_string(retries) +
-           " rows=" + std::to_string(rows);
+           " rows=" + std::to_string(rows) +
+           " short_circuits=" + std::to_string(short_circuits) +
+           " probes=" + std::to_string(probes) +
+           " sim_latency_s=" + std::to_string(sim_latency_s) +
+           " wall_s=" + std::to_string(wall_s);
   }
 };
 
@@ -46,6 +53,10 @@ class Metrics {
     failed_.fetch_add(1, std::memory_order_relaxed);
     if (timed_out) timed_out_.fetch_add(1, std::memory_order_relaxed);
   }
+  void on_short_circuit() {
+    short_circuits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_probe() { probes_.fetch_add(1, std::memory_order_relaxed); }
   void on_wall(double wall_s) { add_micros(wall_us_, wall_s); }
 
   MetricsSnapshot snapshot() const {
@@ -56,6 +67,8 @@ class Metrics {
     s.timed_out = timed_out_.load(std::memory_order_relaxed);
     s.retries = retries_.load(std::memory_order_relaxed);
     s.rows = rows_.load(std::memory_order_relaxed);
+    s.short_circuits = short_circuits_.load(std::memory_order_relaxed);
+    s.probes = probes_.load(std::memory_order_relaxed);
     s.sim_latency_s =
         static_cast<double>(sim_latency_us_.load(std::memory_order_relaxed)) /
         1e6;
@@ -71,6 +84,8 @@ class Metrics {
     timed_out_ = 0;
     retries_ = 0;
     rows_ = 0;
+    short_circuits_ = 0;
+    probes_ = 0;
     sim_latency_us_ = 0;
     wall_us_ = 0;
   }
@@ -87,6 +102,8 @@ class Metrics {
   std::atomic<uint64_t> timed_out_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> short_circuits_{0};
+  std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> sim_latency_us_{0};
   std::atomic<uint64_t> wall_us_{0};
 };

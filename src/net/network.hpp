@@ -133,6 +133,15 @@ class Network {
   /// time. Thread-safe.
   CallOutcome call(const std::string& name, size_t result_rows, double at);
 
+  /// Simulates one zero-payload health probe issued at time `at`: an
+  /// availability check priced at the endpoint's base latency (plus
+  /// jitter), carrying no rows. Counted in TrafficStats as a call (and a
+  /// failure when down) but contributing no row traffic — the session
+  /// subsystem's half-open probes go through here. Thread-safe.
+  CallOutcome probe(const std::string& name, double at) {
+    return call(name, 0, at);
+  }
+
   /// Snapshot of one endpoint's counters. Thread-safe.
   TrafficStats stats(const std::string& name) const;
   /// Aggregated counters across every endpoint (Mediator::traffic_stats).

@@ -25,9 +25,16 @@ constexpr double kCpuPerRow = 2e-6;
 constexpr double kFilterSelectivity = 0.5;
 constexpr double kJoinSelectivity = 0.25;
 
+// Floor for the health divisor: an open circuit (availability 0) prices
+// a source call at 1/kMinAvailability times its healthy estimate rather
+// than infinity, so such plans stay comparable (everything down is still
+// a valid — partial — answer).
+constexpr double kMinAvailability = 0.05;
+
 class Coster {
  public:
-  explicit Coster(const CostHistory* history) : history_(history) {}
+  Coster(const CostHistory* history, const Optimizer::HealthFn* health)
+      : history_(history), health_(health) {}
 
   Cost cost(const PhysicalPtr& node) const {
     switch (node->op) {
@@ -36,7 +43,8 @@ class Coster {
             history_ == nullptr
                 ? CostHistory::Estimate{}
                 : history_->estimate(node->repository, node->remote);
-        return Cost{est.time_s, 0, std::max(est.rows, 0.0)};
+        return Cost{source_time(node->repository, est.time_s), 0,
+                    std::max(est.rows, 0.0)};
       }
       case physical::POp::Const:
         return Cost{0, 0, static_cast<double>(node->data.size())};
@@ -87,7 +95,8 @@ class Coster {
         // build key; scale the base estimate accordingly.
         double selectivity =
             est.rows > 0 ? std::min(1.0, l.rows / est.rows) : 1.0;
-        double probe_time = est.time_s * selectivity;
+        double probe_time =
+            source_time(node->repository, est.time_s) * selectivity;
         double probe_rows = est.rows * selectivity;
         // Sequential: keys can only ship after the build side is in.
         return Cost{l.net_s + probe_time,
@@ -110,7 +119,17 @@ class Coster {
   }
 
  private:
+  /// Expected network time of one source call given its health: §3.3's
+  /// learned estimate stretched by 1/availability (the expected number
+  /// of rounds a source answering with probability p needs is 1/p).
+  double source_time(const std::string& repository, double time_s) const {
+    if (health_ == nullptr || !*health_) return time_s;
+    double availability = (*health_)(repository);
+    return time_s / std::max(availability, kMinAvailability);
+  }
+
   const CostHistory* history_;
+  const Optimizer::HealthFn* health_;
 };
 
 /// One from-binding of a branch after decomposition.
@@ -725,7 +744,7 @@ physical::PhysicalPtr try_bind_join(const Optimizer& optimizer,
 }  // namespace
 
 Cost Optimizer::cost(const physical::PhysicalPtr& plan) const {
-  return Coster(history_).cost(plan);
+  return Coster(history_, &health_).cost(plan);
 }
 
 Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query) const {
@@ -753,7 +772,7 @@ Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query) const {
     branches.push_back(unit.plan);
   }
 
-  Coster coster(history_);
+  Coster coster(history_, &health_);
   std::vector<PhysicalPtr> physical_branches;
   physical_branches.reserve(branches.size());
   std::vector<LogicalPtr> chosen_logical;

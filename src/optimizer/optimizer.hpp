@@ -60,9 +60,19 @@ class Optimizer {
  public:
   using WrapperResolver =
       std::function<wrapper::Wrapper*(const std::string&)>;
+  /// Availability estimate for a repository in [0, 1] (session
+  /// subsystem's EWMA; 0 for an open circuit, 1 for an unseen source).
+  using HealthFn = std::function<double(const std::string& repository)>;
 
   Optimizer(const catalog::Catalog* catalog, WrapperResolver wrappers,
             const CostHistory* history, OptimizerOptions options = {});
+
+  /// Makes costing health-aware: the network time of an exec / bind-join
+  /// leaf is divided by its repository's availability (floored), so
+  /// plans that lean on flaky or open-circuit sources price their
+  /// expected retries and residual round-trips and the optimizer steers
+  /// toward healthier alternatives. Empty fn restores neutral costing.
+  void set_health(HealthFn health) { health_ = std::move(health); }
 
   struct Result {
     /// Plan-mode physical plan; null in local mode.
@@ -100,6 +110,7 @@ class Optimizer {
   WrapperResolver wrappers_;
   const CostHistory* history_;
   OptimizerOptions options_;
+  HealthFn health_;
 };
 
 /// True when `expr` is a predicate every wrapper in this system can

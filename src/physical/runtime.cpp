@@ -23,6 +23,7 @@ Runtime::Runtime(ExecContext context)
 RunResult Runtime::run(const PhysicalPtr& plan) {
   internal_check(plan != nullptr, "cannot run a null plan");
   stats_ = RunStats{};
+  denied_.clear();
   issue_time_ = context_.clock->now();
   max_latency_ = 0;
   any_blocked_ = false;
@@ -70,7 +71,15 @@ void Runtime::prefetch_execs(const PhysicalPtr& plan) {
   switch (plan->op) {
     case POp::Exec: {
       PhysicalPtr node = plan;  // keep the node alive inside the task
-      if (prefetched_.contains(node.get())) return;  // shared subplan
+      if (prefetched_.contains(node.get()) || denied_.contains(node.get())) {
+        return;  // shared subplan
+      }
+      if (context_.admit_source &&
+          !context_.admit_source(node->repository)) {
+        // Open circuit: never launched; call_source emits the residual.
+        denied_.insert(node.get());
+        return;
+      }
       prefetched_.emplace(
           node.get(), context_.dispatcher->async([this, node] {
             return fetch_from_source(node->repository, node->wrapper,
@@ -223,19 +232,42 @@ Runtime::Outcome Runtime::call_source(
     const std::string& wrapper_name, const algebra::LogicalPtr& remote,
     const algebra::LogicalPtr& logical_for_residual) {
   ++stats_.exec_calls;
+  // Circuit-breaker admission (src/session/): a refused source turns
+  // residual right here — no wrapper work, no network call, and crucially
+  // no any_blocked_, so the query does not pay the §4 deadline wait for a
+  // source already known to be down. admit_source is consulted exactly
+  // once per call (at prefetch time in wall-clock mode, recorded in
+  // denied_), because admission has trial side effects in HalfOpen.
+  bool refused_by_breaker = false;
   Fetch fetch;
   auto it = origin != nullptr ? prefetched_.find(origin) : prefetched_.end();
   if (it != prefetched_.end()) {
     std::future<Fetch> future = std::move(it->second);
     prefetched_.erase(it);
     fetch = future.get();  // rethrows pool-thread exceptions here
+  } else if (origin != nullptr && denied_.contains(origin)) {
+    refused_by_breaker = true;
+  } else if (context_.admit_source &&
+             !context_.admit_source(repository_name)) {
+    refused_by_breaker = true;
   } else {
     fetch = fetch_from_source(repository_name, wrapper_name, remote);
+  }
+  if (refused_by_breaker) {
+    ++stats_.unavailable_calls;
+    ++stats_.short_circuit_calls;
+    Outcome out;
+    out.residuals.push_back(logical_for_residual);
+    return out;
   }
   if (fetch.submit.status == wrapper::SubmitResult::Status::Refused) {
     throw CapabilityError(
         "wrapper '" + wrapper_name + "' refused a checked expression: " +
         fetch.submit.detail);
+  }
+  if (context_.report_health) {
+    context_.report_health(repository_name, fetch.net.available,
+                           fetch.net.latency_s);
   }
 
   if (fetch.net.attempts > 1) {

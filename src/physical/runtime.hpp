@@ -44,6 +44,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "algebra/logical.hpp"
@@ -81,11 +82,25 @@ struct ExecContext {
                      const algebra::LogicalPtr& remote, double time_s,
                      size_t rows)>
       record_exec;
+  /// Circuit-breaker admission (src/session/): when set and returning
+  /// false for a repository, the exec leaf short-circuits — its residual
+  /// is emitted immediately, with no network call and no deadline wait.
+  /// Consulted exactly once per source call; may be empty.
+  std::function<bool(const std::string& repository)> admit_source;
+  /// Health outcome feed: every finished source call (success or final
+  /// failure) reports (repository, available, latency_s). The mediator
+  /// wires this to the SourceHealthTracker in virtual-time mode; in
+  /// wall-clock mode the dispatcher's outcome listener reports instead.
+  /// May be empty.
+  std::function<void(const std::string& repository, bool available,
+                     double latency_s)>
+      report_health;
 };
 
 struct RunStats {
   size_t exec_calls = 0;
-  size_t unavailable_calls = 0;  ///< down or past-deadline
+  size_t unavailable_calls = 0;  ///< down, past-deadline, or open-circuit
+  size_t short_circuit_calls = 0;  ///< subset: refused by an open circuit
   size_t rows_fetched = 0;
   size_t retry_attempts = 0;  ///< wall-clock mode: attempts beyond the first
   double elapsed_s = 0;  ///< virtual (or wall, in wall-clock mode) time
@@ -152,6 +167,11 @@ class Runtime {
   bool any_blocked_ = false;   ///< at least one call missed the deadline
   RunStats stats_;
   std::unordered_map<const Physical*, std::future<Fetch>> prefetched_;
+  /// Exec leaves refused by admit_source at prefetch time (wall-clock
+  /// mode) — call_source short-circuits them without consulting the
+  /// admission hook a second time (admit has trial-admission side
+  /// effects in the circuit breaker).
+  std::unordered_set<const Physical*> denied_;
 };
 
 }  // namespace disco::physical

@@ -1,0 +1,380 @@
+#include "session/session.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "oql/parser.hpp"
+#include "oql/printer.hpp"
+
+namespace disco::session {
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::Pending:
+      return "pending";
+    case SessionState::Complete:
+      return "complete";
+    case SessionState::Failed:
+      return "failed";
+    case SessionState::Cancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+namespace detail {
+
+struct Session {
+  uint64_t id = 0;
+  std::string text;
+  double deadline_s = std::numeric_limits<double>::infinity();
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable changed;
+  SessionState state = SessionState::Pending;
+  bool started = false;  ///< the initial run happened
+  /// Accumulated data rows of the partial answer so far.
+  std::vector<Value> items;
+  /// Residual queries still outstanding.
+  std::vector<oql::ExprPtr> residuals;
+  /// Set once the session completes; for answers that complete on the
+  /// first run this preserves their exact shape (local-mode scalar
+  /// results are not bags).
+  std::unique_ptr<Answer> final_answer;
+  QueryStats stats;  ///< run stats accumulated across (re)submissions
+  uint32_t resubmissions = 0;
+  std::string error;
+  std::vector<std::function<void(const Answer&)>> callbacks;
+
+  /// Must hold mutex. Best current answer in §4 form.
+  Answer snapshot_locked() const {
+    if (state == SessionState::Failed) {
+      throw ExecutionError("query session failed: " + error);
+    }
+    if (final_answer != nullptr) return *final_answer;
+    std::vector<oql::ExprPtr> rest = residuals;
+    if (rest.empty() && !started) {
+      // Not yet executed: the whole query is residual.
+      rest.push_back(oql::parse(text));
+    }
+    if (rest.empty()) {
+      return Answer::complete_answer(Value::bag(items), stats);
+    }
+    return Answer::partial_answer(Value::bag(items), std::move(rest), stats);
+  }
+
+  void accumulate(const QueryStats& run) {
+    stats.run.exec_calls += run.run.exec_calls;
+    stats.run.unavailable_calls += run.run.unavailable_calls;
+    stats.run.short_circuit_calls += run.run.short_circuit_calls;
+    stats.run.rows_fetched += run.run.rows_fetched;
+    stats.run.retry_attempts += run.run.retry_attempts;
+    stats.run.elapsed_s += run.run.elapsed_s;
+    stats.plans_considered += run.plans_considered;
+    stats.estimated = run.estimated;
+    stats.local_mode = run.local_mode;
+  }
+};
+
+}  // namespace detail
+
+// -------------------------------------------------------------- QueryHandle --
+
+namespace {
+
+const detail::Session& deref(
+    const std::shared_ptr<detail::Session>& session) {
+  internal_check(session != nullptr, "empty QueryHandle");
+  return *session;
+}
+
+}  // namespace
+
+uint64_t QueryHandle::id() const { return deref(session_).id; }
+
+const std::string& QueryHandle::text() const { return deref(session_).text; }
+
+SessionState QueryHandle::state() const {
+  const detail::Session& s = deref(session_);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.state;
+}
+
+Answer QueryHandle::snapshot() const {
+  const detail::Session& s = deref(session_);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.snapshot_locked();
+}
+
+Answer QueryHandle::wait() const {
+  const detail::Session& s = deref(session_);
+  std::unique_lock<std::mutex> lock(s.mutex);
+  s.changed.wait(lock, [&] { return s.state != SessionState::Pending; });
+  if (s.state == SessionState::Cancelled) {
+    throw ExecutionError("query session was cancelled");
+  }
+  return s.snapshot_locked();  // throws for Failed
+}
+
+bool QueryHandle::wait_for(double seconds) const {
+  const detail::Session& s = deref(session_);
+  std::unique_lock<std::mutex> lock(s.mutex);
+  return s.changed.wait_for(
+      lock, std::chrono::duration<double>(seconds),
+      [&] { return s.state != SessionState::Pending; });
+}
+
+void QueryHandle::on_complete(std::function<void(const Answer&)> callback) {
+  internal_check(static_cast<bool>(callback), "null completion callback");
+  internal_check(session_ != nullptr, "empty QueryHandle");
+  detail::Session& s = *session_;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (s.state == SessionState::Complete) {
+    Answer final = s.snapshot_locked();
+    lock.unlock();
+    callback(final);
+    return;
+  }
+  s.callbacks.push_back(std::move(callback));
+}
+
+void QueryHandle::cancel() {
+  internal_check(session_ != nullptr, "empty QueryHandle");
+  detail::Session& s = *session_;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.state != SessionState::Pending) return;
+    s.state = SessionState::Cancelled;
+    s.callbacks.clear();
+  }
+  s.changed.notify_all();
+}
+
+uint32_t QueryHandle::resubmissions() const {
+  const detail::Session& s = deref(session_);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.resubmissions;
+}
+
+std::string QueryHandle::error() const {
+  const detail::Session& s = deref(session_);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.error;
+}
+
+// ------------------------------------------------------ ResubmissionManager --
+
+ResubmissionManager::ResubmissionManager(Runner runner,
+                                         SessionOptions options)
+    : runner_(std::move(runner)), options_(options) {
+  internal_check(static_cast<bool>(runner_), "manager needs a runner");
+  internal_check(options_.retry_interval_s > 0,
+                 "retry interval must be positive");
+  worker_ = std::thread([this] { loop(); });
+}
+
+ResubmissionManager::~ResubmissionManager() { stop(); }
+
+void ResubmissionManager::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+QueryHandle ResubmissionManager::submit(std::string oql_text,
+                                        double deadline_s) {
+  auto session = std::make_shared<detail::Session>();
+  session->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  session->text = std::move(oql_text);
+  session->deadline_s = deadline_s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    internal_check(!stopping_, "submit on a stopped session manager");
+    fresh_.push_back(session);
+    ++stats_.submitted;
+  }
+  wake_.notify_all();
+  return QueryHandle(session);
+}
+
+void ResubmissionManager::notify_recovery() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recovery_signal_ = true;
+  }
+  wake_.notify_all();
+}
+
+size_t ResubmissionManager::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size() + fresh_.size();
+}
+
+ResubmissionManager::Stats ResubmissionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool ResubmissionManager::advance(
+    const std::shared_ptr<detail::Session>& session) {
+  detail::Session& s = *session;
+  std::string query_text;
+  double deadline;
+  bool initial;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.state != SessionState::Pending) {
+      std::lock_guard<std::mutex> mgr(mutex_);
+      if (s.state == SessionState::Cancelled) ++stats_.cancelled;
+      return true;
+    }
+    initial = !s.started;
+    deadline = s.deadline_s;
+    if (initial) {
+      query_text = s.text;
+    } else {
+      if (options_.max_resubmissions > 0 &&
+          s.resubmissions >= options_.max_resubmissions) {
+        s.state = SessionState::Failed;
+        s.error = "gave up after " + std::to_string(s.resubmissions) +
+                  " resubmissions";
+        s.callbacks.clear();
+        s.changed.notify_all();
+        std::lock_guard<std::mutex> mgr(mutex_);
+        ++stats_.failed;
+        return true;
+      }
+      // §4: re-execute only the residuals — the data part stays put.
+      query_text = s.residuals.size() == 1
+                       ? oql::to_oql(s.residuals.front())
+                       : oql::to_oql(oql::call("union", s.residuals));
+    }
+  }
+
+  Answer answer = Answer::complete_answer(Value::bag({}), {});
+  try {
+    answer = runner_(query_text, deadline);
+  } catch (const std::exception& e) {
+    std::vector<std::function<void(const Answer&)>> dropped;
+    bool failed_now = false;
+    {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (s.state == SessionState::Pending) {
+        s.state = SessionState::Failed;
+        s.error = e.what();
+        dropped = std::move(s.callbacks);
+        s.callbacks.clear();
+        failed_now = true;
+      }
+    }
+    // Stats first, notify second: a waiter woken by the notify must see
+    // the updated counters.
+    if (failed_now) {
+      std::lock_guard<std::mutex> mgr(mutex_);
+      ++stats_.failed;
+    }
+    s.changed.notify_all();
+    return true;
+  }
+
+  std::vector<std::function<void(const Answer&)>> callbacks;
+  Answer final = answer;
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.state != SessionState::Pending) {
+      std::lock_guard<std::mutex> mgr(mutex_);
+      if (s.state == SessionState::Cancelled) ++stats_.cancelled;
+      return true;
+    }
+    if (!initial) {
+      ++s.resubmissions;
+      std::lock_guard<std::mutex> mgr(mutex_);
+      ++stats_.resubmissions;
+    }
+    s.accumulate(answer.stats());
+    if (initial && answer.complete()) {
+      // Completed on the spot: keep the answer's exact shape (local-mode
+      // results may be scalars, not bags).
+      s.final_answer = std::make_unique<Answer>(answer);
+      s.started = true;
+      done = true;
+    } else {
+      s.started = true;
+      const std::vector<Value>& fresh_rows = answer.data().items();
+      s.items.insert(s.items.end(), fresh_rows.begin(), fresh_rows.end());
+      s.residuals = answer.residuals();
+      if (s.residuals.empty()) {
+        if (s.items.size() == fresh_rows.size() && answer.complete()) {
+          s.final_answer = std::make_unique<Answer>(answer);
+        } else {
+          s.final_answer = std::make_unique<Answer>(
+              Answer::complete_answer(Value::bag(s.items), s.stats));
+        }
+        done = true;
+      }
+    }
+    if (done) {
+      s.state = SessionState::Complete;
+      final = *s.final_answer;
+      callbacks = std::move(s.callbacks);
+      s.callbacks.clear();
+    }
+  }
+  if (done) {
+    // Stats first, notify second (see the failure path above).
+    {
+      std::lock_guard<std::mutex> mgr(mutex_);
+      ++stats_.completed;
+    }
+    s.changed.notify_all();
+    for (const auto& callback : callbacks) callback(final);
+  }
+  return done;
+}
+
+void ResubmissionManager::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const bool work_waiting = !fresh_.empty() || recovery_signal_;
+    if (!work_waiting) {
+      if (pending_.empty()) {
+        wake_.wait(lock, [this] {
+          return stopping_ || !fresh_.empty() || recovery_signal_;
+        });
+      } else {
+        wake_.wait_for(lock,
+                       std::chrono::duration<double>(
+                           options_.retry_interval_s),
+                       [this] {
+                         return stopping_ || !fresh_.empty() ||
+                                recovery_signal_;
+                       });
+      }
+    }
+    if (stopping_) break;
+    recovery_signal_ = false;
+
+    std::vector<std::shared_ptr<detail::Session>> work(fresh_.begin(),
+                                                       fresh_.end());
+    fresh_.clear();
+    work.insert(work.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+
+    lock.unlock();
+    std::vector<std::shared_ptr<detail::Session>> still_pending;
+    for (const auto& session : work) {
+      if (!advance(session)) still_pending.push_back(session);
+    }
+    lock.lock();
+    // New submissions may have arrived meanwhile; they sit in fresh_.
+    pending_.insert(pending_.end(), still_pending.begin(),
+                    still_pending.end());
+  }
+}
+
+}  // namespace disco::session

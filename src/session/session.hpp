@@ -1,0 +1,173 @@
+// Query sessions: partial answers that finish themselves (src/session/).
+//
+// §4 of the paper promises that a partial answer "may later be
+// resubmitted to obtain the full answer" — but in the prototype that
+// resubmission is a manual, caller-driven act. This module turns the
+// promise into an autonomous background guarantee:
+//
+//   session::QueryHandle handle = mediator.submit("select ...");
+//   ...
+//   Answer best = handle.snapshot();   // poll: data so far + residuals
+//   Answer full = handle.wait();       // block until complete
+//
+// A ResubmissionManager owns a worker thread. submit() enqueues the
+// query; the worker runs it (through the ordinary mediator pipeline,
+// which fans source calls out on the exec pool). When the answer is
+// partial the manager holds the data part and the residual queries and,
+// as circuits close (SourceHealthTracker recovery notifications) or on
+// a retry interval, re-executes *only the residuals* and merges the new
+// rows in via the existing Answer union form — residual branches that
+// still fail simply remain residual. With the circuit breaker enabled
+// each retry against a still-dark source short-circuits instantly, so
+// the retry loop costs microseconds, not timeouts.
+//
+// Thread safety: handles are shared-state references; every method may
+// be called from any thread. Callbacks registered with on_complete run
+// on the manager's worker thread (or inline when already complete).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/answer.hpp"
+
+namespace disco::session {
+
+enum class SessionState {
+  Pending,    ///< submitted, or partial and awaiting resubmission
+  Complete,   ///< every residual resolved; snapshot() is the full answer
+  Failed,     ///< a (re)submission threw; error() has the story
+  Cancelled,  ///< cancel() was called before completion
+};
+
+const char* to_string(SessionState state);
+
+struct SessionOptions {
+  /// Resubmission sweep period (wall seconds) when no recovery signal
+  /// arrives. Short-circuiting makes idle sweeps nearly free.
+  double retry_interval_s = 0.05;
+  /// Give up and mark the session Failed after this many resubmissions
+  /// (0 = keep trying until cancelled).
+  uint32_t max_resubmissions = 0;
+};
+
+namespace detail {
+struct Session;
+}  // namespace detail
+
+/// Shared-state reference to one submitted query. Cheap to copy.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  uint64_t id() const;
+  const std::string& text() const;  ///< the original query
+
+  SessionState state() const;
+  bool valid() const { return session_ != nullptr; }
+  /// True once the background loop produced a complete answer.
+  bool complete() const { return state() == SessionState::Complete; }
+
+  /// Current best answer: the rows fetched so far plus the residual
+  /// queries still outstanding (an ordinary §4 partial Answer). Throws
+  /// ExecutionError for Failed sessions, before first execution returns
+  /// an empty partial answer of the original query.
+  Answer snapshot() const;
+
+  /// Blocks until the session leaves Pending, then returns the final
+  /// answer. Throws ExecutionError when the session Failed or was
+  /// Cancelled.
+  Answer wait() const;
+  /// Bounded wait: true when the session left Pending within `seconds`.
+  bool wait_for(double seconds) const;
+
+  /// Registers a completion callback, fired exactly once with the final
+  /// answer (manager thread; inline when already complete). Failed and
+  /// cancelled sessions never fire callbacks.
+  void on_complete(std::function<void(const Answer&)> callback);
+
+  /// Abandons the session: no further resubmissions.
+  void cancel();
+
+  /// Background re-executions so far (0 right after the initial run).
+  uint32_t resubmissions() const;
+  /// For Failed sessions: what the last (re)submission threw.
+  std::string error() const;
+
+ private:
+  friend class ResubmissionManager;
+  explicit QueryHandle(std::shared_ptr<detail::Session> session)
+      : session_(std::move(session)) {}
+
+  std::shared_ptr<detail::Session> session_;
+};
+
+/// Owns the background completion loop. The mediator holds one and
+/// exposes it through Mediator::submit(); it is also usable standalone
+/// over any `run` function with mediator-query semantics.
+class ResubmissionManager {
+ public:
+  /// Runs one OQL text under a deadline and returns its Answer. Called
+  /// from the manager thread only.
+  using Runner = std::function<Answer(const std::string& oql_text,
+                                      double deadline_s)>;
+
+  ResubmissionManager(Runner runner, SessionOptions options = {});
+  ~ResubmissionManager();
+
+  ResubmissionManager(const ResubmissionManager&) = delete;
+  ResubmissionManager& operator=(const ResubmissionManager&) = delete;
+
+  /// Enqueues a query for asynchronous execution; returns immediately.
+  QueryHandle submit(std::string oql_text,
+                     double deadline_s = std::numeric_limits<double>::infinity());
+
+  /// Wakes the worker for an immediate resubmission sweep (wired to
+  /// SourceHealthTracker circuit-closed transitions by the mediator).
+  void notify_recovery();
+
+  /// Sessions still Pending.
+  size_t pending() const;
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    uint64_t resubmissions = 0;  ///< residual re-executions across sessions
+  };
+  Stats stats() const;
+
+  /// Stops the worker; Pending sessions stay Pending forever after.
+  void stop();
+
+ private:
+  void loop();
+  /// Runs the initial query or the residual union for one session;
+  /// returns true when the session left Pending.
+  bool advance(const std::shared_ptr<detail::Session>& session);
+
+  Runner runner_;
+  SessionOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool recovery_signal_ = false;
+  std::deque<std::shared_ptr<detail::Session>> fresh_;
+  std::vector<std::shared_ptr<detail::Session>> pending_;
+  Stats stats_;
+  std::atomic<uint64_t> next_id_{1};
+  std::thread worker_;
+};
+
+}  // namespace disco::session

@@ -11,7 +11,7 @@
 namespace disco::testing {
 
 struct PaperWorld {
-  PaperWorld() {
+  explicit PaperWorld(Mediator::Options options = {}) : mediator(options) {
     auto& p0 = db0.create_table("person0",
                                 {{"id", memdb::ColumnType::Int},
                                  {"name", memdb::ColumnType::Text},

@@ -3,6 +3,10 @@
 // yields the full answer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "fixtures.hpp"
 #include "oql/parser.hpp"
 
@@ -203,6 +207,47 @@ TEST(PartialEval, PeriodicOutageFollowsTheClock) {
   world.mediator.clock().advance(1.2);
   Answer down = world.mediator.query("select x.name from x in person0");
   EXPECT_FALSE(down.complete());
+}
+
+TEST(PartialEval, RoundTripEqualsNeverFailedAnswerAcrossQueryShapes) {
+  // Differential form of the §4 promise (test_differential.cpp style):
+  // for a spread of query shapes, the partial Answer::to_oql() fed back
+  // verbatim after the source recovers must equal, as a multiset, the
+  // answer of a federation that never failed.
+  const std::vector<std::string> queries = {
+      "select x.name from x in person",
+      "select x.name from x in person where x.salary > 10",
+      "select struct(n: x.name, s: x.salary) from x in person "
+      "where x.salary >= 50",
+      "select distinct x.name from x in person where x.id >= 1",
+      "select struct(a: x.name, b: y.name) from x in person0, "
+      "y in person1 where x.id < y.id",
+  };
+  auto sorted_rows = [](const Answer& answer) {
+    std::vector<std::string> rows;
+    for (const Value& item : answer.data().items()) {
+      rows.push_back(item.to_oql());
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  for (const std::string& query : queries) {
+    PaperWorld healthy;
+    Answer expected = healthy.mediator.query(query);
+    ASSERT_TRUE(expected.complete()) << query;
+
+    PaperWorld flaky;
+    flaky.mediator.network().set_availability(
+        "r0", net::Availability::always_down());
+    Answer partial = flaky.mediator.query(query);
+    ASSERT_FALSE(partial.complete()) << query;
+
+    flaky.mediator.network().set_availability(
+        "r0", net::Availability::always_up());
+    Answer recovered = flaky.mediator.query(partial.to_oql());
+    ASSERT_TRUE(recovered.complete()) << query;
+    EXPECT_EQ(sorted_rows(recovered), sorted_rows(expected)) << query;
+  }
 }
 
 TEST(PartialEval, StatsCountUnavailableCalls) {

@@ -1,0 +1,746 @@
+// Tests for the session subsystem (src/session/): circuit-breaker state
+// machine, EWMA health, health-aware planning, asynchronous QueryHandle
+// sessions, the admin/query exclusion gate, and the mediator-level
+// acceptance scenario — a query against a federation with a dark source
+// returns a partial answer without paying the timeout, and the same
+// handle completes itself once the source recovers. All of these run
+// under the `concurrency` ctest label (and the DISCO_SANITIZE=thread
+// build).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/disco.hpp"
+#include "fixtures.hpp"
+#include "oql/parser.hpp"
+#include "session/health.hpp"
+#include "session/session.hpp"
+
+namespace disco {
+namespace {
+
+using disco::testing::PaperWorld;
+
+// --------------------------------------------------- circuit state machine ---
+
+/// Tracker over a hand-cranked clock: every test advances `now`
+/// explicitly, so cooldown behaviour is exact.
+struct TrackerHarness {
+  explicit TrackerHarness(session::HealthOptions options = enabled()) {
+    now = std::make_shared<double>(0.0);
+    auto clock_now = now;
+    tracker = std::make_unique<session::SourceHealthTracker>(
+        options, [clock_now] { return *clock_now; });
+  }
+
+  static session::HealthOptions enabled() {
+    session::HealthOptions options;
+    options.enabled = true;
+    options.failure_threshold = 3;
+    options.open_cooldown_s = 1.0;
+    return options;
+  }
+
+  std::shared_ptr<double> now;
+  std::unique_ptr<session::SourceHealthTracker> tracker;
+};
+
+TEST(CircuitTest, OpensAfterConsecutiveFailures) {
+  TrackerHarness h;
+  auto& t = *h.tracker;
+  EXPECT_EQ(t.state("r0"), session::CircuitState::Closed);
+  t.on_outcome("r0", false, 0);
+  t.on_outcome("r0", false, 0);
+  EXPECT_EQ(t.state("r0"), session::CircuitState::Closed);
+  EXPECT_TRUE(t.admit("r0"));  // two failures: still below threshold
+  t.on_outcome("r0", false, 0);
+  EXPECT_EQ(t.state("r0"), session::CircuitState::Open);
+
+  EXPECT_FALSE(t.admit("r0"));
+  EXPECT_FALSE(t.admit("r0"));
+  session::SourceHealth health = t.health("r0");
+  EXPECT_EQ(health.short_circuits, 2u);
+  EXPECT_EQ(health.consecutive_failures, 3u);
+  EXPECT_EQ(health.failures, 3u);
+  EXPECT_DOUBLE_EQ(t.availability("r0"), 0.0);  // Open pins the signal
+}
+
+TEST(CircuitTest, SuccessResetsConsecutiveFailures) {
+  TrackerHarness h;
+  auto& t = *h.tracker;
+  t.on_outcome("r0", false, 0);
+  t.on_outcome("r0", false, 0);
+  t.on_outcome("r0", true, 0.01);
+  t.on_outcome("r0", false, 0);
+  t.on_outcome("r0", false, 0);
+  EXPECT_EQ(t.state("r0"), session::CircuitState::Closed);
+  EXPECT_EQ(t.health("r0").consecutive_failures, 2u);
+}
+
+TEST(CircuitTest, CooldownAdmitsOneTrialThenClosesOnSuccess) {
+  TrackerHarness h;
+  auto& t = *h.tracker;
+  for (int i = 0; i < 3; ++i) t.on_outcome("r0", false, 0);
+  ASSERT_EQ(t.state("r0"), session::CircuitState::Open);
+  uint64_t epoch = t.recovery_epoch();
+
+  *h.now = 0.5;  // cooldown (1s) not yet elapsed
+  EXPECT_FALSE(t.admit("r0"));
+  *h.now = 1.5;
+  EXPECT_TRUE(t.admit("r0"));  // the half-open trial
+  EXPECT_EQ(t.state("r0"), session::CircuitState::HalfOpen);
+  EXPECT_FALSE(t.admit("r0"));  // trial in flight: everyone else waits
+
+  t.on_outcome("r0", true, 0.02);
+  EXPECT_EQ(t.state("r0"), session::CircuitState::Closed);
+  EXPECT_TRUE(t.admit("r0"));
+  EXPECT_EQ(t.recovery_epoch(), epoch + 1);
+}
+
+TEST(CircuitTest, HalfOpenTrialFailureReopens) {
+  TrackerHarness h;
+  auto& t = *h.tracker;
+  for (int i = 0; i < 3; ++i) t.on_outcome("r0", false, 0);
+  *h.now = 1.5;
+  ASSERT_TRUE(t.admit("r0"));
+  t.on_outcome("r0", false, 0);
+  EXPECT_EQ(t.state("r0"), session::CircuitState::Open);
+  // The cooldown restarted at the failed trial.
+  *h.now = 2.0;
+  EXPECT_FALSE(t.admit("r0"));
+  *h.now = 2.6;
+  EXPECT_TRUE(t.admit("r0"));
+}
+
+TEST(CircuitTest, EwmaTracksAvailabilityAndLatency) {
+  TrackerHarness h;
+  auto& t = *h.tracker;
+  EXPECT_DOUBLE_EQ(t.availability("never_seen"), 1.0);
+
+  t.on_outcome("r0", true, 0.010);
+  session::SourceHealth health = t.health("r0");
+  EXPECT_DOUBLE_EQ(health.availability, 1.0);
+  EXPECT_DOUBLE_EQ(health.latency_ewma_s, 0.010);  // first sighting seeds
+
+  t.on_outcome("r0", false, 0);
+  health = t.health("r0");
+  EXPECT_LT(health.availability, 1.0);
+  EXPECT_GT(health.availability, 0.0);
+  EXPECT_DOUBLE_EQ(health.latency_ewma_s, 0.010);  // failures: no latency
+
+  t.on_outcome("r0", true, 0.030);
+  health = t.health("r0");
+  // alpha = 0.3: 0.7 * 0.010 + 0.3 * 0.030 = 0.016.
+  EXPECT_NEAR(health.latency_ewma_s, 0.016, 1e-12);
+  EXPECT_DOUBLE_EQ(t.availability("r0"), health.availability);
+}
+
+TEST(CircuitTest, ProbeCandidatesAndTryBeginProbe) {
+  TrackerHarness h;
+  auto& t = *h.tracker;
+  t.on_outcome("r0", true, 0.01);
+  EXPECT_TRUE(t.probe_candidates().empty());  // healthy: nothing to probe
+
+  for (int i = 0; i < 3; ++i) t.on_outcome("r0", false, 0);
+  std::vector<std::string> candidates = t.probe_candidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], "r0");
+
+  EXPECT_FALSE(t.try_begin_probe("r0"));  // cooldown not elapsed
+  EXPECT_EQ(t.health("r0").short_circuits, 0u);  // probes never count
+  *h.now = 1.5;
+  EXPECT_TRUE(t.try_begin_probe("r0"));
+  EXPECT_FALSE(t.try_begin_probe("r0"));  // trial probe in flight
+  t.on_outcome("r0", true, 0.01);
+  EXPECT_EQ(t.state("r0"), session::CircuitState::Closed);
+}
+
+TEST(CircuitTest, TransitionListenerFiresOutsideTheLock) {
+  TrackerHarness h;
+  auto& t = *h.tracker;
+  std::vector<std::string> log;
+  std::mutex log_mutex;
+  t.set_listener([&](const std::string& repository,
+                     session::CircuitState from, session::CircuitState to) {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    log.push_back(repository + ":" + session::to_string(from) + ">" +
+                  session::to_string(to));
+    // Re-entering the tracker from the listener must not deadlock.
+    (void)t.state(repository);
+  });
+  for (int i = 0; i < 3; ++i) t.on_outcome("r0", false, 0);
+  *h.now = 1.5;
+  ASSERT_TRUE(t.admit("r0"));
+  t.on_outcome("r0", true, 0.01);
+
+  std::lock_guard<std::mutex> lock(log_mutex);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "r0:closed>open");
+  EXPECT_EQ(log[1], "r0:open>half-open");
+  EXPECT_EQ(log[2], "r0:half-open>closed");
+}
+
+TEST(CircuitTest, ConcurrentOutcomesStaySane) {
+  TrackerHarness h;
+  auto& t = *h.tracker;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t, i] {
+      for (int k = 0; k < 200; ++k) {
+        t.on_outcome("r" + std::to_string(i % 2), k % 3 != 0,
+                     0.001 * (k % 5));
+        (void)t.admit("r" + std::to_string(i % 2));
+        (void)t.availability("r0");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  session::SourceHealth health = t.health("r0");
+  EXPECT_EQ(health.successes + health.failures, 400u);
+  EXPECT_EQ(t.tracked(), 2u);
+}
+
+// --------------------------------------------------- health-aware planning ---
+
+TEST(HealthAwarePlanningTest, UnhealthySourceRaisesPlanCost) {
+  PaperWorld world;
+  optimizer::CostHistory history;
+  history.record("r0", algebra::get("person0", "x"), 0.05, 1);
+
+  optimizer::Optimizer opt(
+      &world.mediator.catalog(),
+      [&](const std::string& name) {
+        return world.mediator.wrapper_by_name(name);
+      },
+      &history);
+  auto planned = opt.optimize(oql::parse("select x.name from x in person0"));
+  ASSERT_NE(planned.plan, nullptr);
+  double healthy = opt.cost(planned.plan).net_s;
+  ASSERT_GT(healthy, 0.0);
+
+  opt.set_health([](const std::string&) { return 0.0; });  // open circuit
+  double dark = opt.cost(planned.plan).net_s;
+  EXPECT_NEAR(dark, healthy / 0.05, 1e-9);  // floored 1/availability
+
+  opt.set_health([](const std::string&) { return 0.5; });
+  EXPECT_NEAR(opt.cost(planned.plan).net_s, healthy * 2.0, 1e-9);
+
+  opt.set_health({});  // cleared: back to neutral costing
+  EXPECT_DOUBLE_EQ(opt.cost(planned.plan).net_s, healthy);
+}
+
+// ------------------------------------- virtual-time breaker (deterministic) ---
+
+Mediator::Options breaker_options() {
+  Mediator::Options options;  // workers = 0: virtual-time path
+  options.health.enabled = true;
+  options.health.failure_threshold = 3;
+  options.health.open_cooldown_s = 1.0;
+  return options;
+}
+
+TEST(BreakerVirtualTest, OpenCircuitShortCircuitsWithoutPayingDeadline) {
+  // Each failing query advances the virtual clock by the full 5s deadline
+  // (runtime.cpp charges blocked calls the deadline), so the cooldown must
+  // exceed the 15 simulated seconds the trip phase consumes or query 4
+  // would legitimately be admitted as the half-open trial.
+  Mediator::Options options = breaker_options();
+  options.health.open_cooldown_s = 100.0;
+  PaperWorld world(options);
+  world.mediator.network().set_availability(
+      "r0", net::Availability::always_down());
+  const std::string query = "select x.name from x in person";
+  const QueryOptions deadline{.deadline_s = 5.0};
+
+  // Three queries trip the breaker; each pays the full designated time
+  // (§4: a blocked call means waiting out the deadline).
+  for (int i = 0; i < 3; ++i) {
+    Answer a = world.mediator.query(query, deadline);
+    ASSERT_FALSE(a.complete());
+    EXPECT_DOUBLE_EQ(a.stats().run.elapsed_s, 5.0);
+    EXPECT_EQ(a.stats().run.short_circuit_calls, 0u);
+  }
+  ASSERT_EQ(world.mediator.health_tracker().state("r0"),
+            session::CircuitState::Open);
+  const uint64_t calls_before = world.mediator.network().stats("r0").calls;
+
+  // Open circuit: the partial answer is immediate — the elapsed virtual
+  // time is r1's latency, not the 5s deadline, and r0 sees no traffic.
+  Answer fast = world.mediator.query(query, deadline);
+  ASSERT_FALSE(fast.complete());
+  EXPECT_EQ(fast.data(), Value::bag({Value::string("Sam")}));
+  EXPECT_EQ(fast.residual_queries().size(), 1u);
+  EXPECT_LT(fast.stats().run.elapsed_s, 0.1);
+  EXPECT_EQ(fast.stats().run.short_circuit_calls, 1u);
+  EXPECT_EQ(fast.stats().run.unavailable_calls, 1u);
+  EXPECT_EQ(world.mediator.network().stats("r0").calls, calls_before);
+  EXPECT_GE(world.mediator.exec_metrics().short_circuits, 1u);
+  EXPECT_EQ(world.mediator.source_health("r0").short_circuits, 1u);
+}
+
+TEST(BreakerVirtualTest, CooldownTrialClosesTheCircuitAgain) {
+  PaperWorld world(breaker_options());
+  auto& net = world.mediator.network();
+  net.set_availability("r0", net::Availability::always_down());
+  const std::string query = "select x.name from x in person";
+  for (int i = 0; i < 3; ++i) {
+    (void)world.mediator.query(query, QueryOptions{.deadline_s = 0.1});
+  }
+  ASSERT_EQ(world.mediator.health_tracker().state("r0"),
+            session::CircuitState::Open);
+
+  // Source recovers; after the cooldown the next query is admitted as
+  // the half-open trial, succeeds, and closes the circuit.
+  net.set_availability("r0", net::Availability::always_up());
+  world.mediator.clock().advance(1.5);
+  Answer healed = world.mediator.query(query);
+  ASSERT_TRUE(healed.complete());
+  EXPECT_EQ(world.mediator.health_tracker().state("r0"),
+            session::CircuitState::Closed);
+
+  std::vector<std::string> rows;
+  for (const Value& item : healed.data().items()) {
+    rows.push_back(item.to_oql());
+  }
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<std::string>{"\"Mary\"", "\"Sam\""}));
+}
+
+TEST(BreakerVirtualTest, DisabledBreakerOnlyObserves) {
+  PaperWorld world;  // health.enabled defaults to false
+  world.mediator.network().set_availability(
+      "r0", net::Availability::always_down());
+  const QueryOptions deadline{.deadline_s = 0.5};
+  for (int i = 0; i < 5; ++i) {
+    Answer a = world.mediator.query("select x.name from x in person",
+                                    deadline);
+    ASSERT_FALSE(a.complete());
+    // Passive mode never short-circuits: every query pays the deadline.
+    EXPECT_DOUBLE_EQ(a.stats().run.elapsed_s, 0.5);
+    EXPECT_EQ(a.stats().run.short_circuit_calls, 0u);
+  }
+  // ... but health is still tracked for observability.
+  session::SourceHealth health = world.mediator.source_health("r0");
+  EXPECT_EQ(health.failures, 5u);
+  EXPECT_EQ(health.state, session::CircuitState::Open);
+  EXPECT_EQ(health.short_circuits, 0u);
+}
+
+// -------------------------------------------------- sessions (stub runner) ---
+
+QueryStats stub_stats() { return QueryStats{}; }
+
+TEST(SessionTest, CompleteOnFirstRunPreservesShape) {
+  session::ResubmissionManager manager(
+      [](const std::string&, double) {
+        return Answer::complete_answer(Value::integer(42), stub_stats());
+      });
+  session::QueryHandle handle = manager.submit("sum(select ...)");
+  Answer answer = handle.wait();
+  EXPECT_TRUE(answer.complete());
+  EXPECT_EQ(answer.data(), Value::integer(42));  // scalar, not a bag
+  EXPECT_EQ(handle.state(), session::SessionState::Complete);
+  EXPECT_EQ(handle.resubmissions(), 0u);
+
+  session::ResubmissionManager::Stats stats = manager.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.resubmissions, 0u);
+}
+
+TEST(SessionTest, ResidualResubmittedUntilCompleteAndMerged) {
+  // First run: one row plus a residual. The residual keeps failing until
+  // `source_up` flips, then returns its row; the manager merges.
+  std::atomic<bool> source_up{false};
+  std::atomic<int> residual_runs{0};
+  session::SessionOptions options;
+  options.retry_interval_s = 0.002;
+  session::ResubmissionManager manager(
+      [&](const std::string& text, double) {
+        if (text.find("residual_part") == std::string::npos) {
+          return Answer::partial_answer(
+              Value::bag({Value::string("Sam")}),
+              {oql::parse("select x.name from x in residual_part")},
+              stub_stats());
+        }
+        ++residual_runs;
+        if (!source_up.load()) {
+          return Answer::partial_answer(
+              Value::bag({}),
+              {oql::parse("select x.name from x in residual_part")},
+              stub_stats());
+        }
+        return Answer::complete_answer(Value::bag({Value::string("Mary")}),
+                                       stub_stats());
+      },
+      options);
+
+  session::QueryHandle handle = manager.submit("select ...");
+  // The partial result is visible while the residual keeps failing.
+  ASSERT_TRUE([&] {
+    for (int i = 0; i < 1000; ++i) {
+      if (residual_runs.load() >= 2) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }());
+  Answer partial = handle.snapshot();
+  EXPECT_FALSE(partial.complete());
+  EXPECT_EQ(partial.data(), Value::bag({Value::string("Sam")}));
+  EXPECT_EQ(partial.residual_queries().size(), 1u);
+
+  source_up = true;
+  manager.notify_recovery();
+  Answer full = handle.wait();
+  EXPECT_TRUE(full.complete());
+  EXPECT_EQ(full.data(),
+            Value::bag({Value::string("Sam"), Value::string("Mary")}));
+  EXPECT_GE(handle.resubmissions(), 2u);
+  EXPECT_EQ(manager.pending(), 0u);
+}
+
+TEST(SessionTest, SnapshotBeforeFirstRunIsTheWholeQueryResidual) {
+  std::mutex gate;
+  gate.lock();  // hold the runner hostage so the initial run cannot finish
+  session::ResubmissionManager manager([&](const std::string&, double) {
+    std::lock_guard<std::mutex> wait(gate);
+    return Answer::complete_answer(Value::bag({}), stub_stats());
+  });
+  session::QueryHandle handle = manager.submit("select x.a from x in e");
+  Answer early = handle.snapshot();
+  EXPECT_FALSE(early.complete());
+  EXPECT_EQ(early.data().size(), 0u);
+  ASSERT_EQ(early.residual_queries().size(), 1u);
+  EXPECT_EQ(early.residual_queries()[0], "select x.a from x in e");
+  gate.unlock();
+  EXPECT_TRUE(handle.wait().complete());
+}
+
+TEST(SessionTest, RunnerFailureMarksTheSessionFailed) {
+  session::ResubmissionManager manager(
+      [](const std::string&, double) -> Answer {
+        throw ExecutionError("source exploded");
+      });
+  session::QueryHandle handle = manager.submit("select ...");
+  handle.wait_for(5.0);
+  EXPECT_EQ(handle.state(), session::SessionState::Failed);
+  EXPECT_NE(handle.error().find("source exploded"), std::string::npos);
+  EXPECT_THROW(handle.wait(), ExecutionError);
+  EXPECT_THROW(handle.snapshot(), ExecutionError);
+  EXPECT_EQ(manager.stats().failed, 1u);
+}
+
+TEST(SessionTest, MaxResubmissionsGivesUp) {
+  session::SessionOptions options;
+  options.retry_interval_s = 0.001;
+  options.max_resubmissions = 3;
+  session::ResubmissionManager manager(
+      [&](const std::string&, double) {
+        return Answer::partial_answer(
+            Value::bag({}), {oql::parse("select x.a from x in e")},
+            stub_stats());
+      },
+      options);
+  session::QueryHandle handle = manager.submit("select ...");
+  ASSERT_TRUE(handle.wait_for(5.0));
+  EXPECT_EQ(handle.state(), session::SessionState::Failed);
+  EXPECT_NE(handle.error().find("gave up"), std::string::npos);
+  EXPECT_EQ(handle.resubmissions(), 3u);
+}
+
+TEST(SessionTest, CancelStopsResubmission) {
+  std::atomic<int> runs{0};
+  session::SessionOptions options;
+  options.retry_interval_s = 0.001;
+  session::ResubmissionManager manager(
+      [&](const std::string&, double) {
+        ++runs;
+        return Answer::partial_answer(
+            Value::bag({}), {oql::parse("select x.a from x in e")},
+            stub_stats());
+      },
+      options);
+  session::QueryHandle handle = manager.submit("select ...");
+  while (runs.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  handle.cancel();
+  EXPECT_EQ(handle.state(), session::SessionState::Cancelled);
+  EXPECT_THROW(handle.wait(), ExecutionError);
+  // The worker notices the cancellation and drops the session.
+  for (int i = 0; i < 1000 && manager.pending() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(manager.pending(), 0u);
+}
+
+TEST(SessionTest, CallbackFiresExactlyOnceWithTheFinalAnswer) {
+  std::atomic<bool> up{false};
+  session::SessionOptions options;
+  options.retry_interval_s = 0.001;
+  session::ResubmissionManager manager(
+      [&](const std::string&, double) {
+        if (!up.load()) {
+          return Answer::partial_answer(
+              Value::bag({}), {oql::parse("select x.a from x in e")},
+              stub_stats());
+        }
+        return Answer::complete_answer(Value::bag({Value::integer(7)}),
+                                       stub_stats());
+      },
+      options);
+  session::QueryHandle handle = manager.submit("select ...");
+  std::atomic<int> fired{0};
+  Value seen;
+  std::mutex seen_mutex;
+  handle.on_complete([&](const Answer& answer) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    seen = answer.data();
+    ++fired;
+  });
+  up = true;
+  manager.notify_recovery();
+  handle.wait();
+  for (int i = 0; i < 1000 && fired.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fired.load(), 1);
+  {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    EXPECT_EQ(seen, Value::bag({Value::integer(7)}));
+  }
+  // Late registration on a complete session fires inline.
+  std::atomic<int> late{0};
+  handle.on_complete([&](const Answer&) { ++late; });
+  EXPECT_EQ(late.load(), 1);
+}
+
+// --------------------------------------------------- admin/query exclusion ---
+
+/// Wrapper that signals when a submit is in flight and blocks it until
+/// released — makes "a query is running right now" a deterministic state.
+class GateWrapper : public wrapper::Wrapper {
+ public:
+  explicit GateWrapper(std::shared_ptr<wrapper::Wrapper> inner)
+      : inner_(std::move(inner)) {}
+
+  grammar::Grammar capabilities() const override {
+    return inner_->capabilities();
+  }
+
+  wrapper::SubmitResult submit(const catalog::Repository& repository,
+                               const algebra::LogicalPtr& expr,
+                               const wrapper::BindingMap& bindings) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entered_ = true;
+    }
+    entered_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    released_cv_.wait(lock, [this] { return released_; });
+    return inner_->submit(repository, expr, bindings);
+  }
+
+  std::string kind() const override { return inner_->kind(); }
+
+  void wait_for_entry() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [this] { return entered_; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    released_cv_.notify_all();
+  }
+
+ private:
+  std::shared_ptr<wrapper::Wrapper> inner_;
+  std::mutex mutex_;
+  std::condition_variable entered_cv_;
+  std::condition_variable released_cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(AdminGuardTest, AdminDuringAQueryThrowsInsteadOfRacing) {
+  memdb::Database db("db0");
+  auto& table = db.create_table("person0",
+                                {{"id", memdb::ColumnType::Int},
+                                 {"name", memdb::ColumnType::Text},
+                                 {"salary", memdb::ColumnType::Int}});
+  table.insert(
+      {Value::integer(1), Value::string("Mary"), Value::integer(200)});
+
+  auto memdb_wrapper = std::make_shared<wrapper::MemDbWrapper>();
+  memdb_wrapper->attach_database("r0", &db);
+  auto gate = std::make_shared<GateWrapper>(std::move(memdb_wrapper));
+
+  Mediator mediator;
+  mediator.register_wrapper("w0", gate);
+  mediator.register_repository(
+      catalog::Repository{"r0", "rodin", "db", "123.45.6.7"},
+      net::LatencyModel{0.010, 0.0001, 0});
+  mediator.execute_odl(R"(
+    interface Person (extent person) {
+      attribute Long id;
+      attribute String name;
+      attribute Short salary; };
+    extent person0 of Person wrapper w0 repository r0;
+  )");
+
+  std::thread client([&] {
+    Answer a = mediator.query("select x.name from x in person0");
+    EXPECT_TRUE(a.complete());
+  });
+  gate->wait_for_entry();  // the query now provably holds the shared side
+
+  EXPECT_THROW(mediator.execute_odl("drop extent person0;"),
+               ExecutionError);
+  EXPECT_THROW(mediator.register_repository(
+                   catalog::Repository{"r9", "h", "db", "10.0.0.9"}),
+               ExecutionError);
+  EXPECT_THROW(
+      mediator.register_wrapper(
+          "w9", std::make_shared<wrapper::MemDbWrapper>()),
+      ExecutionError);
+  try {
+    mediator.execute_odl("drop extent person0;");
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    EXPECT_NE(std::string(e.what()).find("in flight"), std::string::npos);
+  }
+
+  gate->release();
+  client.join();
+  // With the query finished, administration proceeds normally again.
+  mediator.execute_odl("drop extent person0;");
+}
+
+// ------------------------------------------------------- metrics satellite ---
+
+TEST(MetricsToStringTest, ReportsEveryField) {
+  exec::Metrics metrics;
+  metrics.on_dispatch();
+  metrics.on_success(10, 0.25);
+  metrics.on_wall(0.5);
+  metrics.on_short_circuit();
+  metrics.on_probe();
+  std::string text = metrics.snapshot().to_string();
+  for (const char* field :
+       {"dispatched=1", "succeeded=1", "rows=10", "short_circuits=1",
+        "probes=1", "sim_latency_s=0.25", "wall_s=0.5"}) {
+    EXPECT_NE(text.find(field), std::string::npos) << field << " missing in "
+                                                   << text;
+  }
+}
+
+// --------------------------------- acceptance: partial now, complete later ---
+
+Mediator::Options resilient_wall_options() {
+  Mediator::Options options;
+  options.exec.workers = 4;
+  options.exec.latency_scale = 0.001;  // 10ms simulated -> 10us wall
+  options.exec.call_deadline_s = 0.5;  // fail fast in simulated seconds
+  options.health.enabled = true;
+  options.health.failure_threshold = 2;
+  // The health clock runs at 1/latency_scale x wall speed, so these are
+  // big numbers in simulated seconds: the cooldown is ~2s of wall time
+  // (long enough that the short-circuit phase below cannot slip a trial
+  // call through), the probe sweep runs every ~20ms of wall time.
+  options.health.open_cooldown_s = 2000.0;
+  options.health.probe_interval_s = 20.0;
+  options.health.probe_deadline_s = 1.0;
+  // Effectively disable the periodic retry sweep: recovery must flow
+  // through the advertised path (background probe closes the circuit,
+  // the recovery notification resubmits the residual). A fast sweep
+  // would race the prober and win by re-running the residual as the
+  // half-open trial itself.
+  options.session.retry_interval_s = 5.0;
+  return options;
+}
+
+TEST(SessionAcceptanceTest, DarkSourceAnswersPartialThenCompletesItself) {
+  PaperWorld world(resilient_wall_options());
+  auto& net = world.mediator.network();
+  net.set_availability("r0", net::Availability::always_down());
+  const std::string query =
+      "select x.name from x in person where x.salary > 10";
+  const QueryOptions deadline{.deadline_s = 2.0};
+
+  // Trip the breaker (2 failures), paying the retry cost only here.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_FALSE(world.mediator.query(query, deadline).complete());
+  }
+  ASSERT_EQ(world.mediator.health_tracker().state("r0"),
+            session::CircuitState::Open);
+
+  // Open circuit: a partial answer, instantly — r0 receives no call.
+  const uint64_t calls_before = net.stats("r0").calls;
+  Answer instant = world.mediator.query(query, deadline);
+  ASSERT_FALSE(instant.complete());
+  EXPECT_EQ(instant.data(), Value::bag({Value::string("Sam")}));
+  EXPECT_GE(instant.stats().run.short_circuit_calls, 1u);
+  EXPECT_EQ(net.stats("r0").calls, calls_before);
+
+  // The async session sees the same partial answer and stays pending.
+  session::QueryHandle handle = world.mediator.submit(query, deadline);
+  ASSERT_FALSE(handle.wait_for(0.05));
+  EXPECT_EQ(handle.state(), session::SessionState::Pending);
+  Answer partial = handle.snapshot();
+  EXPECT_FALSE(partial.complete());
+
+  // The source recovers. The background prober closes the circuit and
+  // the recovery notification resubmits the residual: the SAME handle
+  // transitions to the complete, correct answer on its own.
+  net.set_availability("r0", net::Availability::always_up());
+  ASSERT_TRUE(handle.wait_for(30.0));
+  Answer full = handle.wait();
+  ASSERT_TRUE(full.complete());
+  std::vector<std::string> rows;
+  for (const Value& item : full.data().items()) {
+    rows.push_back(item.to_oql());
+  }
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<std::string>{"\"Mary\"", "\"Sam\""}));
+  EXPECT_GE(handle.resubmissions(), 1u);
+  EXPECT_EQ(world.mediator.health_tracker().state("r0"),
+            session::CircuitState::Closed);
+  EXPECT_GE(world.mediator.exec_metrics().probes, 1u);
+  EXPECT_GE(world.mediator.session_stats().completed, 1u);
+}
+
+TEST(SessionAcceptanceTest, VirtualModeSessionsAlsoConverge) {
+  // No thread pool, no prober: recovery rides on the half-open trial
+  // admitted by the retry sweep itself (cooldown 0 in virtual time,
+  // since the virtual clock only moves when queries run).
+  Mediator::Options options = breaker_options();
+  options.health.open_cooldown_s = 0.0;
+  options.session.retry_interval_s = 0.002;
+  PaperWorld world(options);
+  auto& net = world.mediator.network();
+  net.set_availability("r0", net::Availability::always_down());
+  const std::string query = "select x.name from x in person";
+
+  session::QueryHandle handle =
+      world.mediator.submit(query, QueryOptions{.deadline_s = 0.1});
+  ASSERT_FALSE(handle.wait_for(0.05));
+  net.set_availability("r0", net::Availability::always_up());
+  ASSERT_TRUE(handle.wait_for(30.0));
+  Answer full = handle.wait();
+  ASSERT_TRUE(full.complete());
+  EXPECT_EQ(full.data().size(), 2u);
+}
+
+}  // namespace
+}  // namespace disco
