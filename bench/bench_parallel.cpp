@@ -11,14 +11,21 @@
 // plus the virtual-time baseline (workers=0, no wall waits at all) and a
 // multi-client throughput section on the shared pool.
 //
-//   build/bench/bench_parallel
+// With a path argument the results are also written as JSON — including
+// the per-stage span timings (parse/optimize/execute) read back from an
+// obs-enabled run's trace, and the cost of leaving tracing off vs on:
+//
+//   build/bench/bench_parallel [BENCH_parallel.json]
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 #include "worlds.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace disco;
   using namespace disco::bench;
 
@@ -33,9 +40,10 @@ int main() {
                                            .join = true,
                                            .compose = true};
 
-  auto world_with = [&](size_t workers) {
+  auto world_with = [&](size_t workers, bool obs_enabled = false) {
     Mediator::Options options;
     options.exec.workers = workers;
+    options.obs.enabled = obs_enabled;
     return std::make_unique<ScaledWorld>(kSources, kRows, caps, kLatency,
                                          /*seed=*/7, options);
   };
@@ -112,5 +120,90 @@ int main() {
               static_cast<unsigned long long>(traffic.rows),
               static_cast<unsigned long long>(traffic.failures));
   std::printf("executor metrics:   %s\n", metrics.to_string().c_str());
+
+  // Tracing cost (src/obs/): the same virtual-time workload with obs left
+  // off (the default; every instrumentation site is one pointer check)
+  // and with obs on. Virtual time means no wall waits dilute the
+  // comparison — this is the pure CPU cost of the query pipeline.
+  const int kObsRepeats = 200;
+  auto time_obs = [&](bool enabled) {
+    auto world = world_with(0, enabled);
+    world->mediator.query(kQuery);  // warm up (catalog, first plan)
+    Stopwatch obs_watch;
+    for (int i = 0; i < kObsRepeats; ++i) {
+      world->mediator.query(kQuery);
+    }
+    return obs_watch.seconds() / kObsRepeats;
+  };
+  const double obs_off_s = time_obs(false);
+  const double obs_on_s = time_obs(true);
+  // The disabled path is the default path: measure it twice and record
+  // the delta. The instrumentation's pointer checks must stay below this
+  // noise floor (acceptance: <= 2%).
+  const double obs_off_repeat_s = time_obs(false);
+  const double obs_overhead_pct = (obs_on_s / obs_off_s - 1.0) * 100.0;
+  double disabled_delta_pct =
+      (obs_off_repeat_s / obs_off_s - 1.0) * 100.0;
+  if (disabled_delta_pct < 0) disabled_delta_pct = -disabled_delta_pct;
+  std::printf("\nobs off: %.3f ms/query (repeat %.3f ms, delta %.1f%%), "
+              "obs on: %.3f ms/query (tracing overhead %.1f%%)\n",
+              obs_off_s * 1e3, obs_off_repeat_s * 1e3, disabled_delta_pct,
+              obs_on_s * 1e3, obs_overhead_pct);
+
+  // Per-stage wall time, read back from an obs-enabled run's span tree.
+  auto traced_world = world_with(4, /*obs_enabled=*/true);
+  traced_world->mediator.query(kQuery);
+  double stage_parse_ms = 0, stage_optimize_ms = 0, stage_execute_ms = 0;
+  if (auto trace = traced_world->mediator.last_trace()) {
+    obs::Span span;
+    if (trace->find_span("parse", &span)) {
+      stage_parse_ms = span.duration_s() * 1e3;
+    }
+    if (trace->find_span("optimize", &span)) {
+      stage_optimize_ms = span.duration_s() * 1e3;
+    }
+    if (trace->find_span("execute", &span)) {
+      stage_execute_ms = span.duration_s() * 1e3;
+    }
+  }
+  std::printf("stage spans (workers=4, traced): parse %.3f ms, "
+              "optimize %.3f ms, execute %.3f ms\n",
+              stage_parse_ms, stage_optimize_ms, stage_execute_ms);
+
+  if (argc > 1) {
+    FILE* out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::printf("cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"bench\": \"parallel\",\n"
+        "  \"sources\": %zu,\n"
+        "  \"latency_ms\": %.3f,\n"
+        "  \"virtual_ms\": %.3f,\n"
+        "  \"serial_ms\": %.3f,\n"
+        "  \"parallel_ms\": %.3f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"throughput_qps\": %.1f,\n"
+        "  \"obs\": {\n"
+        "    \"off_ms_per_query\": %.4f,\n"
+        "    \"off_repeat_ms_per_query\": %.4f,\n"
+        "    \"disabled_path_delta_pct\": %.2f,\n"
+        "    \"on_ms_per_query\": %.4f,\n"
+        "    \"tracing_overhead_pct\": %.2f,\n"
+        "    \"stages_ms\": {\"parse\": %.4f, \"optimize\": %.4f, "
+        "\"execute\": %.4f}\n"
+        "  }\n"
+        "}\n",
+        kSources, kLatency.base_s * 1e3, virtual_wall * 1e3,
+        serial_wall * 1e3, parallel_wall * 1e3, speedup, total / elapsed,
+        obs_off_s * 1e3, obs_off_repeat_s * 1e3, disabled_delta_pct,
+        obs_on_s * 1e3, obs_overhead_pct, stage_parse_ms,
+        stage_optimize_ms, stage_execute_ms);
+    std::fclose(out);
+    std::printf("wrote %s\n", argv[1]);
+  }
   return speedup >= 2.0 ? 0 : 1;
 }

@@ -5,8 +5,11 @@
 #   scripts/ci.sh                 # build + full tests + concurrency label
 #   DISCO_TSAN=1 scripts/ci.sh    # additionally rebuild the concurrency
 #                                 # suites under ThreadSanitizer
-#   DISCO_BENCH=1 scripts/ci.sh   # additionally run the resilience bench
-#                                 # (writes BENCH_resilience.json)
+#   DISCO_ASAN=1 scripts/ci.sh    # additionally rebuild the obs suite
+#                                 # under ASan+UBSan
+#   DISCO_BENCH=1 scripts/ci.sh   # additionally run the resilience and
+#                                 # parallel benches (writes
+#                                 # BENCH_resilience.json, BENCH_parallel.json)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,21 +19,34 @@ cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$(nproc)"
 ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)"
 
-echo "== concurrency label (executor + session subsystem) =="
+echo "== concurrency label (executor + session + obs) =="
 ctest --test-dir "$repo/build" -L concurrency --output-on-failure
+
+echo "== obs label (tracing & explain suite) =="
+ctest --test-dir "$repo/build" -L obs --output-on-failure
 
 if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer pass (concurrency label) =="
   cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$(nproc)" \
-    --target test_exec test_session
+    --target test_exec test_session test_obs
   ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
+fi
+
+if [[ "${DISCO_ASAN:-0}" != "0" ]]; then
+  echo "== ASan+UBSan pass (obs label) =="
+  cmake -B "$repo/build-asan" -S "$repo" -DDISCO_SANITIZE=address+undefined
+  cmake --build "$repo/build-asan" -j "$(nproc)" --target test_obs
+  ctest --test-dir "$repo/build-asan" -L obs --output-on-failure
 fi
 
 if [[ "${DISCO_BENCH:-0}" != "0" ]]; then
   echo "== resilience bench =="
   cmake --build "$repo/build" -j "$(nproc)" --target bench_resilience
   "$repo/build/bench/bench_resilience" "$repo/BENCH_resilience.json"
+  echo "== parallel bench (per-stage spans + obs overhead) =="
+  cmake --build "$repo/build" -j "$(nproc)" --target bench_parallel
+  "$repo/build/bench/bench_parallel" "$repo/BENCH_parallel.json"
 fi
 
 echo "ci OK"

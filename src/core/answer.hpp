@@ -12,9 +12,11 @@
 // when the missing sources are up produces the complete answer.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "oql/ast.hpp"
 #include "optimizer/cost.hpp"
 #include "physical/runtime.hpp"
@@ -27,6 +29,9 @@ struct QueryStats {
   size_t plans_considered = 0;
   optimizer::Cost estimated;
   bool local_mode = false;
+  /// Per-query trace (src/obs/); null unless Mediator::Options::obs is
+  /// enabled. Shared with the mediator's trace ring buffer.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 class Answer {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <optional>
 
+#include "algebra/logical.hpp"
 #include "algebra/to_oql.hpp"
 #include "common/error.hpp"
 #include "odl/odl.hpp"
@@ -33,6 +34,16 @@ Mediator::Mediator() : Mediator(Options{}) {}
 
 Mediator::Mediator(Options options)
     : options_(std::move(options)), network_(options_.network_seed) {
+  // Observability (src/obs/). The registry is always wired (counters are
+  // cheap); the tracer only exists when tracing is on.
+  registry_ = options_.obs.registry != nullptr ? options_.obs.registry
+                                               : &obs::Registry::global();
+  obs::ObsOptions obs_options = options_.obs;
+  obs_options.registry = registry_;
+  if (obs_options.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(obs_options);
+  }
+
   if (options_.exec.workers > 0) {
     pool_ = std::make_unique<exec::ThreadPool>(options_.exec.workers);
     dispatcher_ = std::make_unique<exec::ParallelDispatcher>(
@@ -218,10 +229,15 @@ void Mediator::execute_odl(const std::string& text) {
 }
 
 optimizer::Optimizer Mediator::make_optimizer() const {
+  return make_optimizer(options_.optimizer);
+}
+
+optimizer::Optimizer Mediator::make_optimizer(
+    optimizer::OptimizerOptions opt_options) const {
   optimizer::Optimizer opt(
       &catalog_,
       [this](const std::string& name) { return wrapper_by_name(name); },
-      &history_, options_.optimizer);
+      &history_, std::move(opt_options));
   if (options_.health.enabled) {
     // Health-aware costing: plans leaning on open-circuit or flaky
     // sources price their expected retries (availability 0 while Open).
@@ -233,8 +249,10 @@ optimizer::Optimizer Mediator::make_optimizer() const {
 }
 
 physical::ExecContext Mediator::make_context(
-    const oql::CollectionResolver* resolver, double deadline_s) {
+    const oql::CollectionResolver* resolver, double deadline_s,
+    obs::ObsContext obs) {
   physical::ExecContext context;
+  context.obs = obs;
   context.catalog = &catalog_;
   context.network = &network_;
   context.clock = &clock_;
@@ -271,8 +289,16 @@ physical::ExecContext Mediator::make_context(
 
 Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
   QueryGate gate(admin_mutex_, active_queries_);
+  QueryTrace qt = begin_trace(oql_text);
   if (!options_.enable_plan_cache) {
-    return query_impl(oql::parse(oql_text), options);
+    oql::ExprPtr parsed;
+    {
+      obs::ScopedSpan parse(qt.obs(), "parse", "mediator");
+      parsed = oql::parse(oql_text);
+    }
+    Answer answer = query_impl(parsed, options, qt);
+    finish_query_trace(qt, answer);
+    return answer;
   }
   // §3.3: cached plans are recomputed when the catalog changes — and when
   // cost observations materially move the learned model, so a plan chosen
@@ -297,8 +323,17 @@ Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
       ++plan_cache_stats_.misses;
     }
   }
-  if (!planned) {
-    planned = make_optimizer().optimize(oql::parse(oql_text));
+  if (planned) {
+    if (qt.trace != nullptr) {
+      qt.trace->instant(qt.root, "plan_cache_hit", "mediator");
+    }
+  } else {
+    oql::ExprPtr parsed;
+    {
+      obs::ScopedSpan parse(qt.obs(), "parse", "mediator");
+      parsed = oql::parse(oql_text);
+    }
+    planned = optimize_traced(parsed, qt);
     std::unique_lock lock(plan_cache_mutex_);
     // Cache only if the world did not move while we optimized; a stale
     // insert would serve outdated plans to later queries.
@@ -307,20 +342,45 @@ Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
       plan_cache_.emplace(oql_text, *planned);
     }
   }
-  return run_planned(*planned, options);
+  Answer answer = run_planned(*planned, options, qt);
+  finish_query_trace(qt, answer);
+  return answer;
 }
 
 Answer Mediator::query(const oql::ExprPtr& query_expr,
                        QueryOptions options) {
   QueryGate gate(admin_mutex_, active_queries_);
-  return query_impl(query_expr, options);
+  // The OQL text is only reconstructed when someone will read it.
+  QueryTrace qt = begin_trace(tracer_ != nullptr ? oql::to_oql(query_expr)
+                                                 : std::string());
+  Answer answer = query_impl(query_expr, options, qt);
+  finish_query_trace(qt, answer);
+  return answer;
 }
 
 Answer Mediator::query_impl(const oql::ExprPtr& query_expr,
-                            QueryOptions options) {
+                            QueryOptions options, const QueryTrace& qt) {
+  optimizer::Optimizer::Result planned = optimize_traced(query_expr, qt);
+  return run_planned(planned, options, qt);
+}
+
+optimizer::Optimizer::Result Mediator::optimize_traced(
+    const oql::ExprPtr& query_expr, const QueryTrace& qt) const {
+  obs::ScopedSpan span(qt.obs(), "optimize", "optimizer");
   optimizer::Optimizer::Result planned =
-      make_optimizer().optimize(query_expr);
-  return run_planned(planned, options);
+      make_optimizer().optimize(query_expr, span.context());
+  if (span) {
+    span.tag("plans_considered",
+             static_cast<uint64_t>(planned.plans_considered));
+    span.tag("estimated_net_s", planned.estimated.net_s);
+    span.tag("estimated_rows", planned.estimated.rows);
+    if (planned.plan != nullptr) {
+      span.tag("plan", physical::to_physical_string(planned.plan));
+    } else {
+      span.tag("mode", "local evaluation");
+    }
+  }
+  return planned;
 }
 
 session::QueryHandle Mediator::submit(const std::string& oql_text,
@@ -329,12 +389,13 @@ session::QueryHandle Mediator::submit(const std::string& oql_text,
 }
 
 Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
-                             QueryOptions options) {
+                             QueryOptions options, const QueryTrace& qt) {
 
   QueryStats stats;
   stats.plans_considered = planned.plans_considered;
   stats.estimated = planned.estimated;
   stats.local_mode = planned.plan == nullptr;
+  stats.trace = qt.trace;
 
   // Materialize auxiliary collections (extents referenced from nested
   // subqueries, or everything in local mode). If any auxiliary source is
@@ -346,7 +407,10 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
                              std::string, physical::PhysicalPtr>>& plans,
                          bool closure) {
     for (const auto& [name, plan] : plans) {
-      physical::Runtime runtime(make_context(nullptr, options.deadline_s));
+      obs::ScopedSpan aux_span(qt.obs(), "aux", "mediator");
+      aux_span.tag("name", name + (closure ? "*" : ""));
+      physical::Runtime runtime(
+          make_context(nullptr, options.deadline_s, aux_span.context()));
       physical::RunResult run = runtime.run(plan);
       stats.run.exec_calls += run.stats.exec_calls;
       stats.run.unavailable_calls += run.stats.unavailable_calls;
@@ -375,12 +439,18 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
   if (planned.plan == nullptr) {
     // Local mode: the mediator evaluates the expression itself over the
     // materialized collections.
+    obs::ScopedSpan local(qt.obs(), "local_eval", "mediator");
     Value data = oql::Evaluator(&resolver).eval(planned.local);
     return Answer::complete_answer(std::move(data), std::move(stats));
   }
 
-  physical::Runtime runtime(make_context(&resolver, options.deadline_s));
-  physical::RunResult run = runtime.run(planned.plan);
+  physical::RunResult run;
+  {
+    obs::ScopedSpan exec_span(qt.obs(), "execute", "mediator");
+    physical::Runtime runtime(
+        make_context(&resolver, options.deadline_s, exec_span.context()));
+    run = runtime.run(planned.plan);
+  }
   stats.run.exec_calls += run.stats.exec_calls;
   stats.run.unavailable_calls += run.stats.unavailable_calls;
   stats.run.short_circuit_calls += run.stats.short_circuit_calls;
@@ -392,37 +462,205 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
     return Answer::complete_answer(std::move(run.data), std::move(stats));
   }
   // §4: transform the unfinished physical parts back into OQL.
+  obs::ScopedSpan residual_span(qt.obs(), "residuals", "mediator");
   std::vector<oql::ExprPtr> residuals;
   residuals.reserve(run.residuals.size());
   for (const algebra::LogicalPtr& residual : run.residuals) {
     residuals.push_back(algebra::reconstruct(residual));
   }
+  residual_span.tag("count", static_cast<uint64_t>(residuals.size()));
   return Answer::partial_answer(std::move(run.data), std::move(residuals),
                                 std::move(stats));
 }
 
-std::string Mediator::explain(const std::string& oql_text) const {
-  optimizer::Optimizer opt = make_optimizer();
-  optimizer::Optimizer::Result planned = opt.optimize(oql::parse(oql_text));
-  std::string out;
-  out += "expanded: " + oql::to_oql(planned.expanded) + "\n";
+namespace {
+
+const char* basis_name(optimizer::CostHistory::Basis basis) {
+  switch (basis) {
+    case optimizer::CostHistory::Basis::Exact:
+      return "exact";
+    case optimizer::CostHistory::Basis::Close:
+      return "close";
+    case optimizer::CostHistory::Basis::Repository:
+      return "repository";
+    case optimizer::CostHistory::Basis::Default:
+      return "default";
+  }
+  return "default";
+}
+
+/// Collects every source call (Exec and BindJoin leaves) of a physical
+/// plan, in plan order, with its §3.3 learned cost estimate.
+void collect_submits(const physical::PhysicalPtr& node,
+                     const optimizer::CostHistory& history,
+                     std::vector<Mediator::ExplainReport::Submit>* out) {
+  if (node == nullptr) return;
+  if (node->op == physical::POp::Exec ||
+      node->op == physical::POp::BindJoin) {
+    Mediator::ExplainReport::Submit submit;
+    submit.repository = node->repository;
+    submit.wrapper = node->wrapper;
+    submit.remote = algebra::to_algebra_string(node->remote);
+    submit.bind_join = node->op == physical::POp::BindJoin;
+    submit.learned = history.estimate(node->repository, node->remote);
+    out->push_back(std::move(submit));
+  }
+  collect_submits(node->child, history, out);
+  collect_submits(node->left, history, out);
+  collect_submits(node->right, history, out);
+  for (const physical::PhysicalPtr& child : node->children) {
+    collect_submits(child, history, out);
+  }
+}
+
+}  // namespace
+
+Mediator::ExplainReport Mediator::explain_report(
+    const std::string& oql_text) const {
+  optimizer::OptimizerOptions opt_options = options_.optimizer;
+  opt_options.record_decisions = true;
+  optimizer::Optimizer::Result planned =
+      make_optimizer(opt_options).optimize(oql::parse(oql_text));
+
+  ExplainReport report;
+  report.query = oql_text;
+  report.expanded = oql::to_oql(planned.expanded);
+  report.local_mode = planned.plan == nullptr;
+  report.estimated = planned.estimated;
+  report.plans_considered = planned.plans_considered;
+  report.decisions = std::move(planned.decisions);
+  report.candidates = std::move(planned.candidates);
   for (const auto& [name, plan] : planned.aux) {
-    out += "aux " + name + ": " + physical::to_physical_string(plan) + "\n";
+    report.aux.emplace_back(name, physical::to_physical_string(plan));
+    collect_submits(plan, history_, &report.submits);
   }
   for (const auto& [name, plan] : planned.aux_closures) {
-    out += "aux " + name + "*: " + physical::to_physical_string(plan) + "\n";
+    report.aux.emplace_back(name + "*", physical::to_physical_string(plan));
+    collect_submits(plan, history_, &report.submits);
   }
-  if (planned.plan == nullptr) {
+  if (planned.plan != nullptr) {
+    report.plan = physical::to_physical_string(planned.plan);
+    collect_submits(planned.plan, history_, &report.submits);
+  }
+  return report;
+}
+
+std::string Mediator::ExplainReport::to_string() const {
+  std::string out;
+  out += "expanded: " + expanded + "\n";
+  for (const auto& [name, plan_text] : aux) {
+    out += "aux " + name + ": " + plan_text + "\n";
+  }
+  if (local_mode) {
     out += "mode: local evaluation\n";
     return out;
   }
-  out += "plan: " + physical::to_physical_string(planned.plan) + "\n";
-  out += "plans considered: " + std::to_string(planned.plans_considered) +
-         "\n";
-  out += "estimated: net " + std::to_string(planned.estimated.net_s) +
-         "s, cpu " + std::to_string(planned.estimated.cpu_s) + "s, rows " +
-         std::to_string(planned.estimated.rows) + "\n";
+  out += "plan: " + plan + "\n";
+  out += "plans considered: " + std::to_string(plans_considered) + "\n";
+  out += "estimated: net " + std::to_string(estimated.net_s) + "s, cpu " +
+         std::to_string(estimated.cpu_s) + "s, rows " +
+         std::to_string(estimated.rows) + "\n";
+  for (const Submit& submit : submits) {
+    out += "submit " + submit.repository + " [" + submit.wrapper + "]";
+    if (submit.bind_join) out += " (bindjoin)";
+    out += ": " + submit.remote + " -- learned: time " +
+           std::to_string(submit.learned.time_s) + "s, rows " +
+           std::to_string(submit.learned.rows) + " (" +
+           basis_name(submit.learned.basis) + ", " +
+           std::to_string(submit.learned.observations) + " obs)\n";
+  }
+  for (const optimizer::PushdownDecision& d : decisions) {
+    out += "decision " + d.rule + " @ " + d.repository + "/" + d.wrapper +
+           ": " + (d.accepted ? "accept " : "reject ") + d.expr + "\n";
+  }
+  for (const optimizer::PlanCandidate& c : candidates) {
+    std::string flags;
+    if (c.push_select) flags += " R1";
+    if (c.push_project) flags += " R2";
+    if (c.merge_joins) flags += " R3";
+    if (c.bind_join) flags += " bind";
+    if (flags.empty()) flags = " none";
+    out += std::string("candidate") + (c.chosen ? " (chosen)" : "") + ":" +
+           flags + ", net " + std::to_string(c.cost.net_s) + "s, rows " +
+           std::to_string(c.cost.rows) + ", " + c.logical + "\n";
+  }
   return out;
+}
+
+std::string Mediator::explain(const std::string& oql_text) const {
+  return explain_report(oql_text).to_string();
+}
+
+Mediator::QueryTrace Mediator::begin_trace(const std::string& query_text) {
+  if (tracer_ == nullptr) return {};
+  QueryTrace qt;
+  qt.trace = tracer_->start_query(query_text);
+  qt.root = qt.trace->begin(0, "query", "mediator");
+  qt.trace->tag(qt.root, "query", query_text);
+  // Queries run by the session worker carry their session identity, so a
+  // trace ring over a busy mediator tells initial runs from residual
+  // resubmissions apart.
+  const session::ResubmissionManager::ActiveRun run =
+      session::ResubmissionManager::current_run();
+  if (run.active) {
+    qt.trace->tag(qt.root, "session.id", run.session_id);
+    qt.trace->tag(qt.root, "session.resubmission",
+                  static_cast<uint64_t>(run.resubmission));
+  }
+  return qt;
+}
+
+void Mediator::finish_query_trace(const QueryTrace& qt,
+                                  const Answer& answer) {
+  if (qt.trace == nullptr) return;
+  obs::Trace& trace = *qt.trace;
+  trace.tag(qt.root, "outcome",
+            std::string(answer.complete() ? "complete" : "partial"));
+  trace.tag(qt.root, "rows",
+            static_cast<uint64_t>(answer.stats().run.rows_fetched));
+  if (!answer.complete()) {
+    trace.tag(qt.root, "residuals",
+              static_cast<uint64_t>(answer.residuals().size()));
+  }
+  trace.end(qt.root);
+
+  registry_->counter("mediator.queries").add();
+  if (!answer.complete()) {
+    registry_->counter("mediator.queries.partial").add();
+  }
+  obs::Span span;
+  if (trace.find_span("parse", &span)) {
+    registry_->histogram("stage.parse.seconds").observe(span.duration_s());
+  }
+  if (trace.find_span("optimize", &span)) {
+    registry_->histogram("stage.optimize.seconds").observe(span.duration_s());
+  }
+  if (trace.find_span("execute", &span)) {
+    registry_->histogram("stage.execute.seconds").observe(span.duration_s());
+  }
+  tracer_->finish(qt.trace);
+}
+
+obs::RegistrySnapshot Mediator::obs_snapshot() const {
+  obs::RegistrySnapshot snap = registry_->snapshot();
+  const exec::MetricsSnapshot m = exec_metrics_.snapshot();
+  snap.counters["exec.dispatched"] = m.dispatched;
+  snap.counters["exec.succeeded"] = m.succeeded;
+  snap.counters["exec.failed"] = m.failed;
+  snap.counters["exec.timed_out"] = m.timed_out;
+  snap.counters["exec.retries"] = m.retries;
+  snap.counters["exec.rows"] = m.rows;
+  snap.counters["exec.short_circuits"] = m.short_circuits;
+  snap.counters["exec.probes"] = m.probes;
+  const session::ResubmissionManager::Stats s = sessions_->stats();
+  snap.counters["session.submitted"] = s.submitted;
+  snap.counters["session.completed"] = s.completed;
+  snap.counters["session.failed"] = s.failed;
+  snap.counters["session.cancelled"] = s.cancelled;
+  snap.counters["session.resubmissions"] = s.resubmissions;
+  snap.counters["health.tracked_sources"] = tracker_->tracked();
+  snap.counters["health.probes"] = tracker_->total_probes();
+  return snap;
 }
 
 }  // namespace disco

@@ -54,6 +54,8 @@
 #include "exec/metrics.hpp"
 #include "exec/thread_pool.hpp"
 #include "net/network.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "optimizer/cost.hpp"
 #include "optimizer/optimizer.hpp"
 #include "session/health.hpp"
@@ -97,6 +99,10 @@ class Mediator {
     session::HealthOptions health;
     /// Background completion of partial answers (Mediator::submit()).
     session::SessionOptions session;
+    /// Query tracing (src/obs/). Off by default: with obs.enabled false
+    /// no tracer is allocated and every instrumentation site in the
+    /// pipeline reduces to a single null-pointer check.
+    obs::ObsOptions obs;
   };
 
   Mediator();
@@ -156,9 +162,58 @@ class Mediator {
     return sessions_->stats();
   }
 
+  // -- explain & trace (src/obs/) --------------------------------------------
+  /// Structured optimizer report for one query text: the chosen logical/
+  /// physical plan, every capability-grammar pushdown decision (accepted
+  /// or rejected), every costed alternative, and the §3.3 learned cost
+  /// estimate per submit. Does not execute the query.
+  struct ExplainReport {
+    /// One source call the chosen plan will issue.
+    struct Submit {
+      std::string repository;
+      std::string wrapper;
+      std::string remote;  ///< shipped expression (algebra text)
+      bool bind_join = false;
+      optimizer::CostHistory::Estimate learned;
+    };
+
+    std::string query;
+    std::string expanded;  ///< view-expanded OQL
+    bool local_mode = false;
+    std::string plan;  ///< physical plan text; empty in local mode
+    optimizer::Cost estimated;
+    size_t plans_considered = 0;
+    std::vector<Submit> submits;
+    std::vector<optimizer::PushdownDecision> decisions;
+    std::vector<optimizer::PlanCandidate> candidates;
+    /// Auxiliary materialization plans: (name, plan text); closures are
+    /// suffixed '*'.
+    std::vector<std::pair<std::string, std::string>> aux;
+
+    std::string to_string() const;
+  };
+  ExplainReport explain_report(const std::string& oql_text) const;
+
   /// Optimizer output for a query: chosen physical plan, cost estimate,
-  /// alternatives considered. For debugging and the benches.
+  /// alternatives considered, per-submit pushdown decisions and learned
+  /// costs. The printable form of explain_report(). For debugging and
+  /// the benches.
   std::string explain(const std::string& oql_text) const;
+
+  /// The tracer, or null when Options::obs.enabled is false.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  /// Most recently finished query trace (null when tracing is off or no
+  /// query ran yet).
+  std::shared_ptr<const obs::Trace> last_trace() const {
+    return tracer_ != nullptr ? tracer_->last() : nullptr;
+  }
+  /// The counter/histogram registry this mediator reports into
+  /// (Options::obs.registry or the process-wide default).
+  obs::Registry& obs_registry() const { return *registry_; }
+  /// One consistent snapshot unifying the obs registry with the
+  /// executor's Metrics, the session manager's stats and per-source
+  /// health — the single pane of glass for a mediator under load.
+  obs::RegistrySnapshot obs_snapshot() const;
 
   struct PlanCacheStats {
     uint64_t hits = 0;
@@ -182,15 +237,37 @@ class Mediator {
   }
 
  private:
+  /// One query's live trace: the Trace plus its root span. Empty (null
+  /// trace) when tracing is disabled — every helper below checks once.
+  struct QueryTrace {
+    std::shared_ptr<obs::Trace> trace;
+    uint64_t root = 0;
+    obs::ObsContext obs() const { return {trace.get(), root}; }
+  };
+  /// Mints a trace with an open root "query" span (tagged with the text
+  /// and, when running inside a session resubmission, the session id);
+  /// empty when tracing is off.
+  QueryTrace begin_trace(const std::string& query_text);
+  /// Closes the root span, tags the outcome, feeds the stage histograms
+  /// and query counters into the registry, and retains the trace.
+  void finish_query_trace(const QueryTrace& qt, const Answer& answer);
+
   /// query() without the admin/query exclusion gate (the public entry
   /// points hold the shared side; nesting shared locks would deadlock
   /// against a waiting admin writer).
-  Answer query_impl(const oql::ExprPtr& query, QueryOptions options);
+  Answer query_impl(const oql::ExprPtr& query, QueryOptions options,
+                    const QueryTrace& qt);
+  /// Optimizes under an "optimize" span (plan tags, candidate events).
+  optimizer::Optimizer::Result optimize_traced(const oql::ExprPtr& query,
+                                               const QueryTrace& qt) const;
   Answer run_planned(const optimizer::Optimizer::Result& planned,
-                     QueryOptions options);
+                     QueryOptions options, const QueryTrace& qt);
   optimizer::Optimizer make_optimizer() const;
+  optimizer::Optimizer make_optimizer(
+      optimizer::OptimizerOptions options) const;
   physical::ExecContext make_context(const oql::CollectionResolver* resolver,
-                                     double deadline_s);
+                                     double deadline_s,
+                                     obs::ObsContext obs = {});
 
   /// "No administration during queries": returns the held (unique) admin
   /// lock, or throws ExecutionError naming `what` when queries are in
@@ -214,6 +291,12 @@ class Mediator {
   std::unordered_map<std::string,
                      std::function<std::shared_ptr<wrapper::Wrapper>()>>
       factories_;
+
+  // Observability (src/obs/). registry_ is never null (Options::obs's
+  // sink or the process-global registry); tracer_ is allocated only when
+  // Options::obs.enabled — its nullness IS the disabled fast path.
+  obs::Registry* registry_ = nullptr;
+  std::unique_ptr<obs::Tracer> tracer_;
 
   // Concurrent executor (Options::exec.workers > 0); shared by every
   // query so the pool bounds total source-call parallelism.

@@ -36,22 +36,24 @@ void ParallelDispatcher::set_outcome_listener(OutcomeListener listener) {
 
 DispatchOutcome ParallelDispatcher::call(const std::string& endpoint,
                                          size_t result_rows, double issue_at,
-                                         double deadline_s) {
+                                         double deadline_s,
+                                         obs::ObsContext obs) {
   return dispatch(endpoint, result_rows, issue_at, deadline_s,
-                  /*probe=*/false);
+                  /*probe=*/false, obs);
 }
 
 DispatchOutcome ParallelDispatcher::probe(const std::string& endpoint,
                                           double issue_at,
                                           double deadline_s) {
   return dispatch(endpoint, /*result_rows=*/0, issue_at, deadline_s,
-                  /*probe=*/true);
+                  /*probe=*/true, {});
 }
 
 DispatchOutcome ParallelDispatcher::dispatch(const std::string& endpoint,
                                              size_t result_rows,
                                              double issue_at,
-                                             double deadline_s, bool probe) {
+                                             double deadline_s, bool probe,
+                                             obs::ObsContext obs) {
   if (probe) {
     metrics_->on_probe();
   } else {
@@ -106,6 +108,11 @@ DispatchOutcome ParallelDispatcher::dispatch(const std::string& endpoint,
     double jittered =
         backoff * (1.0 + options_.retry.jitter * (2 * rng.next_double() - 1));
     double delay = std::min(jittered, options_.retry.max_backoff_s);
+    if (obs) {
+      const uint64_t event = obs.trace->instant(obs.span, "retry", "exec");
+      obs.trace->tag(event, "attempt", static_cast<uint64_t>(attempt));
+      obs.trace->tag(event, "backoff_s", delay);
+    }
     if (std::isfinite(deadline)) {
       delay = std::min(delay, deadline - elapsed());
     }

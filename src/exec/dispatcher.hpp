@@ -36,6 +36,7 @@
 #include "exec/metrics.hpp"
 #include "exec/thread_pool.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 
 namespace disco::exec {
 
@@ -101,9 +102,12 @@ class ParallelDispatcher {
   /// the virtual instant of the first attempt; retries advance it by the
   /// elapsed wall time so Periodic sources can come back up mid-call.
   /// `deadline_s` is the query deadline (min-combined with
-  /// ExecOptions::call_deadline_s). Thread-safe.
+  /// ExecOptions::call_deadline_s). `obs` (optional) receives an instant
+  /// "retry" event per re-attempt, under the caller's exec span.
+  /// Thread-safe.
   DispatchOutcome call(const std::string& endpoint, size_t result_rows,
-                       double issue_at, double deadline_s);
+                       double issue_at, double deadline_s,
+                       obs::ObsContext obs = {});
 
   /// Issues one zero-payload health probe under the same retry/deadline
   /// machinery (net::Network::probe). Counted as a probe, not a
@@ -121,7 +125,8 @@ class ParallelDispatcher {
   /// Shared attempt loop; `probe` selects probe pricing and skips the
   /// listener.
   DispatchOutcome dispatch(const std::string& endpoint, size_t result_rows,
-                           double issue_at, double deadline_s, bool probe);
+                           double issue_at, double deadline_s, bool probe,
+                           obs::ObsContext obs);
 
   ThreadPool* pool_;
   net::Network* network_;

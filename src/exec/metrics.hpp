@@ -4,10 +4,19 @@
 // optimizer; this block is the *operational* counterpart — aggregate
 // dispatch outcomes for monitoring a mediator under concurrent load
 // (bench_parallel, examples/concurrent_federation).
+//
+// Consistency: each on_* event updates several fields that belong
+// together (a success bumps succeeded, rows and latency as one fact).
+// Writers hold the mutex shared — they stay concurrent with each other,
+// the per-field atomics keep them race-free — while snapshot()/reset()
+// take it exclusive. A snapshot therefore sits between events, never in
+// the middle of one: to_string()/to_json() cannot report a success whose
+// rows are missing, or totals where succeeded + failed > dispatched.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 
 namespace disco::exec {
@@ -38,28 +47,58 @@ struct MetricsSnapshot {
            " sim_latency_s=" + std::to_string(sim_latency_s) +
            " wall_s=" + std::to_string(wall_s);
   }
+
+  std::string to_json() const {
+    return "{\"dispatched\":" + std::to_string(dispatched) +
+           ",\"succeeded\":" + std::to_string(succeeded) +
+           ",\"failed\":" + std::to_string(failed) +
+           ",\"timed_out\":" + std::to_string(timed_out) +
+           ",\"retries\":" + std::to_string(retries) +
+           ",\"rows\":" + std::to_string(rows) +
+           ",\"short_circuits\":" + std::to_string(short_circuits) +
+           ",\"probes\":" + std::to_string(probes) +
+           ",\"sim_latency_s\":" + std::to_string(sim_latency_s) +
+           ",\"wall_s\":" + std::to_string(wall_s) + "}";
+  }
 };
 
 class Metrics {
  public:
-  void on_dispatch() { dispatched_.fetch_add(1, std::memory_order_relaxed); }
-  void on_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void on_dispatch() {
+    std::shared_lock lock(mutex_);
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_retry() {
+    std::shared_lock lock(mutex_);
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
   void on_success(size_t rows, double sim_latency_s) {
+    std::shared_lock lock(mutex_);
     succeeded_.fetch_add(1, std::memory_order_relaxed);
     rows_.fetch_add(rows, std::memory_order_relaxed);
     add_micros(sim_latency_us_, sim_latency_s);
   }
   void on_failure(bool timed_out) {
+    std::shared_lock lock(mutex_);
     failed_.fetch_add(1, std::memory_order_relaxed);
     if (timed_out) timed_out_.fetch_add(1, std::memory_order_relaxed);
   }
   void on_short_circuit() {
+    std::shared_lock lock(mutex_);
     short_circuits_.fetch_add(1, std::memory_order_relaxed);
   }
-  void on_probe() { probes_.fetch_add(1, std::memory_order_relaxed); }
-  void on_wall(double wall_s) { add_micros(wall_us_, wall_s); }
+  void on_probe() {
+    std::shared_lock lock(mutex_);
+    probes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_wall(double wall_s) {
+    std::shared_lock lock(mutex_);
+    add_micros(wall_us_, wall_s);
+  }
 
+  /// One consistent copy: taken between events, never inside one.
   MetricsSnapshot snapshot() const {
+    std::unique_lock lock(mutex_);
     MetricsSnapshot s;
     s.dispatched = dispatched_.load(std::memory_order_relaxed);
     s.succeeded = succeeded_.load(std::memory_order_relaxed);
@@ -78,6 +117,7 @@ class Metrics {
   }
 
   void reset() {
+    std::unique_lock lock(mutex_);
     dispatched_ = 0;
     succeeded_ = 0;
     failed_ = 0;
@@ -96,6 +136,7 @@ class Metrics {
                       std::memory_order_relaxed);
   }
 
+  mutable std::shared_mutex mutex_;
   std::atomic<uint64_t> dispatched_{0};
   std::atomic<uint64_t> succeeded_{0};
   std::atomic<uint64_t> failed_{0};

@@ -1,0 +1,38 @@
+#include "obs/tracer.hpp"
+
+namespace disco::obs {
+
+Tracer::Tracer(ObsOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &Registry::global()) {}
+
+std::shared_ptr<Trace> Tracer::start_query(std::string query_text) {
+  return std::make_shared<Trace>(std::move(query_text));
+}
+
+void Tracer::finish(std::shared_ptr<Trace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++finished_;
+  if (options_.keep_traces == 0) return;
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > options_.keep_traces) ring_.pop_front();
+}
+
+std::shared_ptr<const Trace> Tracer::last() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.empty() ? nullptr : ring_.back();
+}
+
+std::vector<std::shared_ptr<const Trace>> Tracer::recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t Tracer::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+}  // namespace disco::obs

@@ -1,0 +1,60 @@
+// Tracer: per-query trace lifecycle + retention (src/obs/).
+//
+// The mediator owns one Tracer (allocated only when Options::obs.enabled;
+// a null tracer pointer *is* the disabled path). start_query() mints a
+// Trace; the mediator threads its ObsContext through the pipeline and
+// calls finish() at the end, which retains the trace in a small ring
+// buffer for later inspection (Mediator::last_trace / recent_traces).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace disco::obs {
+
+struct ObsOptions {
+  /// Master switch. When false the mediator allocates no tracer and
+  /// every instrumentation site reduces to one null-pointer test.
+  bool enabled = false;
+  /// Finished traces retained for inspection (oldest evicted first).
+  size_t keep_traces = 16;
+  /// Counter/histogram sink; nullptr = Registry::global().
+  Registry* registry = nullptr;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(ObsOptions options);
+
+  const ObsOptions& options() const { return options_; }
+  Registry& registry() { return *registry_; }
+
+  /// Mints a new trace for one query.
+  std::shared_ptr<Trace> start_query(std::string query_text);
+
+  /// Retains a finished trace in the ring buffer.
+  void finish(std::shared_ptr<Trace> trace);
+
+  /// Most recently finished trace (nullptr when none).
+  std::shared_ptr<const Trace> last() const;
+  /// Finished traces, oldest first.
+  std::vector<std::shared_ptr<const Trace>> recent() const;
+  /// Queries traced since construction (finished count).
+  uint64_t finished() const;
+
+ private:
+  ObsOptions options_;
+  Registry* registry_;
+  mutable std::mutex mutex_;
+  std::deque<std::shared_ptr<const Trace>> ring_;
+  uint64_t finished_ = 0;
+};
+
+}  // namespace disco::obs

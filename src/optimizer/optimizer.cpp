@@ -422,9 +422,15 @@ namespace {
 /// form (physical conversion happens through Optimizer::implement).
 class BranchPlanner {
  public:
+  /// `decisions` (nullable) receives one PushdownDecision per capability
+  /// grammar consultation made while building variants.
   BranchPlanner(const Optimizer& optimizer, const catalog::Catalog& catalog,
-                const OptimizerOptions& options)
-      : optimizer_(optimizer), catalog_(catalog), options_(options) {}
+                const OptimizerOptions& options,
+                std::vector<PushdownDecision>* decisions = nullptr)
+      : optimizer_(optimizer),
+        catalog_(catalog),
+        options_(options),
+        decisions_(decisions) {}
 
   LogicalPtr build(const BranchParts& parts, bool push_select,
                    bool push_project, bool merge_joins) const {
@@ -493,7 +499,10 @@ class BranchPlanner {
         is_pushable_projection(parts.projection, units.front().vars)) {
       LogicalPtr pushed = algebra::project(tree->child, parts.projection,
                                            false);
-      if (grammar_for(units.front().wrapper).accepts(pushed)) {
+      const bool accepted = grammar_for(units.front().wrapper).accepts(pushed);
+      record("R2 project-pushdown", units.front().repository,
+             units.front().wrapper, pushed, accepted);
+      if (accepted) {
         return algebra::submit(units.front().repository, pushed);
       }
     }
@@ -529,7 +538,10 @@ class BranchPlanner {
       LogicalPtr candidate =
           algebra::filter(inner, oql::conjoin(leaf.pushable_preds));
       // R1 consults the wrapper interface (§3.2).
-      if (grammar_for(unit.wrapper).accepts(candidate)) {
+      const bool accepted = grammar_for(unit.wrapper).accepts(candidate);
+      record("R1 select-pushdown", unit.repository, unit.wrapper, candidate,
+             accepted);
+      if (accepted) {
         inner = candidate;
       } else {
         unit.mediator_preds.insert(unit.mediator_preds.end(),
@@ -628,7 +640,10 @@ class BranchPlanner {
           }
           LogicalPtr merged =
               algebra::join(prev.inner, next.inner, oql::conjoin(link));
-          if (grammar_for(prev.wrapper).accepts(merged)) {
+          const bool accepted = grammar_for(prev.wrapper).accepts(merged);
+          record("R3 join-merge", prev.repository, prev.wrapper, merged,
+                 accepted);
+          if (accepted) {
             prev.inner = merged;
             prev.node = algebra::submit(prev.repository, merged);
             prev.vars = std::move(combined);
@@ -644,18 +659,29 @@ class BranchPlanner {
     return out;
   }
 
+  void record(const char* rule, const std::string& repository,
+              const std::string& wrapper, const LogicalPtr& expr,
+              bool accepted) const {
+    if (decisions_ == nullptr) return;
+    decisions_->push_back({rule, repository, wrapper,
+                           algebra::to_algebra_string(expr), accepted});
+  }
+
   const Optimizer& optimizer_;
   const catalog::Catalog& catalog_;
   const OptimizerOptions& options_;
+  std::vector<PushdownDecision>* decisions_;
   mutable std::map<std::string, grammar::Grammar> grammars_;
   mutable std::set<std::string> consumed_;
 };
 
 /// Extension: builds a bind-join plan for a two-source equi-join branch,
-/// or returns null when the shape does not qualify.
+/// or returns null when the shape does not qualify. `decisions`
+/// (nullable) receives the probe-side capability consultation.
 physical::PhysicalPtr try_bind_join(const Optimizer& optimizer,
                                     const BranchParts& parts,
-                                    const LogicalPtr& branch_logical) {
+                                    const LogicalPtr& branch_logical,
+                                    std::vector<PushdownDecision>* decisions) {
   if (parts.leaves.size() != 2) return nullptr;
   const Leaf& build = parts.leaves[0];
   const Leaf& probe = parts.leaves[1];
@@ -699,8 +725,15 @@ physical::PhysicalPtr try_bind_join(const Optimizer& optimizer,
   LogicalPtr probe_with_bind = algebra::filter(
       probe_base->op == LOp::Filter ? probe_base->child : probe_base,
       oql::binary(oql::BinaryOp::Eq, right_key, right_key));
-  if (!optimizer.capability_for(probe.extent->wrapper)
-           .accepts(probe_with_bind)) {
+  const bool probe_ok = optimizer.capability_for(probe.extent->wrapper)
+                            .accepts(probe_with_bind);
+  if (decisions != nullptr) {
+    decisions->push_back({"bind-join probe", probe.extent->repository,
+                          probe.extent->wrapper,
+                          algebra::to_algebra_string(probe_with_bind),
+                          probe_ok});
+  }
+  if (!probe_ok) {
     return nullptr;
   }
 
@@ -747,9 +780,11 @@ Cost Optimizer::cost(const physical::PhysicalPtr& plan) const {
   return Coster(history_, &health_).cost(plan);
 }
 
-Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query) const {
+Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query,
+                                      obs::ObsContext obs) const {
   TranslationUnit unit = translate(query, *catalog_, options_.max_branches);
   if (options_.static_typecheck) {
+    obs::ScopedSpan typecheck(obs, "typecheck", "optimizer");
     check_attributes(unit.expanded, *catalog_);
   }
   Result result;
@@ -790,6 +825,22 @@ Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query) const {
     std::optional<Cost> best_cost;
     PhysicalPtr best_plan;
     LogicalPtr best_logical;
+    std::vector<PushdownDecision> best_decisions;
+    size_t best_candidate = static_cast<size_t>(-1);
+    const bool record = options_.record_decisions;
+    auto note_candidate = [&](const std::string& logical_text, Cost c,
+                              bool ps, bool pp, bool mj, bool bj) {
+      if (record) {
+        result.candidates.push_back(
+            {logical_text, c, ps, pp, mj, bj, false});
+      }
+      if (obs) {
+        const uint64_t event =
+            obs.trace->instant(obs.span, "candidate", "optimizer");
+        obs.trace->tag(event, "logical", logical_text);
+        obs.trace->tag(event, "total_s", c.total());
+      }
+    };
     std::set<std::string> seen;
     for (bool push_select : {true, false}) {
       if (push_select && !options_.enable_select_pushdown) continue;
@@ -797,7 +848,9 @@ Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query) const {
         if (push_project && !options_.enable_project_pushdown) continue;
         for (bool merge_joins : {true, false}) {
           if (merge_joins && !options_.enable_join_merge) continue;
-          BranchPlanner planner(*this, *catalog_, options_);
+          std::vector<PushdownDecision> variant_decisions;
+          BranchPlanner planner(*this, *catalog_, options_,
+                                record ? &variant_decisions : nullptr);
           LogicalPtr variant =
               planner.build(parts, push_select, push_project, merge_joins);
           if (!seen.insert(algebra::to_algebra_string(variant)).second) {
@@ -806,6 +859,8 @@ Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query) const {
           PhysicalPtr plan = implement(variant);
           Cost c = coster.cost(plan);
           ++result.plans_considered;
+          note_candidate(algebra::to_algebra_string(variant), c,
+                         push_select, push_project, merge_joins, false);
           bool better =
               !best_cost.has_value() || c.total() < best_cost->total() ||
               (c.total() == best_cost->total() && !options_.cost_based);
@@ -813,6 +868,8 @@ Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query) const {
             best_cost = c;
             best_plan = plan;
             best_logical = variant;
+            best_decisions = std::move(variant_decisions);
+            if (record) best_candidate = result.candidates.size() - 1;
           }
           if (!options_.cost_based) break;  // maximal pushdown first
         }
@@ -821,20 +878,41 @@ Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query) const {
       if (!options_.cost_based && best_plan != nullptr) break;
     }
     if (options_.enable_bind_join) {
-      if (physical::PhysicalPtr candidate =
-              try_bind_join(*this, parts, branch)) {
+      std::vector<PushdownDecision> bind_decisions;
+      physical::PhysicalPtr candidate = try_bind_join(
+          *this, parts, branch, record ? &bind_decisions : nullptr);
+      if (candidate != nullptr) {
         Cost c = coster.cost(candidate);
         ++result.plans_considered;
+        note_candidate(algebra::to_algebra_string(branch), c, false, false,
+                       false, true);
         if (!best_cost.has_value() || c.total() < best_cost->total()) {
           best_cost = c;
           best_plan = candidate;
           // The logical form stays the original branch: bind join is a
           // physical strategy for the same logical join.
           best_logical = branch;
+          // The losing variant's consultations no longer apply; the
+          // bind-join ones are appended below.
+          best_decisions.clear();
+          if (record) best_candidate = result.candidates.size() - 1;
+        }
+      }
+      // The probe-side consultation is worth explaining even when the
+      // bind join lost or never qualified.
+      if (record) {
+        for (PushdownDecision& decision : bind_decisions) {
+          best_decisions.push_back(std::move(decision));
         }
       }
     }
     internal_check(best_plan != nullptr, "no plan produced for branch");
+    if (record && best_candidate != static_cast<size_t>(-1)) {
+      result.candidates[best_candidate].chosen = true;
+    }
+    for (PushdownDecision& decision : best_decisions) {
+      result.decisions.push_back(std::move(decision));
+    }
     physical_branches.push_back(std::move(best_plan));
     chosen_logical.push_back(std::move(best_logical));
   }

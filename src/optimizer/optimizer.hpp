@@ -27,6 +27,7 @@
 
 #include "catalog/catalog.hpp"
 #include "grammar/capability.hpp"
+#include "obs/trace.hpp"
 #include "optimizer/cost.hpp"
 #include "optimizer/translate.hpp"
 #include "physical/plan.hpp"
@@ -54,6 +55,35 @@ struct OptimizerOptions {
   /// (what the 0/1 default cost implies anyway). Used for ablation.
   bool cost_based = true;
   size_t max_branches = 4096;
+  /// Record every capability-grammar consultation (R1/R2/R3, bind-join
+  /// probe) and every costed plan variant into Result::decisions /
+  /// Result::candidates. Off by default — the explain path turns it on.
+  bool record_decisions = false;
+};
+
+/// One capability-grammar consultation during pushdown rewriting (§3.2:
+/// "consults the wrapper interface with a call to the submit-
+/// functionality method"). Recorded when
+/// OptimizerOptions::record_decisions is set — only for the variant the
+/// optimizer finally chose.
+struct PushdownDecision {
+  std::string rule;        ///< "R1 select-pushdown", "R2 project-pushdown",
+                           ///< "R3 join-merge", "bind-join probe"
+  std::string repository;
+  std::string wrapper;
+  std::string expr;        ///< the candidate submit body (algebra text)
+  bool accepted = false;   ///< grammar verdict
+};
+
+/// One costed alternative from the per-branch {R1, R2, R3} lattice.
+struct PlanCandidate {
+  std::string logical;  ///< algebra text of the variant
+  Cost cost;
+  bool push_select = false;
+  bool push_project = false;
+  bool merge_joins = false;
+  bool bind_join = false;
+  bool chosen = false;
 };
 
 class Optimizer {
@@ -87,9 +117,17 @@ class Optimizer {
     oql::ExprPtr expanded;
     size_t plans_considered = 0;
     Cost estimated;
+    /// Grammar consultations of the *chosen* variants (empty unless
+    /// OptimizerOptions::record_decisions).
+    std::vector<PushdownDecision> decisions;
+    /// Every costed alternative (empty unless record_decisions).
+    std::vector<PlanCandidate> candidates;
   };
 
-  Result optimize(const oql::ExprPtr& query) const;
+  /// `obs` (optional) records a typecheck sub-span and one "candidate"
+  /// instant per costed variant under the caller's optimize span.
+  Result optimize(const oql::ExprPtr& query,
+                  obs::ObsContext obs = {}) const;
 
   /// Costs an arbitrary physical plan with the current history — exposed
   /// for tests and the optimizer benches.

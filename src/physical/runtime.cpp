@@ -192,6 +192,19 @@ Runtime::Fetch Runtime::fetch_from_source(const std::string& repository_name,
   internal_check(wrapper != nullptr,
                  "no wrapper object named '" + wrapper_name + "'");
 
+  // One span per source call, recorded on whatever thread runs the call
+  // (a pool thread in wall-clock mode) — the trace's per-thread lanes
+  // show dispatch overlap directly.
+  obs::ScopedSpan span(context_.obs, "exec", "exec");
+  if (span) {
+    span.tag("repository", repository_name);
+    span.tag("wrapper", wrapper_name);
+    span.tag("remote", algebra::to_algebra_string(remote));
+    if (std::isfinite(context_.deadline_s)) {
+      span.tag("deadline_s", context_.deadline_s);
+    }
+  }
+
   // Simulation note: the wrapper computes the reply first so that the
   // network call can price the transfer by its row count; if the source
   // then turns out to be unreachable (or the reply would land past the
@@ -210,7 +223,8 @@ Runtime::Fetch Runtime::fetch_from_source(const std::string& repository_name,
     // Retry/backoff/deadline semantics live in the dispatcher; the wait
     // for the (scaled) simulated latency really happens.
     fetch.net = context_.dispatcher->call(repository_name, rows, issue_time_,
-                                          context_.deadline_s);
+                                          context_.deadline_s,
+                                          span.context());
   } else {
     net::CallOutcome reply =
         context_.network->call(repository_name, rows, issue_time_);
@@ -223,6 +237,17 @@ Runtime::Fetch Runtime::fetch_from_source(const std::string& repository_name,
     } else {
       fetch.net.available = true;
     }
+  }
+  if (span) {
+    span.tag("attempts", static_cast<uint64_t>(fetch.net.attempts));
+    span.tag("sim_latency_s", fetch.net.latency_s);
+    if (fetch.net.wall_s > 0) span.tag("wall_s", fetch.net.wall_s);
+    span.tag("rows", static_cast<uint64_t>(
+                         fetch.net.available ? rows : size_t{0}));
+    span.tag("outcome", fetch.net.available
+                            ? "ok"
+                            : (fetch.net.timed_out ? "timeout"
+                                                   : "unavailable"));
   }
   return fetch;
 }
@@ -256,6 +281,13 @@ Runtime::Outcome Runtime::call_source(
   if (refused_by_breaker) {
     ++stats_.unavailable_calls;
     ++stats_.short_circuit_calls;
+    if (context_.obs) {
+      const uint64_t event = context_.obs.trace->instant(
+          context_.obs.span, "short_circuit", "exec");
+      context_.obs.trace->tag(event, "repository", repository_name);
+      context_.obs.trace->tag(event, "remote",
+                              algebra::to_algebra_string(remote));
+    }
     Outcome out;
     out.residuals.push_back(logical_for_residual);
     return out;

@@ -51,6 +51,7 @@
 #include "catalog/catalog.hpp"
 #include "exec/dispatcher.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "oql/eval.hpp"
 #include "physical/plan.hpp"
 #include "wrapper/wrapper.hpp"
@@ -95,6 +96,11 @@ struct ExecContext {
   std::function<void(const std::string& repository, bool available,
                      double latency_s)>
       report_health;
+  /// Tracing context (src/obs/): when set, every source call records an
+  /// "exec" span (repository, remote expression, attempts, latency,
+  /// rows, outcome) and circuit refusals record "short_circuit" instants
+  /// under it. Default-off: one pointer check per site.
+  obs::ObsContext obs;
 };
 
 struct RunStats {

@@ -219,12 +219,31 @@ ResubmissionManager::Stats ResubmissionManager::stats() const {
   return stats_;
 }
 
+namespace {
+
+thread_local ResubmissionManager::ActiveRun t_active_run;
+
+/// Scoped set/clear of the thread's ActiveRun (exception-safe).
+struct RunScope {
+  RunScope(uint64_t session_id, uint32_t resubmission) {
+    t_active_run = {true, session_id, resubmission};
+  }
+  ~RunScope() { t_active_run = {}; }
+};
+
+}  // namespace
+
+ResubmissionManager::ActiveRun ResubmissionManager::current_run() {
+  return t_active_run;
+}
+
 bool ResubmissionManager::advance(
     const std::shared_ptr<detail::Session>& session) {
   detail::Session& s = *session;
   std::string query_text;
   double deadline;
   bool initial;
+  uint32_t run_number = 0;
   {
     std::lock_guard<std::mutex> lock(s.mutex);
     if (s.state != SessionState::Pending) {
@@ -252,11 +271,13 @@ bool ResubmissionManager::advance(
       query_text = s.residuals.size() == 1
                        ? oql::to_oql(s.residuals.front())
                        : oql::to_oql(oql::call("union", s.residuals));
+      run_number = s.resubmissions + 1;
     }
   }
 
   Answer answer = Answer::complete_answer(Value::bag({}), {});
   try {
+    RunScope scope(s.id, run_number);
     answer = runner_(query_text, deadline);
   } catch (const std::exception& e) {
     std::vector<std::function<void(const Answer&)>> dropped;

@@ -150,6 +150,18 @@ class ResubmissionManager {
   /// Stops the worker; Pending sessions stay Pending forever after.
   void stop();
 
+  /// Identity of the (re)submission the calling thread is running right
+  /// now — set around every Runner invocation, thread-local. The
+  /// mediator queries it to tag query traces with session id and
+  /// resubmission number without widening the Runner signature.
+  /// `active` is false outside a runner invocation.
+  struct ActiveRun {
+    bool active = false;
+    uint64_t session_id = 0;
+    uint32_t resubmission = 0;  ///< 0 = the initial run
+  };
+  static ActiveRun current_run();
+
  private:
   void loop();
   /// Runs the initial query or the residual union for one session;

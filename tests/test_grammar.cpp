@@ -161,6 +161,93 @@ TEST(Accepts, SubmitNeverBelowWrapper) {
   EXPECT_FALSE(caps.to_grammar().accepts(bad));
 }
 
+TEST(Grammar, CommentOrWhitespaceOnlyTextIsEmpty) {
+  // Lines that are blank or comments contribute no productions; the
+  // grammar is empty even though the text is not.
+  EXPECT_THROW(Grammar::parse("\n   \n\t\n"), ParseError);
+  EXPECT_THROW(Grammar::parse("// just commentary\n// more\n"), ParseError);
+  try {
+    Grammar::parse("   // a comment\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty grammar"),
+              std::string::npos);
+  }
+}
+
+TEST(Grammar, AsymmetricNestingSelectUnderProjectOnly) {
+  // A wrapper that evaluates select *inside* project — project(A, select(
+  // P, SOURCE)) — but not the other way around. Nested composability is
+  // direction-sensitive: the grammar, not a boolean, decides.
+  Grammar g = Grammar::parse(R"(
+    a :- p
+    a :- s
+    a :- get OPEN SOURCE CLOSE
+    p :- project OPEN ATTRIBUTE COMMA inner CLOSE
+    s :- select OPEN PREDICATE COMMA SOURCE CLOSE
+    inner :- s
+    inner :- SOURCE
+  )");
+  auto select_under_project =
+      project(filter(get("e", "x"), parse("x.a > 1")), parse("x.name"),
+              false);
+  auto project_under_select =
+      filter(project(get("e", "x"), parse("x.name"), false),
+             parse("x.a > 1"));
+  EXPECT_TRUE(g.accepts(select_under_project));
+  EXPECT_FALSE(g.accepts(project_under_select));
+  // Deeper nesting on the accepted side is still out: inner does not
+  // produce p, so project(select(project(...))) has nowhere to go.
+  auto doubled = project(filter(project(get("e", "x"), parse("x.name"),
+                                        false),
+                                parse("x.a > 1")),
+                         parse("x.name"), false);
+  EXPECT_FALSE(g.accepts(doubled));
+}
+
+TEST(Grammar, EqPredicateIsSubsumedByPredicate) {
+  // A lookup-only store accepts EQPREDICATE; a full DBMS accepts
+  // PREDICATE. Equality predicates are predicates — the reverse is not
+  // true.
+  Grammar eq_only = Grammar::parse(R"(
+    a :- get OPEN SOURCE CLOSE
+    a :- select OPEN EQPREDICATE COMMA SOURCE CLOSE
+  )");
+  Grammar full = Grammar::parse(R"(
+    a :- get OPEN SOURCE CLOSE
+    a :- select OPEN PREDICATE COMMA SOURCE CLOSE
+  )");
+  auto eq_select = filter(get("e", "x"), parse("x.id = 7"));
+  auto range_select = filter(get("e", "x"), parse("x.id < 7"));
+  auto conj_eq = filter(get("e", "x"), parse("x.id = 7 and x.kind = 2"));
+  EXPECT_TRUE(eq_only.accepts(eq_select));
+  EXPECT_TRUE(eq_only.accepts(conj_eq));
+  EXPECT_FALSE(eq_only.accepts(range_select));
+  EXPECT_TRUE(full.accepts(eq_select));
+  EXPECT_TRUE(full.accepts(range_select));
+  // A mixed conjunction is not equality-only: EQPREDICATE refuses it.
+  auto mixed = filter(get("e", "x"), parse("x.id = 7 and x.a < 2"));
+  EXPECT_FALSE(eq_only.accepts(mixed));
+  EXPECT_TRUE(full.accepts(mixed));
+  // Round-trip keeps the distinction.
+  Grammar reparsed = Grammar::parse(eq_only.to_text());
+  EXPECT_TRUE(reparsed.accepts(eq_select));
+  EXPECT_FALSE(reparsed.accepts(range_select));
+}
+
+TEST(Accepts, MediatorOnlyOperatorsNeverPush) {
+  // union/const/submit have no terminal form: even the full grammar
+  // refuses expressions containing them (serialize() returns false).
+  CapabilitySet caps{.get = true, .project = true, .select = true,
+                     .join = true, .compose = true};
+  Grammar g = caps.to_grammar();
+  EXPECT_FALSE(g.accepts(algebra::union_of(
+      {get("a", "x"), get("b", "x")})));
+  EXPECT_FALSE(g.accepts(algebra::constant(Value::bag({}))));
+  EXPECT_FALSE(g.accepts(
+      project(submit("r0", get("e", "x")), parse("x.name"), false)));
+}
+
 struct CapabilityCase {
   CapabilitySet caps;
   bool expect_get;

@@ -167,13 +167,23 @@ TEST_P(CapabilityAgreement, PlansAgreeAcrossWrapperCapabilities) {
   RandomWorld weak(GetParam(), grammar::CapabilitySet{.get = true});
   RandomWorld mid(GetParam(),
                   grammar::CapabilitySet{.get = true, .select = true});
+  // Non-composing: each operator pushes only directly over a source, so
+  // the grammar *rejects* nested forms — project(select(...)) stays at
+  // the mediator. This is the rejection path the composing worlds above
+  // never take.
+  RandomWorld flat(GetParam(),
+                   grammar::CapabilitySet{.get = true, .project = true,
+                                          .select = true, .join = false,
+                                          .compose = false});
   for (int trial = 0; trial < 6; ++trial) {
     std::string query = random_query(rng);
     Value a = strong.mediator.query(query).data();
     Value b = weak.mediator.query(query).data();
     Value c = mid.mediator.query(query).data();
+    Value d = flat.mediator.query(query).data();
     EXPECT_EQ(a, b) << query;
     EXPECT_EQ(a, c) << query;
+    EXPECT_EQ(a, d) << query;
   }
 }
 
