@@ -1,0 +1,232 @@
+// Experiment: the submit-result cache + single-flight coalescer
+// (src/cache/, DESIGN.md cache section).
+//
+// BENCH_parallel.json shows the exec round-trips dominate query latency
+// (execute = 11.97ms of a 12.1ms query), so a mediator-side answer cache
+// is the next order-of-magnitude lever: a warm query costs zero source
+// calls. Four sections over the 8-source fan-out world of bench_parallel
+// (5ms per source, replayed in wall time, workers=4):
+//
+//   * cold vs warm  — same query, cache invalidated vs populated; the
+//                     acceptance bar is warm >= 10x faster than cold;
+//   * coalesced     — 16 client threads fire the identical query at a
+//                     cold cache; single-flight turns the 16x8 potential
+//                     dispatches into 8 (one per unique submit);
+//   * hit-rate sweep— 64-query workloads cycling through d distinct
+//                     predicates (d = 1..32) against a warm cache: QPS
+//                     as a function of the hit rate;
+//   * disabled path — virtual-time ms/query with the cache off (the
+//                     default), measured twice: the delta is the noise
+//                     floor the <= 1% regression budget is judged
+//                     against.
+//
+//   build/bench/bench_cache [BENCH_cache.json]
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "worlds.hpp"
+
+int main(int argc, char** argv) {
+  using namespace disco;
+  using namespace disco::bench;
+
+  const size_t kSources = 8;
+  const size_t kRows = 200;
+  const net::LatencyModel kLatency{0.005, 1e-6, 0};
+  const char* kQuery = "select x.name from x in person where x.salary > 500";
+  const auto caps = grammar::CapabilitySet{.get = true,
+                                           .project = true,
+                                           .select = true,
+                                           .join = true,
+                                           .compose = true};
+
+  auto world_with = [&](size_t workers, bool cache_enabled) {
+    Mediator::Options options;
+    options.exec.workers = workers;
+    options.cache.enabled = cache_enabled;
+    return std::make_unique<ScaledWorld>(kSources, kRows, caps, kLatency,
+                                         /*seed=*/7, options);
+  };
+
+  std::printf("submit-result cache: %zu-source fan-out, %.0fms per source "
+              "(simulated, replayed in wall time), workers=4\n\n",
+              kSources, kLatency.base_s * 1e3);
+
+  // ---- cold vs warm -------------------------------------------------------
+  auto world = world_with(4, /*cache_enabled=*/true);
+  Mediator& mediator = world->mediator;
+  mediator.query(kQuery);  // one throwaway: catalog + plan cache warm-up,
+                           // so cold measures the *source calls*, not setup
+
+  const int kRepeats = 10;
+  double cold_total = 0;
+  size_t cold_rows = 0;
+  for (int i = 0; i < kRepeats; ++i) {
+    mediator.invalidate_cache();
+    Stopwatch watch;
+    cold_rows = mediator.query(kQuery).data().size();
+    cold_total += watch.seconds();
+  }
+  const double cold_ms = cold_total / kRepeats * 1e3;
+
+  double warm_total = 0;
+  size_t warm_rows = 0;
+  mediator.query(kQuery);  // populate
+  for (int i = 0; i < kRepeats; ++i) {
+    Stopwatch watch;
+    warm_rows = mediator.query(kQuery).data().size();
+    warm_total += watch.seconds();
+  }
+  const double warm_ms = warm_total / kRepeats * 1e3;
+  const double speedup = cold_ms / warm_ms;
+
+  std::printf("%-24s %10.3f ms/query\n", "cold (invalidated)", cold_ms);
+  std::printf("%-24s %10.3f ms/query\n", "warm (cache hits)", warm_ms);
+  std::printf("warm speedup: %.1fx  %s\n\n", speedup,
+              speedup >= 10.0 ? "(>= 10x)" : "(below the 10x target!)");
+  if (cold_rows != warm_rows) {
+    std::printf("ROW MISMATCH: cold=%zu warm=%zu\n", cold_rows, warm_rows);
+    return 1;
+  }
+
+  // ---- single-flight coalescing ------------------------------------------
+  const size_t kClients = 16;
+  mediator.invalidate_cache();
+  mediator.network().reset_stats();
+  std::atomic<size_t> storm_rows{0};
+  Stopwatch storm_watch;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      storm_rows.fetch_add(mediator.query(kQuery).data().size());
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double storm_ms = storm_watch.seconds() * 1e3;
+  const net::TrafficStats storm_traffic = mediator.traffic_stats();
+  const cache::CacheStats storm_cache = mediator.cache_stats();
+  std::printf("%zu concurrent identical queries, cold cache: %.2f ms wall, "
+              "%llu source dispatches (potential %zu), "
+              "%llu coalesced + %llu hits\n\n",
+              kClients, storm_ms,
+              static_cast<unsigned long long>(storm_traffic.calls),
+              kClients * kSources,
+              static_cast<unsigned long long>(storm_cache.coalesced),
+              static_cast<unsigned long long>(storm_cache.hits));
+
+  // ---- hit-rate sweep -----------------------------------------------------
+  // 64 queries cycling through d distinct salary predicates against a
+  // freshly warmed cache: hit rate ~ (64 - d) / 64. One distinct query =
+  // everything warm; 32 = half the workload misses.
+  struct SweepPoint {
+    size_t distinct;
+    double hit_rate;
+    double qps;
+    double ms_per_query;
+  };
+  std::vector<SweepPoint> sweep;
+  const int kSweepQueries = 64;
+  for (size_t distinct : {1, 2, 4, 8, 16, 32}) {
+    mediator.invalidate_cache();
+    auto query_for = [&](size_t i) {
+      return "select x.name from x in person where x.salary > " +
+             std::to_string(100 + 10 * (i % distinct));
+    };
+    Stopwatch watch;
+    for (int i = 0; i < kSweepQueries; ++i) {
+      mediator.query(query_for(static_cast<size_t>(i)));
+    }
+    const double elapsed = watch.seconds();
+    SweepPoint point;
+    point.distinct = distinct;
+    point.hit_rate =
+        static_cast<double>(kSweepQueries - distinct) / kSweepQueries;
+    point.qps = kSweepQueries / elapsed;
+    point.ms_per_query = elapsed / kSweepQueries * 1e3;
+    sweep.push_back(point);
+    std::printf("sweep d=%-3zu hit-rate %.2f: %8.1f queries/s "
+                "(%.3f ms/query)\n",
+                distinct, point.hit_rate, point.qps, point.ms_per_query);
+  }
+  std::printf("\n");
+
+  // ---- disabled-path cost -------------------------------------------------
+  // The default configuration must not pay for the feature: virtual-time
+  // ms/query with cache off, measured twice; the run-to-run delta is the
+  // noise floor for the <= 1% budget (the off path is one null check).
+  const int kOffRepeats = 200;
+  auto time_virtual = [&](bool cache_enabled) {
+    auto w = world_with(0, cache_enabled);
+    w->mediator.query(kQuery);  // warm-up
+    Stopwatch watch;
+    for (int i = 0; i < kOffRepeats; ++i) {
+      w->mediator.query(kQuery);
+    }
+    return watch.seconds() / kOffRepeats;
+  };
+  const double off_s = time_virtual(false);
+  const double off_repeat_s = time_virtual(false);
+  double off_delta_pct = (off_repeat_s / off_s - 1.0) * 100.0;
+  if (off_delta_pct < 0) off_delta_pct = -off_delta_pct;
+  const double on_virtual_s = time_virtual(true);
+  std::printf("cache off: %.4f ms/query (repeat %.4f ms, delta %.1f%%); "
+              "cache on, virtual warm: %.4f ms/query\n",
+              off_s * 1e3, off_repeat_s * 1e3, off_delta_pct,
+              on_virtual_s * 1e3);
+
+  if (argc > 1) {
+    FILE* out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::printf("cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"cache\",\n"
+                 "  \"sources\": %zu,\n"
+                 "  \"latency_ms\": %.3f,\n"
+                 "  \"cold_ms\": %.3f,\n"
+                 "  \"warm_ms\": %.3f,\n"
+                 "  \"warm_speedup\": %.1f,\n"
+                 "  \"coalesced_storm\": {\n"
+                 "    \"clients\": %zu,\n"
+                 "    \"wall_ms\": %.3f,\n"
+                 "    \"source_dispatches\": %llu,\n"
+                 "    \"potential_dispatches\": %zu,\n"
+                 "    \"coalesced\": %llu,\n"
+                 "    \"hits\": %llu\n"
+                 "  },\n",
+                 kSources, kLatency.base_s * 1e3, cold_ms, warm_ms, speedup,
+                 kClients, storm_ms,
+                 static_cast<unsigned long long>(storm_traffic.calls),
+                 kClients * kSources,
+                 static_cast<unsigned long long>(storm_cache.coalesced),
+                 static_cast<unsigned long long>(storm_cache.hits));
+    std::fprintf(out, "  \"hit_rate_sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"distinct\": %zu, \"hit_rate\": %.3f, "
+                   "\"qps\": %.1f, \"ms_per_query\": %.3f}%s\n",
+                   sweep[i].distinct, sweep[i].hit_rate, sweep[i].qps,
+                   sweep[i].ms_per_query,
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"disabled_path\": {\n"
+                 "    \"off_ms_per_query\": %.4f,\n"
+                 "    \"off_repeat_ms_per_query\": %.4f,\n"
+                 "    \"noise_floor_pct\": %.2f,\n"
+                 "    \"on_virtual_warm_ms_per_query\": %.4f\n"
+                 "  }\n"
+                 "}\n",
+                 off_s * 1e3, off_repeat_s * 1e3, off_delta_pct,
+                 on_virtual_s * 1e3);
+    std::fclose(out);
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return speedup >= 10.0 ? 0 : 1;
+}

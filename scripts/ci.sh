@@ -19,7 +19,7 @@ cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$(nproc)"
 ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)"
 
-echo "== concurrency label (executor + session + obs) =="
+echo "== concurrency label (executor + session + obs + cache) =="
 ctest --test-dir "$repo/build" -L concurrency --output-on-failure
 
 echo "== obs label (tracing & explain suite) =="
@@ -29,7 +29,7 @@ if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer pass (concurrency label) =="
   cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$(nproc)" \
-    --target test_exec test_session test_obs
+    --target test_exec test_session test_obs test_cache
   ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
 fi
 
@@ -47,6 +47,9 @@ if [[ "${DISCO_BENCH:-0}" != "0" ]]; then
   echo "== parallel bench (per-stage spans + obs overhead) =="
   cmake --build "$repo/build" -j "$(nproc)" --target bench_parallel
   "$repo/build/bench/bench_parallel" "$repo/BENCH_parallel.json"
+  echo "== cache bench (cold/warm + single-flight storm) =="
+  cmake --build "$repo/build" -j "$(nproc)" --target bench_cache
+  "$repo/build/bench/bench_cache" "$repo/BENCH_cache.json"
 fi
 
 echo "ci OK"

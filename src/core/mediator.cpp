@@ -67,6 +67,12 @@ Mediator::Mediator(Options options)
   } else {
     health_clock = [this] { return clock_.now(); };
   }
+  if (options_.cache.enabled) {
+    // Same simulated-seconds time base as the health tracker, so
+    // cache TTLs and circuit cooldowns mean the same thing.
+    result_cache_ =
+        std::make_unique<cache::ResultCache>(options_.cache, health_clock);
+  }
   tracker_ = std::make_unique<session::SourceHealthTracker>(
       options_.health, std::move(health_clock));
   if (dispatcher_ != nullptr) {
@@ -94,6 +100,17 @@ Mediator::Mediator(Options options)
     // instead of waiting out the retry interval.
     if (to == session::CircuitState::Closed) sessions_->notify_recovery();
   });
+  if (result_cache_ != nullptr) {
+    // Any circuit-state transition is evidence the source's world moved
+    // (it went dark, or it came back — possibly restarted with different
+    // data): drop its cached answers so resubmitted residuals and fresh
+    // queries refetch.
+    tracker_->add_listener([this](const std::string& repository,
+                                  session::CircuitState,
+                                  session::CircuitState) {
+      result_cache_->invalidate_repository(repository);
+    });
+  }
 
   if (options_.health.enabled && dispatcher_ != nullptr) {
     // Background half-open probes, priced like zero-row calls. Probe
@@ -145,6 +162,10 @@ void Mediator::register_wrapper_locked(
     throw CatalogError("wrapper '" + name + "' is already defined");
   }
   wrappers_[name] = std::move(wrapper);
+  // A new wrapper can change what any repository answers; cached replies
+  // from before the registration must not survive it. (Admin/query
+  // exclusion guarantees no query holds a cache ticket right now.)
+  if (result_cache_ != nullptr) result_cache_->invalidate_all();
 }
 
 void Mediator::register_wrapper_factory(
@@ -171,6 +192,7 @@ void Mediator::register_repository_locked(catalog::Repository repository,
   endpoint.availability = availability;
   catalog_.define_repository(std::move(repository));
   network_.add_endpoint(std::move(endpoint));
+  if (result_cache_ != nullptr) result_cache_->invalidate_all();
 }
 
 wrapper::Wrapper* Mediator::wrapper_by_name(const std::string& name) const {
@@ -226,6 +248,10 @@ void Mediator::execute_odl(const std::string& text) {
       }
     }
   }
+  // §3.3: "the mediator must monitor updates to extents" — any ODL
+  // (interface/extent/view definitions, drops) invalidates every cached
+  // submit result, like the plan cache's catalog-version check.
+  if (result_cache_ != nullptr) result_cache_->invalidate_all();
 }
 
 optimizer::Optimizer Mediator::make_optimizer() const {
@@ -261,6 +287,12 @@ physical::ExecContext Mediator::make_context(
   };
   context.resolver = resolver;
   context.dispatcher = dispatcher_.get();
+  if (result_cache_ != nullptr) {
+    // Catalog-version fence: covers any mutation path that bumped the
+    // version without going through the explicit invalidations above.
+    result_cache_->on_catalog_version(catalog_.version());
+    context.cache = result_cache_.get();
+  }
   context.deadline_s = deadline_s;
   context.validate_rows = options_.validate_source_rows;
   context.record_exec = [this](const std::string& repository,
@@ -412,12 +444,7 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
       physical::Runtime runtime(
           make_context(nullptr, options.deadline_s, aux_span.context()));
       physical::RunResult run = runtime.run(plan);
-      stats.run.exec_calls += run.stats.exec_calls;
-      stats.run.unavailable_calls += run.stats.unavailable_calls;
-      stats.run.short_circuit_calls += run.stats.short_circuit_calls;
-      stats.run.rows_fetched += run.stats.rows_fetched;
-      stats.run.retry_attempts += run.stats.retry_attempts;
-      stats.run.elapsed_s += run.stats.elapsed_s;
+      stats.run += run.stats;
       if (!run.complete()) {
         aux_incomplete = true;
         continue;
@@ -451,12 +478,7 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
         make_context(&resolver, options.deadline_s, exec_span.context()));
     run = runtime.run(planned.plan);
   }
-  stats.run.exec_calls += run.stats.exec_calls;
-  stats.run.unavailable_calls += run.stats.unavailable_calls;
-  stats.run.short_circuit_calls += run.stats.short_circuit_calls;
-  stats.run.rows_fetched += run.stats.rows_fetched;
-  stats.run.retry_attempts += run.stats.retry_attempts;
-  stats.run.elapsed_s += run.stats.elapsed_s;
+  stats.run += run.stats;
 
   if (run.complete()) {
     return Answer::complete_answer(std::move(run.data), std::move(stats));
@@ -490,9 +512,11 @@ const char* basis_name(optimizer::CostHistory::Basis basis) {
 }
 
 /// Collects every source call (Exec and BindJoin leaves) of a physical
-/// plan, in plan order, with its §3.3 learned cost estimate.
+/// plan, in plan order, with its §3.3 learned cost estimate and whether
+/// the result cache holds a fresh answer for it right now.
 void collect_submits(const physical::PhysicalPtr& node,
                      const optimizer::CostHistory& history,
+                     const cache::ResultCache* cache,
                      std::vector<Mediator::ExplainReport::Submit>* out) {
   if (node == nullptr) return;
   if (node->op == physical::POp::Exec ||
@@ -502,14 +526,20 @@ void collect_submits(const physical::PhysicalPtr& node,
     submit.wrapper = node->wrapper;
     submit.remote = algebra::to_algebra_string(node->remote);
     submit.bind_join = node->op == physical::POp::BindJoin;
+    // Bind joins ship the base remote *plus* a run-time key disjunction,
+    // so only the non-bound key can be probed statically; a "cached"
+    // bind join means its exact probe was cached (keys included) only
+    // when the plan degenerates to the base remote.
+    submit.cached =
+        cache != nullptr && cache->contains(node->repository, node->remote);
     submit.learned = history.estimate(node->repository, node->remote);
     out->push_back(std::move(submit));
   }
-  collect_submits(node->child, history, out);
-  collect_submits(node->left, history, out);
-  collect_submits(node->right, history, out);
+  collect_submits(node->child, history, cache, out);
+  collect_submits(node->left, history, cache, out);
+  collect_submits(node->right, history, cache, out);
   for (const physical::PhysicalPtr& child : node->children) {
-    collect_submits(child, history, out);
+    collect_submits(child, history, cache, out);
   }
 }
 
@@ -532,15 +562,16 @@ Mediator::ExplainReport Mediator::explain_report(
   report.candidates = std::move(planned.candidates);
   for (const auto& [name, plan] : planned.aux) {
     report.aux.emplace_back(name, physical::to_physical_string(plan));
-    collect_submits(plan, history_, &report.submits);
+    collect_submits(plan, history_, result_cache_.get(), &report.submits);
   }
   for (const auto& [name, plan] : planned.aux_closures) {
     report.aux.emplace_back(name + "*", physical::to_physical_string(plan));
-    collect_submits(plan, history_, &report.submits);
+    collect_submits(plan, history_, result_cache_.get(), &report.submits);
   }
   if (planned.plan != nullptr) {
     report.plan = physical::to_physical_string(planned.plan);
-    collect_submits(planned.plan, history_, &report.submits);
+    collect_submits(planned.plan, history_, result_cache_.get(),
+                    &report.submits);
   }
   return report;
 }
@@ -563,6 +594,7 @@ std::string Mediator::ExplainReport::to_string() const {
   for (const Submit& submit : submits) {
     out += "submit " + submit.repository + " [" + submit.wrapper + "]";
     if (submit.bind_join) out += " (bindjoin)";
+    if (submit.cached) out += " (served from cache)";
     out += ": " + submit.remote + " -- learned: time " +
            std::to_string(submit.learned.time_s) + "s, rows " +
            std::to_string(submit.learned.rows) + " (" +

@@ -48,6 +48,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "cache/result_cache.hpp"
 #include "catalog/catalog.hpp"
 #include "core/answer.hpp"
 #include "exec/dispatcher.hpp"
@@ -103,6 +104,14 @@ class Mediator {
     /// no tracer is allocated and every instrumentation site in the
     /// pipeline reduces to a single null-pointer check.
     obs::ObsOptions obs;
+    /// Submit-result cache + single-flight coalescing (src/cache/). Off
+    /// by default — the §4 semantics fetches from the sources on every
+    /// query. With cache.enabled, successful submit replies are memoized
+    /// (LRU under cache.max_bytes, per-entry cache.ttl_s in simulated
+    /// seconds) and concurrent identical submits coalesce onto one
+    /// source call. Invalidated on any catalog change, on circuit-state
+    /// transitions, and by invalidate_cache().
+    cache::CacheOptions cache;
   };
 
   Mediator();
@@ -174,6 +183,9 @@ class Mediator {
       std::string wrapper;
       std::string remote;  ///< shipped expression (algebra text)
       bool bind_join = false;
+      /// A fresh cache entry holds this submit's answer right now — the
+      /// call would be served from the cache, not the source.
+      bool cached = false;
       optimizer::CostHistory::Estimate learned;
     };
 
@@ -225,6 +237,21 @@ class Mediator {
     std::shared_lock lock(plan_cache_mutex_);
     return plan_cache_stats_;
   }
+
+  // -- result cache (src/cache/) ---------------------------------------------
+  /// Drops every cached submit result (explicit refresh — e.g. the
+  /// operator knows a source reloaded). No-op when the cache is off.
+  void invalidate_cache() {
+    if (result_cache_ != nullptr) result_cache_->invalidate_all();
+  }
+  /// Hit/coalesced/miss/eviction counters plus current size; zeroes when
+  /// the cache is off.
+  cache::CacheStats cache_stats() const {
+    return result_cache_ != nullptr ? result_cache_->stats()
+                                    : cache::CacheStats{};
+  }
+  /// The cache itself, or null when Options::cache.enabled is false.
+  cache::ResultCache* result_cache() { return result_cache_.get(); }
 
   /// Aggregated per-endpoint network counters across the whole
   /// federation — one number stream for load tests instead of polling
@@ -303,6 +330,11 @@ class Mediator {
   exec::Metrics exec_metrics_;
   std::unique_ptr<exec::ThreadPool> pool_;
   std::unique_ptr<exec::ParallelDispatcher> dispatcher_;
+
+  // Submit-result cache (Options::cache.enabled); shared by every query
+  // and by the session worker's resubmissions, so it must outlive the
+  // session subsystem below (destroyed after it).
+  std::unique_ptr<cache::ResultCache> result_cache_;
 
   // Plan cache (Options::enable_plan_cache), shared across concurrent
   // queries. Invalidated when the catalog *or* the cost-history version

@@ -29,6 +29,8 @@ struct MetricsSnapshot {
   uint64_t timed_out = 0;    ///< subset of failed: per-call deadline hit
   uint64_t retries = 0;      ///< re-attempts after an availability blip
   uint64_t rows = 0;         ///< rows fetched by successful calls
+  uint64_t coalesced = 0;    ///< calls answered by joining another call's
+                             ///< in-flight fetch (src/cache/ single-flight)
   // Session subsystem (src/session/) counters:
   uint64_t short_circuits = 0;  ///< calls refused by an open circuit
   uint64_t probes = 0;          ///< background half-open probe calls
@@ -42,6 +44,7 @@ struct MetricsSnapshot {
            " timed_out=" + std::to_string(timed_out) +
            " retries=" + std::to_string(retries) +
            " rows=" + std::to_string(rows) +
+           " coalesced=" + std::to_string(coalesced) +
            " short_circuits=" + std::to_string(short_circuits) +
            " probes=" + std::to_string(probes) +
            " sim_latency_s=" + std::to_string(sim_latency_s) +
@@ -55,6 +58,7 @@ struct MetricsSnapshot {
            ",\"timed_out\":" + std::to_string(timed_out) +
            ",\"retries\":" + std::to_string(retries) +
            ",\"rows\":" + std::to_string(rows) +
+           ",\"coalesced\":" + std::to_string(coalesced) +
            ",\"short_circuits\":" + std::to_string(short_circuits) +
            ",\"probes\":" + std::to_string(probes) +
            ",\"sim_latency_s\":" + std::to_string(sim_latency_s) +
@@ -83,6 +87,10 @@ class Metrics {
     failed_.fetch_add(1, std::memory_order_relaxed);
     if (timed_out) timed_out_.fetch_add(1, std::memory_order_relaxed);
   }
+  void on_coalesced() {
+    std::shared_lock lock(mutex_);
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+  }
   void on_short_circuit() {
     std::shared_lock lock(mutex_);
     short_circuits_.fetch_add(1, std::memory_order_relaxed);
@@ -106,6 +114,7 @@ class Metrics {
     s.timed_out = timed_out_.load(std::memory_order_relaxed);
     s.retries = retries_.load(std::memory_order_relaxed);
     s.rows = rows_.load(std::memory_order_relaxed);
+    s.coalesced = coalesced_.load(std::memory_order_relaxed);
     s.short_circuits = short_circuits_.load(std::memory_order_relaxed);
     s.probes = probes_.load(std::memory_order_relaxed);
     s.sim_latency_s =
@@ -124,6 +133,7 @@ class Metrics {
     timed_out_ = 0;
     retries_ = 0;
     rows_ = 0;
+    coalesced_ = 0;
     short_circuits_ = 0;
     probes_ = 0;
     sim_latency_us_ = 0;
@@ -143,6 +153,7 @@ class Metrics {
   std::atomic<uint64_t> timed_out_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> short_circuits_{0};
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> sim_latency_us_{0};

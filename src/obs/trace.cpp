@@ -20,14 +20,14 @@ std::string format_double(double value) {
 
 }  // namespace
 
-const std::string& Span::tag(const std::string& key) const {
+const std::string& Span::tag(std::string_view key) const {
   for (const auto& [k, v] : tags) {
     if (k == key) return v;
   }
   return kEmpty;
 }
 
-bool Span::has_tag(const std::string& key) const {
+bool Span::has_tag(std::string_view key) const {
   for (const auto& [k, v] : tags) {
     if (k == key) return true;
   }
@@ -70,7 +70,13 @@ std::string json_escape(const std::string& text) {
 
 Trace::Trace(std::string query_text)
     : query_(std::move(query_text)),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()) {
+  // A typical traced query records a handful of pipeline spans plus one
+  // exec span (and a few tags) per source call; reserving up front keeps
+  // the hot begin/tag path free of vector regrowth.
+  spans_.reserve(32);
+  events_.reserve(64);
+}
 
 double Trace::now_s() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -87,21 +93,21 @@ uint64_t Trace::thread_index_locked() {
   return index;
 }
 
-uint64_t Trace::begin(uint64_t parent, std::string name,
-                      std::string category) {
+uint64_t Trace::begin(uint64_t parent, std::string_view name,
+                      std::string_view category) {
   std::lock_guard<std::mutex> lock(mutex_);
-  Span span;
+  // Build the span in place; short literal names land in SSO buffers,
+  // so the common case allocates nothing per span.
+  Span& span = spans_.emplace_back();
   span.id = next_id_++;
   span.parent = parent;
-  span.name = std::move(name);
-  span.category = std::move(category);
+  span.name = name;
+  span.category = category;
   // Read the clock under the lock: event order == timestamp order.
   span.start_s = now_s();
   span.tid = thread_index_locked();
-  spans_.push_back(std::move(span));
-  events_.push_back(
-      {Event::Phase::Begin, spans_.size() - 1, spans_.back().start_s});
-  return spans_.back().id;
+  events_.push_back({Event::Phase::Begin, spans_.size() - 1, span.start_s});
+  return span.id;
 }
 
 void Trace::end(uint64_t span_id) {
@@ -115,37 +121,38 @@ void Trace::end(uint64_t span_id) {
   events_.push_back({Event::Phase::End, span_id - 1, span.end_s});
 }
 
-uint64_t Trace::instant(uint64_t parent, std::string name,
-                        std::string category) {
+uint64_t Trace::instant(uint64_t parent, std::string_view name,
+                        std::string_view category) {
   std::lock_guard<std::mutex> lock(mutex_);
-  Span span;
+  Span& span = spans_.emplace_back();
   span.id = next_id_++;
   span.parent = parent;
-  span.name = std::move(name);
-  span.category = std::move(category);
+  span.name = name;
+  span.category = category;
   span.start_s = now_s();
   span.end_s = span.start_s;
   span.tid = thread_index_locked();
   span.instant = true;
-  spans_.push_back(std::move(span));
-  events_.push_back(
-      {Event::Phase::Instant, spans_.size() - 1, spans_.back().start_s});
-  return spans_.back().id;
+  events_.push_back({Event::Phase::Instant, spans_.size() - 1, span.start_s});
+  return span.id;
 }
 
-void Trace::tag(uint64_t span_id, std::string key, std::string value) {
+void Trace::tag(uint64_t span_id, std::string_view key, std::string value) {
   if (span_id == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   if (span_id > spans_.size()) return;
-  spans_[span_id - 1].tags.emplace_back(std::move(key), std::move(value));
+  auto& tags = spans_[span_id - 1].tags;
+  // Exec spans carry ~6 tags; one up-front reservation beats doubling.
+  if (tags.empty()) tags.reserve(8);
+  tags.emplace_back(std::string(key), std::move(value));
 }
 
-void Trace::tag(uint64_t span_id, std::string key, double value) {
-  tag(span_id, std::move(key), format_double(value));
+void Trace::tag(uint64_t span_id, std::string_view key, double value) {
+  tag(span_id, key, format_double(value));
 }
 
-void Trace::tag(uint64_t span_id, std::string key, uint64_t value) {
-  tag(span_id, std::move(key), std::to_string(value));
+void Trace::tag(uint64_t span_id, std::string_view key, uint64_t value) {
+  tag(span_id, key, std::to_string(value));
 }
 
 std::vector<Span> Trace::spans() const {
@@ -153,7 +160,7 @@ std::vector<Span> Trace::spans() const {
   return spans_;
 }
 
-std::vector<Span> Trace::spans_named(const std::string& name) const {
+std::vector<Span> Trace::spans_named(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Span> out;
   for (const Span& span : spans_) {
@@ -162,7 +169,7 @@ std::vector<Span> Trace::spans_named(const std::string& name) const {
   return out;
 }
 
-bool Trace::find_span(const std::string& name, Span* out) const {
+bool Trace::find_span(std::string_view name, Span* out) const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const Span& span : spans_) {
     if (span.name == name) {

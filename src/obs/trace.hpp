@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -51,8 +52,8 @@ struct Span {
 
   double duration_s() const { return end_s < 0 ? 0 : end_s - start_s; }
   /// First value recorded for `key`, or "" when absent.
-  const std::string& tag(const std::string& key) const;
-  bool has_tag(const std::string& key) const;
+  const std::string& tag(std::string_view key) const;
+  bool has_tag(std::string_view key) const;
 };
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -65,15 +66,21 @@ class Trace {
   const std::string& query() const { return query_; }
 
   /// Opens a span under `parent` (0 = top level); returns its id (> 0).
-  uint64_t begin(uint64_t parent, std::string name, std::string category);
+  /// Names and categories are string_views (almost always literals), so
+  /// call sites never build a temporary std::string just to name a span.
+  uint64_t begin(uint64_t parent, std::string_view name,
+                 std::string_view category);
   /// Closes a span. Ending twice or ending an unknown id is ignored.
   void end(uint64_t span_id);
   /// Records a point event; returns its id (tags may still be attached).
-  uint64_t instant(uint64_t parent, std::string name, std::string category);
+  uint64_t instant(uint64_t parent, std::string_view name,
+                   std::string_view category);
 
-  void tag(uint64_t span_id, std::string key, std::string value);
-  void tag(uint64_t span_id, std::string key, double value);
-  void tag(uint64_t span_id, std::string key, uint64_t value);
+  /// Keys are string_view (literals); values keep the std::string
+  /// overload so dynamically built strings move straight into the tag.
+  void tag(uint64_t span_id, std::string_view key, std::string value);
+  void tag(uint64_t span_id, std::string_view key, double value);
+  void tag(uint64_t span_id, std::string_view key, uint64_t value);
 
   /// Seconds since the trace epoch (steady clock).
   double now_s() const;
@@ -81,9 +88,9 @@ class Trace {
   /// Snapshot of all spans recorded so far, in creation order.
   std::vector<Span> spans() const;
   /// Spans with the given name, in creation order.
-  std::vector<Span> spans_named(const std::string& name) const;
+  std::vector<Span> spans_named(std::string_view name) const;
   /// The first span with the given name, if any.
-  bool find_span(const std::string& name, Span* out) const;
+  bool find_span(std::string_view name, Span* out) const;
 
   /// Chrome trace format (the acceptance surface: loads in
   /// chrome://tracing). Events are emitted in recording order; their
@@ -127,10 +134,12 @@ struct ObsContext {
 class ScopedSpan {
  public:
   ScopedSpan() = default;
-  ScopedSpan(ObsContext obs, std::string name, std::string category)
+  /// string_view name/category: when tracing is off, constructing the
+  /// span allocates nothing at all.
+  ScopedSpan(ObsContext obs, std::string_view name, std::string_view category)
       : trace_(obs.trace) {
     if (trace_ != nullptr) {
-      id_ = trace_->begin(obs.span, std::move(name), std::move(category));
+      id_ = trace_->begin(obs.span, name, category);
     }
   }
   ScopedSpan(ScopedSpan&& other) noexcept
@@ -154,8 +163,8 @@ class ScopedSpan {
   ObsContext context() const { return {trace_, id_}; }
 
   template <typename V>
-  void tag(std::string key, V value) {
-    if (trace_ != nullptr) trace_->tag(id_, std::move(key), value);
+  void tag(std::string_view key, V value) {
+    if (trace_ != nullptr) trace_->tag(id_, key, std::move(value));
   }
 
   /// Ends the span now (idempotent).

@@ -186,6 +186,54 @@ Runtime::Outcome Runtime::eval(const PhysicalPtr& node) {
 Runtime::Fetch Runtime::fetch_from_source(const std::string& repository_name,
                                           const std::string& wrapper_name,
                                           const algebra::LogicalPtr& remote) {
+  if (context_.cache == nullptr) {
+    return fetch_direct(repository_name, wrapper_name, remote);
+  }
+  cache::ResultCache::Lookup lookup =
+      context_.cache->get_or_begin(repository_name, remote);
+  if (lookup.kind == cache::ResultCache::LookupKind::Lead) {
+    // This thread fetches for everyone waiting on the same submit. Only
+    // a successful reply is published; a refusal or unavailable outcome
+    // abandons the ticket (Ticket dtor) and waiters re-race — residual
+    // outcomes are never cached.
+    Fetch fetch = fetch_direct(repository_name, wrapper_name, remote);
+    if (fetch.submit.status == wrapper::SubmitResult::Status::Ok &&
+        fetch.net.available) {
+      cache::CachedResult cached;
+      cached.data = fetch.submit.data;
+      cached.source_latency_s = fetch.net.latency_s;
+      context_.cache->publish(lookup.ticket, std::move(cached));
+    }
+    return fetch;
+  }
+  // Hit or Coalesced: the reply is shared-immutable, so handing the same
+  // Value to many query threads is safe. Zero network latency — a cached
+  // answer is faster than the fastest source.
+  Fetch fetch;
+  fetch.submit = wrapper::SubmitResult::ok(lookup.result->data);
+  fetch.net.available = true;
+  fetch.net.attempts = 0;
+  fetch.net.latency_s = 0;
+  const bool coalesced =
+      lookup.kind == cache::ResultCache::LookupKind::Coalesced;
+  fetch.served = coalesced ? Fetch::Served::Coalesced : Fetch::Served::CacheHit;
+  if (coalesced && context_.dispatcher != nullptr) {
+    context_.dispatcher->metrics().on_coalesced();
+  }
+  if (context_.obs) {
+    const uint64_t event =
+        context_.obs.trace->instant(context_.obs.span, "cache_hit", "cache");
+    context_.obs.trace->tag(event, "repository", repository_name);
+    context_.obs.trace->tag(event, "remote",
+                            algebra::to_algebra_string(remote));
+    if (coalesced) context_.obs.trace->tag(event, "coalesced", "true");
+  }
+  return fetch;
+}
+
+Runtime::Fetch Runtime::fetch_direct(const std::string& repository_name,
+                                     const std::string& wrapper_name,
+                                     const algebra::LogicalPtr& remote) {
   const catalog::Repository& repository =
       context_.catalog->repository(repository_name);
   wrapper::Wrapper* wrapper = context_.wrapper_by_name(wrapper_name);
@@ -297,7 +345,18 @@ Runtime::Outcome Runtime::call_source(
         "wrapper '" + wrapper_name + "' refused a checked expression: " +
         fetch.submit.detail);
   }
-  if (context_.report_health) {
+  // A cache-served reply made no new source observation: feeding it to
+  // the health tracker or the cost history would fabricate a zero-latency
+  // call, and its rows were validated when first fetched.
+  const bool cache_served = fetch.served != Fetch::Served::Source;
+  if (cache_served) {
+    if (fetch.served == Fetch::Served::CacheHit) {
+      ++stats_.cache_hits;
+    } else {
+      ++stats_.cache_coalesced;
+    }
+  }
+  if (context_.report_health && !cache_served) {
     context_.report_health(repository_name, fetch.net.available,
                            fetch.net.latency_s);
   }
@@ -317,10 +376,11 @@ Runtime::Outcome Runtime::call_source(
   size_t rows = result.data.size();
   max_latency_ = std::max(max_latency_, fetch.net.latency_s);
   stats_.rows_fetched += rows;
-  if (context_.record_exec) {
+  if (context_.record_exec && !cache_served) {
     context_.record_exec(repository_name, remote, fetch.net.latency_s, rows);
   }
-  if (context_.validate_rows && remote->op != algebra::LOp::Project) {
+  if (context_.validate_rows && !cache_served &&
+      remote->op != algebra::LOp::Project) {
     // §2.1's run-time type check: every variable's rows must inhabit the
     // extent's interface. Project-topped replies carry computed values,
     // not typed rows, and are skipped. Map variables to interfaces by
@@ -423,26 +483,27 @@ Runtime::Outcome Runtime::eval_join(const Physical& node) {
     size_t i = 0;
     size_t j = 0;
     while (i < left.data.size() && j < right.data.size()) {
-      int c = Value::compare(key_of(left.data[i], left_var, left_attr),
-                             key_of(right.data[j], right_var, right_attr));
+      // The run keys are hoisted once per run: recomputing the struct
+      // field lookups inside the run-detection conditions costs O(run²).
+      const Value& lkey = key_of(left.data[i], left_var, left_attr);
+      const Value& rkey = key_of(right.data[j], right_var, right_attr);
+      int c = Value::compare(lkey, rkey);
       if (c < 0) {
         ++i;
       } else if (c > 0) {
         ++j;
       } else {
         // Cross product of the equal-key runs.
-        size_t i_end = i;
+        size_t i_end = i + 1;
         while (i_end < left.data.size() &&
-               Value::compare(
-                   key_of(left.data[i_end], left_var, left_attr),
-                   key_of(right.data[j], right_var, right_attr)) == 0) {
+               Value::compare(key_of(left.data[i_end], left_var, left_attr),
+                              lkey) == 0) {
           ++i_end;
         }
-        size_t j_end = j;
+        size_t j_end = j + 1;
         while (j_end < right.data.size() &&
-               Value::compare(
-                   key_of(left.data[i], left_var, left_attr),
-                   key_of(right.data[j_end], right_var, right_attr)) == 0) {
+               Value::compare(key_of(right.data[j_end], right_var, right_attr),
+                              rkey) == 0) {
           ++j_end;
         }
         for (size_t a = i; a < i_end; ++a) {
@@ -502,25 +563,43 @@ Runtime::Outcome Runtime::eval_bind_join(const Physical& node) {
   auto [left_var, left_attr] = key_parts(node.left_key);
   auto [right_var, right_attr] = key_parts(node.right_key);
 
-  // Distinct build-side keys, in deterministic order.
+  // Distinct build-side keys, in deterministic (first-seen) order. Hash
+  // buckets with an equality check replace Value::set's full sort — the
+  // build side was just materialized, an O(n log n) ordering of deep
+  // values buys nothing here.
   std::vector<Value> keys;
+  keys.reserve(left.data.size());
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
   for (const Value& env : left.data) {
-    keys.push_back(env.field(left_var).field(left_attr));
+    const Value& key = env.field(left_var).field(left_attr);
+    std::vector<size_t>& bucket = seen[key.hash()];
+    bool duplicate = false;
+    for (size_t idx : bucket) {
+      if (keys[idx] == key) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    bucket.push_back(keys.size());
+    keys.push_back(key);
   }
-  keys = Value::set(std::move(keys)).items();
 
   // Probe expression: base remote plus the key disjunction — unless the
   // key set is too large to be worth shipping.
   algebra::LogicalPtr remote = node.remote;
   if (keys.size() <= node.max_bind_keys) {
-    oql::ExprPtr bind_pred;
+    std::vector<oql::ExprPtr> terms;
+    terms.reserve(keys.size());
     for (const Value& key : keys) {
-      oql::ExprPtr eq = oql::binary(
+      terms.push_back(oql::binary(
           oql::BinaryOp::Eq,
-          oql::path(oql::ident(right_var), right_attr), oql::literal(key));
-      bind_pred = bind_pred == nullptr
-                      ? eq
-                      : oql::binary(oql::BinaryOp::Or, bind_pred, eq);
+          oql::path(oql::ident(right_var), right_attr), oql::literal(key)));
+    }
+    oql::ExprPtr bind_pred = std::move(terms.front());
+    for (size_t k = 1; k < terms.size(); ++k) {
+      bind_pred = oql::binary(oql::BinaryOp::Or, std::move(bind_pred),
+                              std::move(terms[k]));
     }
     if (remote->op == algebra::LOp::Filter) {
       remote = algebra::filter(

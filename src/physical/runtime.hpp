@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "algebra/logical.hpp"
+#include "cache/result_cache.hpp"
 #include "catalog/catalog.hpp"
 #include "exec/dispatcher.hpp"
 #include "net/network.hpp"
@@ -70,6 +71,10 @@ struct ExecContext {
   const oql::CollectionResolver* resolver = nullptr;
   /// Wall-clock executor; null selects the sequential virtual-time path.
   exec::ParallelDispatcher* dispatcher = nullptr;
+  /// Submit-result cache + single-flight coalescer (src/cache/); null
+  /// (the default) preserves the fetch-every-time §4 semantics. Only
+  /// successful replies are cached — residual outcomes never are.
+  cache::ResultCache* cache = nullptr;
   /// Query deadline in seconds of virtual time (§4's "designated time").
   double deadline_s = std::numeric_limits<double>::infinity();
   /// §2.1: "At run-time, the wrapper checks that these types are indeed
@@ -109,7 +114,23 @@ struct RunStats {
   size_t short_circuit_calls = 0;  ///< subset: refused by an open circuit
   size_t rows_fetched = 0;
   size_t retry_attempts = 0;  ///< wall-clock mode: attempts beyond the first
+  size_t cache_hits = 0;       ///< source calls served from a stored entry
+  size_t cache_coalesced = 0;  ///< source calls that joined an in-flight
+                               ///< identical fetch (single-flight)
   double elapsed_s = 0;  ///< virtual (or wall, in wall-clock mode) time
+
+  /// Accumulation across runs (aux materialization, resubmissions).
+  RunStats& operator+=(const RunStats& other) {
+    exec_calls += other.exec_calls;
+    unavailable_calls += other.unavailable_calls;
+    short_circuit_calls += other.short_circuit_calls;
+    rows_fetched += other.rows_fetched;
+    retry_attempts += other.retry_attempts;
+    cache_hits += other.cache_hits;
+    cache_coalesced += other.cache_coalesced;
+    elapsed_s += other.elapsed_s;
+    return *this;
+  }
 };
 
 struct RunResult {
@@ -139,6 +160,11 @@ class Runtime {
   struct Fetch {
     wrapper::SubmitResult submit;
     exec::DispatchOutcome net;
+    /// How the reply was obtained; cache-served fetches skip the health
+    /// report, cost-history record and row validation (no new source
+    /// observation was made).
+    enum class Served { Source, CacheHit, Coalesced };
+    Served served = Served::Source;
   };
 
   Outcome eval(const PhysicalPtr& node);
@@ -155,10 +181,15 @@ class Runtime {
                       const algebra::LogicalPtr& remote,
                       const algebra::LogicalPtr& logical_for_residual);
   /// Wrapper submit + simulated network call, in either mode. Touches
-  /// only thread-safe components, so it can run on a pool thread.
+  /// only thread-safe components, so it can run on a pool thread. Checks
+  /// the result cache first (hit / join an identical in-flight fetch /
+  /// lead and publish); fetch_direct is the uncached machinery.
   Fetch fetch_from_source(const std::string& repository,
                           const std::string& wrapper_name,
                           const algebra::LogicalPtr& remote);
+  Fetch fetch_direct(const std::string& repository,
+                     const std::string& wrapper_name,
+                     const algebra::LogicalPtr& remote);
   bool wall_clock_mode() const { return context_.dispatcher != nullptr; }
   /// Wall-clock mode: launch every exec leaf of `plan` onto the pool.
   void prefetch_execs(const PhysicalPtr& plan);

@@ -103,12 +103,14 @@ void SourceHealthTracker::notify(const std::string& repository,
   if (to == CircuitState::Closed) {
     recovery_epoch_.fetch_add(1, std::memory_order_release);
   }
-  TransitionListener listener;
+  std::vector<TransitionListener> listeners;
   {
     std::lock_guard<std::mutex> lock(listener_mutex_);
-    listener = listener_;
+    listeners = listeners_;
   }
-  if (listener) listener(repository, from, to);
+  for (const TransitionListener& listener : listeners) {
+    if (listener) listener(repository, from, to);
+  }
 }
 
 bool SourceHealthTracker::admit(const std::string& repository) {
@@ -216,7 +218,13 @@ double SourceHealthTracker::availability(
 
 void SourceHealthTracker::set_listener(TransitionListener listener) {
   std::lock_guard<std::mutex> lock(listener_mutex_);
-  listener_ = std::move(listener);
+  listeners_.clear();
+  listeners_.push_back(std::move(listener));
+}
+
+void SourceHealthTracker::add_listener(TransitionListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  listeners_.push_back(std::move(listener));
 }
 
 size_t SourceHealthTracker::tracked() const {

@@ -117,7 +117,11 @@ class SourceHealthTracker {
   /// optimizer's health signal). 1 for never-seen repositories.
   double availability(const std::string& repository) const;
 
+  /// Replaces every registered listener with `listener`.
   void set_listener(TransitionListener listener);
+  /// Registers an additional transition listener; all registered
+  /// listeners fire (outside the tracker lock) on every transition.
+  void add_listener(TransitionListener listener);
 
   /// Monotonic counter bumped whenever any circuit transitions to
   /// Closed — the "a source came back" wake-up signal.
@@ -158,7 +162,7 @@ class SourceHealthTracker {
   Clock clock_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Entry> entries_;
-  TransitionListener listener_;
+  std::vector<TransitionListener> listeners_;
   std::mutex listener_mutex_;
   std::atomic<uint64_t> recovery_epoch_{0};
   std::atomic<uint64_t> probes_{0};

@@ -64,12 +64,7 @@ struct Session {
   }
 
   void accumulate(const QueryStats& run) {
-    stats.run.exec_calls += run.run.exec_calls;
-    stats.run.unavailable_calls += run.run.unavailable_calls;
-    stats.run.short_circuit_calls += run.run.short_circuit_calls;
-    stats.run.rows_fetched += run.run.rows_fetched;
-    stats.run.retry_attempts += run.run.retry_attempts;
-    stats.run.elapsed_s += run.run.elapsed_s;
+    stats.run += run.run;
     stats.plans_considered += run.plans_considered;
     stats.estimated = run.estimated;
     stats.local_mode = run.local_mode;

@@ -320,6 +320,33 @@ uint64_t Value::hash() const {
   return h;
 }
 
+size_t Value::deep_size() const {
+  size_t bytes = sizeof(Value);
+  switch (kind()) {
+    case ValueKind::Null:
+    case ValueKind::Bool:
+    case ValueKind::Int:
+    case ValueKind::Double:
+      break;
+    case ValueKind::String:
+      bytes += as_string().capacity();
+      break;
+    case ValueKind::Bag:
+    case ValueKind::Set:
+    case ValueKind::List:
+      bytes += sizeof(Collection);
+      for (const Value& item : items()) bytes += item.deep_size();
+      break;
+    case ValueKind::Struct:
+      bytes += sizeof(StructData);
+      for (const auto& [name, value] : fields()) {
+        bytes += name.capacity() + value.deep_size();
+      }
+      break;
+  }
+  return bytes;
+}
+
 std::string Value::to_oql() const {
   switch (kind()) {
     case ValueKind::Null:

@@ -86,6 +86,11 @@ class Value {
   /// Hash consistent with operator== (numeric values hash by double).
   uint64_t hash() const;
 
+  /// Approximate in-memory footprint in bytes, counting shared payloads
+  /// at every reference (an upper bound under structural sharing). Used
+  /// for cache byte budgets, not exact allocator accounting.
+  size_t deep_size() const;
+
   /// OQL literal text; see file comment.
   std::string to_oql() const;
 
