@@ -29,7 +29,7 @@ if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer pass (concurrency label) =="
   cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$(nproc)" \
-    --target test_exec test_session test_obs test_cache
+    --target test_exec test_session test_obs test_cache test_sched
   ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
 fi
 
@@ -50,6 +50,9 @@ if [[ "${DISCO_BENCH:-0}" != "0" ]]; then
   echo "== cache bench (cold/warm + single-flight storm) =="
   cmake --build "$repo/build" -j "$(nproc)" --target bench_cache
   "$repo/build/bench/bench_cache" "$repo/BENCH_cache.json"
+  echo "== overload bench (scheduler off vs on, slow-source mix) =="
+  cmake --build "$repo/build" -j "$(nproc)" --target bench_overload
+  "$repo/build/bench/bench_overload" "$repo/BENCH_overload.json"
 fi
 
 echo "ci OK"

@@ -50,6 +50,18 @@ Mediator::Mediator(Options options)
         pool_.get(), &network_, options_.exec, &exec_metrics_);
   }
 
+  // Per-source admission control (src/sched/). Only meaningful in
+  // wall-clock mode: virtual-time calls are sequential by construction.
+  if (options_.sched.enabled && dispatcher_ != nullptr) {
+    sched::SchedOptions sched_options = options_.sched;
+    if (sched_options.per_endpoint_limit == 0) {
+      sched_options.per_endpoint_limit = options_.exec.workers;
+    }
+    scheduler_ = std::make_unique<sched::QueryScheduler>(
+        std::move(sched_options), options_.exec.latency_scale,
+        &exec_metrics_);
+  }
+
   // Health tracking (src/session/). The tracker's time base is simulated
   // seconds in both modes: the VirtualClock in virtual-time mode, wall
   // time divided by latency_scale in wall-clock mode — so cooldowns and
@@ -109,6 +121,17 @@ Mediator::Mediator(Options options)
                                   session::CircuitState,
                                   session::CircuitState) {
       result_cache_->invalidate_repository(repository);
+    });
+  }
+  if (scheduler_ != nullptr) {
+    // A circuit opened: every call queued for that endpoint is waiting
+    // for a source now known to be dark — shed them into §4 residuals
+    // immediately instead of letting them burn pool workers until their
+    // queueing deadline.
+    tracker_->add_listener([this](const std::string& repository,
+                                  session::CircuitState,
+                                  session::CircuitState to) {
+      if (to == session::CircuitState::Open) scheduler_->drain(repository);
     });
   }
 
@@ -287,6 +310,16 @@ physical::ExecContext Mediator::make_context(
   };
   context.resolver = resolver;
   context.dispatcher = dispatcher_.get();
+  if (scheduler_ != nullptr) {
+    context.scheduler = scheduler_.get();
+    // Fair-queue identity: one fresh id per runtime context, so every
+    // top-level run (query, submit, resubmission round) competes as one
+    // party in the round-robin dequeue. Auxiliary materialization runs
+    // get their own contexts/ids, which only subdivides this query's
+    // share further — it never inflates it.
+    context.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed)
+                       + 1;
+  }
   if (result_cache_ != nullptr) {
     // Catalog-version fence: covers any mutation path that bumped the
     // version without going through the explicit invalidations above.
@@ -684,6 +717,16 @@ obs::RegistrySnapshot Mediator::obs_snapshot() const {
   snap.counters["exec.rows"] = m.rows;
   snap.counters["exec.short_circuits"] = m.short_circuits;
   snap.counters["exec.probes"] = m.probes;
+  snap.counters["exec.queued"] = m.queued;
+  snap.counters["exec.shed"] = m.shed;
+  if (scheduler_ != nullptr) {
+    const sched::SchedStats sched = scheduler_->totals();
+    snap.counters["sched.admitted"] = sched.admitted;
+    snap.counters["sched.queued_calls"] = sched.queued_calls;
+    snap.counters["sched.shed"] = sched.shed;
+    snap.counters["sched.in_flight"] = sched.in_flight;
+    snap.counters["sched.queue_depth"] = sched.queued;
+  }
   const session::ResubmissionManager::Stats s = sessions_->stats();
   snap.counters["session.submitted"] = s.submitted;
   snap.counters["session.completed"] = s.completed;

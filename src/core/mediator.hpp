@@ -59,6 +59,7 @@
 #include "obs/tracer.hpp"
 #include "optimizer/cost.hpp"
 #include "optimizer/optimizer.hpp"
+#include "sched/scheduler.hpp"
 #include "session/health.hpp"
 #include "session/session.hpp"
 #include "wrapper/wrapper.hpp"
@@ -112,6 +113,16 @@ class Mediator {
     /// source call. Invalidated on any catalog change, on circuit-state
     /// transitions, and by invalidate_cache().
     cache::CacheOptions cache;
+    /// Per-source admission control & fair scheduling (src/sched/). Off
+    /// by default. With sched.enabled (and exec.workers > 0), every
+    /// source call first acquires that endpoint's token: at most
+    /// sched.per_endpoint_limit calls (0 = exec.workers; overridable per
+    /// repository via sched.limits) are in flight per source, excess
+    /// calls wait in a bounded fair queue (round-robin across queries),
+    /// and overload sheds calls into §4 residuals that complete later by
+    /// resubmission. Virtual-time mode (workers == 0) never needs it:
+    /// calls there are sequential by construction.
+    sched::SchedOptions sched;
   };
 
   Mediator();
@@ -263,6 +274,21 @@ class Mediator {
     return exec_metrics_.snapshot();
   }
 
+  // -- admission control (src/sched/) ----------------------------------------
+  /// The scheduler, or null when Options::sched.enabled is false (or
+  /// exec.workers == 0 — virtual-time mode never schedules).
+  sched::QueryScheduler* scheduler() { return scheduler_.get(); }
+  /// Aggregate admission counters across every endpoint; zeroes when the
+  /// scheduler is off.
+  sched::SchedStats sched_stats() const {
+    return scheduler_ != nullptr ? scheduler_->totals() : sched::SchedStats{};
+  }
+  /// One endpoint's admission counters; zeroes when the scheduler is off.
+  sched::EndpointSchedStats sched_stats(const std::string& repository) const {
+    return scheduler_ != nullptr ? scheduler_->endpoint_stats(repository)
+                                 : sched::EndpointSchedStats{};
+  }
+
  private:
   /// One query's live trace: the Trace plus its root span. Empty (null
   /// trace) when tracing is disabled — every helper below checks once.
@@ -330,6 +356,13 @@ class Mediator {
   exec::Metrics exec_metrics_;
   std::unique_ptr<exec::ThreadPool> pool_;
   std::unique_ptr<exec::ParallelDispatcher> dispatcher_;
+
+  // Per-source admission control (Options::sched.enabled and wall-clock
+  // mode only); shared by every query and by session resubmissions.
+  std::unique_ptr<sched::QueryScheduler> scheduler_;
+  /// Fair-queue identity for the scheduler: one fresh id per top-level
+  /// run (query / submit / resubmission round).
+  std::atomic<uint64_t> next_query_id_{0};
 
   // Submit-result cache (Options::cache.enabled); shared by every query
   // and by the session worker's resubmissions, so it must outlive the

@@ -27,6 +27,8 @@ ParallelDispatcher::ParallelDispatcher(ThreadPool* pool,
                  "dispatcher needs a pool, a network and metrics");
   internal_check(options_.retry.max_attempts >= 1,
                  "retry policy needs at least one attempt");
+  internal_check(options_.retry.jitter >= 0 && options_.retry.jitter <= 1,
+                 "retry jitter must be in [0, 1]");
   internal_check(options_.latency_scale > 0, "latency scale must be > 0");
 }
 
@@ -79,6 +81,10 @@ DispatchOutcome ParallelDispatcher::dispatch(const std::string& endpoint,
     double spent = elapsed();
     if (spent >= deadline) {
       out.timed_out = true;
+      // This round was attempted and aborted: report it, so a
+      // deadline-expired call never surfaces as attempts=0 in metrics,
+      // traces and the outcome listener.
+      out.attempts = std::max(out.attempts, 1u);
       break;
     }
     out.attempts = attempt;
@@ -107,7 +113,10 @@ DispatchOutcome ParallelDispatcher::dispatch(const std::string& endpoint,
     metrics_->on_retry();
     double jittered =
         backoff * (1.0 + options_.retry.jitter * (2 * rng.next_double() - 1));
-    double delay = std::min(jittered, options_.retry.max_backoff_s);
+    // Defense in depth alongside the constructor's jitter check: a
+    // negative delay would collapse backoff into a hot retry loop.
+    double delay =
+        std::max(0.0, std::min(jittered, options_.retry.max_backoff_s));
     if (obs) {
       const uint64_t event = obs.trace->instant(obs.span, "retry", "exec");
       obs.trace->tag(event, "attempt", static_cast<uint64_t>(attempt));

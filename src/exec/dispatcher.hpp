@@ -48,7 +48,9 @@ struct RetryPolicy {
   double initial_backoff_s = 0.002; ///< wait before the second attempt
   double backoff_multiplier = 2.0;
   double max_backoff_s = 0.050;
-  double jitter = 0.2;              ///< +/- fraction applied to each backoff
+  double jitter = 0.2;              ///< +/- fraction applied to each backoff;
+                                    ///< must lie in [0, 1] (validated by the
+                                    ///< dispatcher constructor)
 };
 
 struct ExecOptions {
@@ -72,7 +74,9 @@ struct DispatchOutcome {
   bool available = false;
   bool timed_out = false;  ///< gave up because the deadline passed
   double latency_s = 0;    ///< simulated latency of the answering attempt
-  uint32_t attempts = 0;   ///< network calls issued (1 = no retries)
+  uint32_t attempts = 0;   ///< attempted rounds (1 = no retries); >= 1 for
+                           ///< every dispatched call, even when the deadline
+                           ///< expires before the first network call
   double wall_s = 0;       ///< wall time spent, including backoff waits
 };
 

@@ -34,6 +34,10 @@ struct MetricsSnapshot {
   // Session subsystem (src/session/) counters:
   uint64_t short_circuits = 0;  ///< calls refused by an open circuit
   uint64_t probes = 0;          ///< background half-open probe calls
+  // Scheduler (src/sched/) counters:
+  uint64_t queued = 0;       ///< admissions that waited for a token
+  uint64_t shed = 0;         ///< calls shed by the scheduler (→ residuals)
+  double queue_wait_s = 0;   ///< summed simulated seconds spent queued
   double sim_latency_s = 0;  ///< summed simulated latency of successes
   double wall_s = 0;         ///< summed wall time inside dispatch calls
 
@@ -47,6 +51,9 @@ struct MetricsSnapshot {
            " coalesced=" + std::to_string(coalesced) +
            " short_circuits=" + std::to_string(short_circuits) +
            " probes=" + std::to_string(probes) +
+           " queued=" + std::to_string(queued) +
+           " shed=" + std::to_string(shed) +
+           " queue_wait_s=" + std::to_string(queue_wait_s) +
            " sim_latency_s=" + std::to_string(sim_latency_s) +
            " wall_s=" + std::to_string(wall_s);
   }
@@ -61,6 +68,9 @@ struct MetricsSnapshot {
            ",\"coalesced\":" + std::to_string(coalesced) +
            ",\"short_circuits\":" + std::to_string(short_circuits) +
            ",\"probes\":" + std::to_string(probes) +
+           ",\"queued\":" + std::to_string(queued) +
+           ",\"shed\":" + std::to_string(shed) +
+           ",\"queue_wait_s\":" + std::to_string(queue_wait_s) +
            ",\"sim_latency_s\":" + std::to_string(sim_latency_s) +
            ",\"wall_s\":" + std::to_string(wall_s) + "}";
   }
@@ -103,6 +113,18 @@ class Metrics {
     std::shared_lock lock(mutex_);
     add_micros(wall_us_, wall_s);
   }
+  /// Scheduler (src/sched/): one admission waited `wait_s` simulated
+  /// seconds for a token.
+  void on_queued(double wait_s) {
+    std::shared_lock lock(mutex_);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    add_micros(queue_wait_us_, wait_s);
+  }
+  /// Scheduler: one call shed (converted to a §4 residual).
+  void on_shed() {
+    std::shared_lock lock(mutex_);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// One consistent copy: taken between events, never inside one.
   MetricsSnapshot snapshot() const {
@@ -117,6 +139,11 @@ class Metrics {
     s.coalesced = coalesced_.load(std::memory_order_relaxed);
     s.short_circuits = short_circuits_.load(std::memory_order_relaxed);
     s.probes = probes_.load(std::memory_order_relaxed);
+    s.queued = queued_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.queue_wait_s =
+        static_cast<double>(queue_wait_us_.load(std::memory_order_relaxed)) /
+        1e6;
     s.sim_latency_s =
         static_cast<double>(sim_latency_us_.load(std::memory_order_relaxed)) /
         1e6;
@@ -136,6 +163,9 @@ class Metrics {
     coalesced_ = 0;
     short_circuits_ = 0;
     probes_ = 0;
+    queued_ = 0;
+    shed_ = 0;
+    queue_wait_us_ = 0;
     sim_latency_us_ = 0;
     wall_us_ = 0;
   }
@@ -156,6 +186,9 @@ class Metrics {
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> short_circuits_{0};
   std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> queued_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> queue_wait_us_{0};
   std::atomic<uint64_t> sim_latency_us_{0};
   std::atomic<uint64_t> wall_us_{0};
 };

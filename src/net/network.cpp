@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace disco::net {
 
@@ -38,6 +39,15 @@ void Network::add_endpoint(Endpoint endpoint) {
   internal_check(!endpoint.name.empty(), "endpoint needs a name");
   std::unique_lock lock(registry_mutex_);
   stats_.try_emplace(endpoint.name);
+  // Per-endpoint random stream, seeded from the network seed and the
+  // name only: deterministic across runs and independent across
+  // endpoints. try_emplace keeps the stream position when an endpoint is
+  // re-registered, matching the stats behaviour above.
+  if (!rngs_.contains(endpoint.name)) {
+    const uint64_t slot_seed =
+        seed_ ^ fnv1a(endpoint.name.data(), endpoint.name.size());
+    rngs_.emplace(endpoint.name, std::make_unique<RngSlot>(slot_seed));
+  }
   endpoints_[endpoint.name] = std::move(endpoint);
 }
 
@@ -74,7 +84,7 @@ void Network::set_latency(const std::string& name, LatencyModel latency) {
   it->second.latency = latency;
 }
 
-bool Network::is_up(const Endpoint& endpoint, double at) {
+bool Network::is_up(const Endpoint& endpoint, RngSlot& rng, double at) {
   const Availability& a = endpoint.availability;
   switch (a.mode) {
     case Availability::Mode::AlwaysUp:
@@ -88,8 +98,8 @@ bool Network::is_up(const Endpoint& endpoint, double at) {
       return position < a.up_s;
     }
     case Availability::Mode::Random: {
-      std::lock_guard<std::mutex> lock(rng_mutex_);
-      return rng_.next_double() < a.up_probability;
+      std::lock_guard<std::mutex> lock(rng.mutex);
+      return rng.rng.next_double() < a.up_probability;
     }
   }
   return false;
@@ -99,6 +109,7 @@ CallOutcome Network::call(const std::string& name, size_t result_rows,
                           double at) {
   Endpoint ep;
   TrafficStats* stats = nullptr;
+  RngSlot* rng = nullptr;
   {
     std::shared_lock lock(registry_mutex_);
     auto it = endpoints_.find(name);
@@ -108,13 +119,14 @@ CallOutcome Network::call(const std::string& name, size_t result_rows,
     ep = it->second;  // copy: the model is small and calls must not hold
                       // the registry lock while drawing random numbers
     stats = &stats_.find(name)->second;  // shape is stable during queries
+    rng = rngs_.find(name)->second.get();
   }
   std::mutex& stripe = stats_stripe(name);
   {
     std::lock_guard<std::mutex> lock(stripe);
     ++stats->calls;
   }
-  if (!is_up(ep, at)) {
+  if (!is_up(ep, *rng, at)) {
     std::lock_guard<std::mutex> lock(stripe);
     ++stats->failures;
     return CallOutcome{false, 0};
@@ -122,8 +134,8 @@ CallOutcome Network::call(const std::string& name, size_t result_rows,
   double latency = ep.latency.base_s +
                    ep.latency.per_row_s * static_cast<double>(result_rows);
   if (ep.latency.jitter_s > 0) {
-    std::lock_guard<std::mutex> lock(rng_mutex_);
-    latency += rng_.next_double() * ep.latency.jitter_s;
+    std::lock_guard<std::mutex> lock(rng->mutex);
+    latency += rng->rng.next_double() * ep.latency.jitter_s;
   }
   {
     std::lock_guard<std::mutex> lock(stripe);

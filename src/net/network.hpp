@@ -21,17 +21,22 @@
 // Thread safety: call() and the stats accessors may be invoked from many
 // executor threads at once (exec::ParallelDispatcher). The endpoint
 // registry is guarded by a shared_mutex (reads share it), traffic
-// counters by striped mutexes keyed on the endpoint name, and the jitter
-// RNG by its own small mutex — so single-threaded call sequences draw the
-// exact same random stream as before and the virtual-time tests stay
-// deterministic. No lock is ever held across a wrapper call: wrappers run
-// entirely outside this class. Registering endpoints concurrently with
-// calls to them is not supported (DDL vs. query, like the catalog).
+// counters by striped mutexes keyed on the endpoint name, and the
+// random-availability / jitter RNG is striped *per endpoint* — each
+// endpoint owns its own SplitMix64, seeded deterministically from the
+// network seed and the endpoint name — so a 16-worker storm against
+// disjoint endpoints never contends on a shared RNG mutex, and
+// single-threaded call sequences against one endpoint still draw one
+// reproducible stream (the virtual-time tests stay deterministic). No
+// lock is ever held across a wrapper call: wrappers run entirely outside
+// this class. Registering endpoints concurrently with calls to them is
+// not supported (DDL vs. query, like the catalog).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -115,7 +120,7 @@ struct TrafficStats {
 
 class Network {
  public:
-  explicit Network(uint64_t seed = 1) : rng_(seed) {}
+  explicit Network(uint64_t seed = 1) : seed_(seed) {}
 
   /// Registers (or replaces) an endpoint.
   void add_endpoint(Endpoint endpoint);
@@ -151,17 +156,27 @@ class Network {
  private:
   static constexpr size_t kStatsStripes = 16;
 
-  bool is_up(const Endpoint& endpoint, double at);
+  /// One endpoint's private random stream (availability draws + latency
+  /// jitter), seeded deterministically from the network seed and the
+  /// endpoint name. unique_ptr keeps the slot address stable across
+  /// rehashes, so call() can use it after dropping the registry lock.
+  struct RngSlot {
+    explicit RngSlot(uint64_t seed) : rng(seed) {}
+    std::mutex mutex;
+    SplitMix64 rng;
+  };
+
+  bool is_up(const Endpoint& endpoint, RngSlot& rng, double at);
   std::mutex& stats_stripe(const std::string& name) const {
     return stats_mutexes_[std::hash<std::string>{}(name) % kStatsStripes];
   }
 
-  mutable std::shared_mutex registry_mutex_;  ///< endpoints_ + stats_ shape
+  uint64_t seed_;
+  mutable std::shared_mutex registry_mutex_;  ///< endpoints_/stats_/rngs_ shape
   std::unordered_map<std::string, Endpoint> endpoints_;
   std::unordered_map<std::string, TrafficStats> stats_;
+  std::unordered_map<std::string, std::unique_ptr<RngSlot>> rngs_;
   mutable std::array<std::mutex, kStatsStripes> stats_mutexes_;
-  std::mutex rng_mutex_;
-  SplitMix64 rng_;
 };
 
 }  // namespace disco::net

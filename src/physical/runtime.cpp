@@ -268,11 +268,50 @@ Runtime::Fetch Runtime::fetch_direct(const std::string& repository_name,
 
   size_t rows = fetch.submit.data.size();
   if (wall_clock_mode()) {
+    // Per-source admission control (src/sched/): acquire this endpoint's
+    // token before touching the dispatcher. Admission happens here — in
+    // the leader-only fetch path — so a cache hit or a coalesced waiter
+    // never holds a token. A shed admission converts the call into a §4
+    // residual without any network attempt.
+    double queued_s = 0;
+    sched::QueryScheduler::Admission admission;
+    if (context_.scheduler != nullptr) {
+      admission = context_.scheduler->admit(
+          repository_name, context_.query_id, context_.deadline_s);
+      queued_s = admission.queued_s;
+      if (span && queued_s > 0) span.tag("queued_s", queued_s);
+      if (!admission.admitted) {
+        fetch.shed = true;
+        fetch.net.available = false;
+        fetch.net.attempts = 0;
+        if (context_.obs) {
+          const uint64_t event =
+              context_.obs.trace->instant(span.id(), "shed", "sched");
+          context_.obs.trace->tag(event, "repository", repository_name);
+          context_.obs.trace->tag(
+              event, "reason",
+              admission.shed_reason ==
+                      sched::QueryScheduler::ShedReason::QueueFull
+                  ? "queue_full"
+                  : (admission.shed_reason ==
+                             sched::QueryScheduler::ShedReason::Deadline
+                         ? "queue_deadline"
+                         : "drained"));
+        }
+        if (span) span.tag("outcome", "shed");
+        return fetch;
+      }
+    }
     // Retry/backoff/deadline semantics live in the dispatcher; the wait
-    // for the (scaled) simulated latency really happens.
+    // for the (scaled) simulated latency really happens. Time spent
+    // queued counts against the query deadline.
+    double remaining = context_.deadline_s;
+    if (std::isfinite(remaining)) {
+      remaining = std::max(0.0, remaining - queued_s);
+    }
     fetch.net = context_.dispatcher->call(repository_name, rows, issue_time_,
-                                          context_.deadline_s,
-                                          span.context());
+                                          remaining, span.context());
+    // admission.permit releases the token here (RAII), after the call.
   } else {
     net::CallOutcome reply =
         context_.network->call(repository_name, rows, issue_time_);
@@ -356,7 +395,10 @@ Runtime::Outcome Runtime::call_source(
       ++stats_.cache_coalesced;
     }
   }
-  if (context_.report_health && !cache_served) {
+  // A shed call never reached the network: reporting it to the health
+  // tracker would fabricate an unavailability observation for a source
+  // that is merely busy.
+  if (context_.report_health && !cache_served && !fetch.shed) {
     context_.report_health(repository_name, fetch.net.available,
                            fetch.net.latency_s);
   }
@@ -366,6 +408,7 @@ Runtime::Outcome Runtime::call_source(
   }
   if (!fetch.net.available) {
     ++stats_.unavailable_calls;
+    if (fetch.shed) ++stats_.shed_calls;
     any_blocked_ = true;
     Outcome out;
     out.residuals.push_back(logical_for_residual);

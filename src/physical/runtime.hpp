@@ -55,6 +55,7 @@
 #include "obs/trace.hpp"
 #include "oql/eval.hpp"
 #include "physical/plan.hpp"
+#include "sched/scheduler.hpp"
 #include "wrapper/wrapper.hpp"
 
 namespace disco::physical {
@@ -71,6 +72,14 @@ struct ExecContext {
   const oql::CollectionResolver* resolver = nullptr;
   /// Wall-clock executor; null selects the sequential virtual-time path.
   exec::ParallelDispatcher* dispatcher = nullptr;
+  /// Per-source admission control (src/sched/); null (the default) means
+  /// every call goes straight to the dispatcher. Only consulted in
+  /// wall-clock mode, and only for direct fetches — a cache hit or a
+  /// coalesced waiter never holds a token.
+  sched::QueryScheduler* scheduler = nullptr;
+  /// Identity of the submitting query for the scheduler's fair queue
+  /// (round-robin across query ids); assigned by the mediator.
+  uint64_t query_id = 0;
   /// Submit-result cache + single-flight coalescer (src/cache/); null
   /// (the default) preserves the fetch-every-time §4 semantics. Only
   /// successful replies are cached — residual outcomes never are.
@@ -117,6 +126,9 @@ struct RunStats {
   size_t cache_hits = 0;       ///< source calls served from a stored entry
   size_t cache_coalesced = 0;  ///< source calls that joined an in-flight
                                ///< identical fetch (single-flight)
+  size_t shed_calls = 0;  ///< subset of unavailable: shed by the scheduler
+                          ///< (queue full / queue deadline / drain) and
+                          ///< converted to §4 residuals
   double elapsed_s = 0;  ///< virtual (or wall, in wall-clock mode) time
 
   /// Accumulation across runs (aux materialization, resubmissions).
@@ -128,6 +140,7 @@ struct RunStats {
     retry_attempts += other.retry_attempts;
     cache_hits += other.cache_hits;
     cache_coalesced += other.cache_coalesced;
+    shed_calls += other.shed_calls;
     elapsed_s += other.elapsed_s;
     return *this;
   }
@@ -165,6 +178,9 @@ class Runtime {
     /// observation was made).
     enum class Served { Source, CacheHit, Coalesced };
     Served served = Served::Source;
+    /// Shed by the scheduler before any network attempt: the call turns
+    /// into a §4 residual (counted separately from plain unavailability).
+    bool shed = false;
   };
 
   Outcome eval(const PhysicalPtr& node);

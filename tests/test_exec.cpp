@@ -137,6 +137,70 @@ TEST(DispatcherTest, PerCallDeadlineCombinesWithQueryDeadline) {
   EXPECT_TRUE(out.timed_out);
 }
 
+TEST(DispatcherTest, DeadlineExpiredBeforeFirstAttemptReportsOneAttempt) {
+  // A deadline of zero expires before the first network call is issued.
+  // The outcome must still report one attempted (aborted) round —
+  // attempts=0 would surface in metrics, traces and the outcome listener
+  // as "never tried", which reads as a dispatcher bug, not a timeout.
+  DispatcherHarness h(net::Availability::always_up());
+  exec::DispatchOutcome out =
+      h.dispatcher.call("src", 10, /*issue_at=*/0, /*deadline_s=*/0.0);
+  EXPECT_FALSE(out.available);
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_GE(out.attempts, 1u);
+  EXPECT_EQ(h.metrics.snapshot().timed_out, 1u);
+}
+
+TEST(DispatcherTest, RejectsJitterOutsideUnitInterval) {
+  // jitter > 1 would make backoff * (1 + jitter * (2*rng - 1)) negative,
+  // silently collapsing backoff into a hot retry loop; the constructor
+  // rejects it up front.
+  net::Network network(/*seed=*/7);
+  network.add_endpoint({"src", {}, net::Availability::always_up()});
+  exec::ThreadPool pool(1);
+  exec::Metrics metrics;
+
+  exec::ExecOptions too_big = DispatcherHarness::fast_options();
+  too_big.retry.jitter = 1.5;
+  EXPECT_THROW(
+      exec::ParallelDispatcher(&pool, &network, too_big, &metrics),
+      InternalError);
+
+  exec::ExecOptions negative = DispatcherHarness::fast_options();
+  negative.retry.jitter = -0.1;
+  EXPECT_THROW(
+      exec::ParallelDispatcher(&pool, &network, negative, &metrics),
+      InternalError);
+
+  // The boundary values are legal: jitter=0 (no jitter) and jitter=1
+  // (full-range jitter, delay still clamped at >= 0).
+  exec::ExecOptions zero = DispatcherHarness::fast_options();
+  zero.retry.jitter = 0;
+  EXPECT_NO_THROW(
+      exec::ParallelDispatcher(&pool, &network, zero, &metrics));
+  exec::ExecOptions one = DispatcherHarness::fast_options();
+  one.retry.jitter = 1.0;
+  EXPECT_NO_THROW(
+      exec::ParallelDispatcher(&pool, &network, one, &metrics));
+}
+
+TEST(DispatcherTest, FullJitterNeverSpinsHot) {
+  // With jitter=1.0 the computed delay can reach 0 but never below;
+  // a flaky source is still retried to success without a negative-delay
+  // hot loop distorting the backoff schedule.
+  exec::ExecOptions options = DispatcherHarness::fast_options();
+  options.retry.jitter = 1.0;
+  options.retry.max_attempts = 10;
+  DispatcherHarness h(net::Availability::random(0.5), options);
+  size_t succeeded = 0;
+  for (int i = 0; i < 16; ++i) {
+    exec::DispatchOutcome out =
+        h.dispatcher.call("src", 5, /*issue_at=*/0, /*deadline_s=*/10.0);
+    if (out.available) ++succeeded;
+  }
+  EXPECT_EQ(succeeded, 16u);
+}
+
 TEST(DispatcherTest, RandomBlipsAreRetriedAway) {
   exec::ExecOptions options = DispatcherHarness::fast_options();
   options.retry.max_attempts = 10;
