@@ -1,0 +1,137 @@
+// The mediator as a network daemon (src/server/, DESIGN.md §server).
+//
+//   build/examples/network_federation
+//
+// Everything in-process so far — Mediator, wrappers, sessions — now
+// behind a socket: this example embeds a Server around the running
+// person federation, connects a Client over real TCP, and walks the
+// protocol end to end:
+//
+//   1. SUBMIT/POLL: a query over healthy sources completes normally,
+//   2. the §4 streaming path: r0 goes dark, its breaker trips, a
+//      SUBMITed query with subscribe=true pushes a PARTIAL frame
+//      carrying the residual; when r0 recovers, the prober closes the
+//      circuit, the session layer resubmits, and the SAME query id
+//      receives a pushed COMPLETE frame — no client polling involved,
+//   3. EXPLAIN and STATS over the wire.
+#include <algorithm>
+#include <iostream>
+#include <limits>
+
+#include "core/disco.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+int main() {
+  using namespace disco;
+
+  Mediator::Options options;
+  options.exec.workers = 2;
+  options.exec.latency_scale = 0.01;
+  options.exec.call_deadline_s = 5.0;
+  options.health.enabled = true;
+  options.health.failure_threshold = 2;
+  options.health.open_cooldown_s = 5.0;
+  options.health.probe_interval_s = 2.0;
+  options.session.workers = 2;
+  options.session.retry_interval_s = 2.0;
+  Mediator mediator(options);
+
+  // The paper's running federation: Mary in r0, Sam in r1.
+  memdb::Database db0{"db0"}, db1{"db1"};
+  auto& p0 = db0.create_table("person0", {{"id", memdb::ColumnType::Int},
+                                          {"name", memdb::ColumnType::Text},
+                                          {"salary", memdb::ColumnType::Int}});
+  p0.insert({Value::integer(1), Value::string("Mary"), Value::integer(200)});
+  auto& p1 = db1.create_table("person1", {{"id", memdb::ColumnType::Int},
+                                          {"name", memdb::ColumnType::Text},
+                                          {"salary", memdb::ColumnType::Int}});
+  p1.insert({Value::integer(2), Value::string("Sam"), Value::integer(50)});
+  auto wrapper = std::make_shared<wrapper::MemDbWrapper>();
+  wrapper->attach_database("r0", &db0);
+  wrapper->attach_database("r1", &db1);
+  mediator.register_wrapper("w0", std::move(wrapper));
+  mediator.register_repository(
+      catalog::Repository{"r0", "rodin", "db", "123.45.6.7"},
+      net::LatencyModel{0.010, 0.0001, 0});
+  mediator.register_repository(
+      catalog::Repository{"r1", "ada", "db", "123.45.6.8"},
+      net::LatencyModel{0.020, 0.0001, 0});
+  mediator.execute_odl(R"(
+    interface Person (extent person) {
+      attribute Long id;
+      attribute String name;
+      attribute Short salary; };
+    extent person0 of Person wrapper w0 repository r0;
+    extent person1 of Person wrapper w0 repository r1;
+  )");
+
+  // The daemon: ephemeral port, default backpressure.
+  server::Server srv(mediator);
+  srv.start();
+  std::cout << "server listening on " << srv.host() << ":" << srv.port()
+            << "\n";
+
+  server::Client client("127.0.0.1", srv.port());
+  const std::string query = "select x.name from x in person";
+
+  // 1. Ordinary submit/poll: both sources up.
+  uint64_t id = client.submit_id(query);
+  server::Response reply = client.poll(id);
+  while (!reply.payload.at("complete").as_bool()) reply = client.poll(id);
+  std::cout << "poll(" << id
+            << "): complete, rows=" << reply.payload.at("rows").items().size()
+            << "\n";
+
+  // 2. The tentpole: streamed partial answers. r0 goes dark and its
+  //    breaker trips; a subscribed submit pushes frames as §4 unfolds.
+  mediator.network().set_availability("r0", net::Availability::always_down());
+  for (int i = 0; i < 2; ++i) (void)mediator.query(query);
+  std::cout << "r0 circuit: "
+            << session::to_string(mediator.health_tracker().state("r0"))
+            << "\n";
+
+  id = client.submit_id(query, std::numeric_limits<double>::infinity(),
+                        /*subscribe=*/true);
+  auto partial =
+      client.wait_event(id, {server::FrameType::kPartial}, 10.0);
+  if (!partial.has_value()) {
+    std::cerr << "no PARTIAL frame arrived\n";
+    return 1;
+  }
+  std::cout << "PARTIAL pushed for id " << id << ": rows="
+            << partial->payload.at("rows").items().size() << ", residuals="
+            << partial->payload.at("residuals").items().size() << "\n";
+
+  // r0 recovers; the prober closes the circuit, the session layer
+  // resubmits the residual, and COMPLETE arrives by push.
+  mediator.network().set_availability("r0", net::Availability::always_up());
+  auto complete =
+      client.wait_event(id, {server::FrameType::kComplete}, 30.0);
+  if (!complete.has_value()) {
+    std::cerr << "no COMPLETE frame arrived\n";
+    return 1;
+  }
+  std::cout << "COMPLETE pushed for id " << id << ": rows="
+            << complete->payload.at("rows").items().size() << "\n";
+
+  // 3. Introspection over the wire.
+  server::Response explain = client.explain(query);
+  const std::string& text = explain.payload.at("text").as_string();
+  std::cout << "explain: " << std::count(text.begin(), text.end(), '\n')
+            << " lines\n";
+  server::Response stats = client.stats();
+  std::cout << "stats: submits="
+            << stats.payload.at("server").at("submits").as_uint64()
+            << ", pushes="
+            << stats.payload.at("server").at("pushes").as_uint64()
+            << ", frames_out="
+            << stats.payload.at("server").at("frames_out").as_uint64()
+            << "\n";
+
+  client.close();
+  srv.stop();
+  const bool ok = complete->payload.at("complete").as_bool();
+  std::cout << (ok ? "ok" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}

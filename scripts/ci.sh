@@ -7,9 +7,8 @@
 #                                 # suites under ThreadSanitizer
 #   DISCO_ASAN=1 scripts/ci.sh    # additionally rebuild the obs suite
 #                                 # under ASan+UBSan
-#   DISCO_BENCH=1 scripts/ci.sh   # additionally run the resilience and
-#                                 # parallel benches (writes
-#                                 # BENCH_resilience.json, BENCH_parallel.json)
+#   DISCO_BENCH=1 scripts/ci.sh   # additionally run the experiment
+#                                 # benches (writes BENCH_*.json)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,7 +18,7 @@ cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$(nproc)"
 ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)"
 
-echo "== concurrency label (executor + session + obs + cache) =="
+echo "== concurrency label (executor + session + obs + cache + server) =="
 ctest --test-dir "$repo/build" -L concurrency --output-on-failure
 
 echo "== obs label (tracing & explain suite) =="
@@ -29,7 +28,7 @@ if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer pass (concurrency label) =="
   cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$(nproc)" \
-    --target test_exec test_session test_obs test_cache test_sched
+    --target test_exec test_session test_obs test_cache test_sched test_server
   ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
 fi
 
@@ -53,6 +52,9 @@ if [[ "${DISCO_BENCH:-0}" != "0" ]]; then
   echo "== overload bench (scheduler off vs on, slow-source mix) =="
   cmake --build "$repo/build" -j "$(nproc)" --target bench_overload
   "$repo/build/bench/bench_overload" "$repo/BENCH_overload.json"
+  echo "== server bench (64-connection QPS, cached-hit overhead, storm) =="
+  cmake --build "$repo/build" -j "$(nproc)" --target bench_server
+  "$repo/build/bench/bench_server" "$repo/BENCH_server.json"
 fi
 
 echo "ci OK"

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"  // json_escape
+
 namespace disco::cache {
 
 /// The single-flight rendezvous. The leader resolves the promise exactly
@@ -255,6 +257,37 @@ CacheStats ResultCache::stats() const {
   s.entries = entries_.size();
   s.bytes = bytes_;
   return s;
+}
+
+std::string ResultCache::stats_json() const {
+  const CacheStats s = stats();
+  std::string out = "{\"enabled\":true";
+  out += ",\"hits\":" + std::to_string(s.hits);
+  out += ",\"coalesced\":" + std::to_string(s.coalesced);
+  out += ",\"misses\":" + std::to_string(s.misses);
+  out += ",\"insertions\":" + std::to_string(s.insertions);
+  out += ",\"evictions\":" + std::to_string(s.evictions);
+  out += ",\"invalidations\":" + std::to_string(s.invalidations);
+  out += ",\"entry_count\":" + std::to_string(s.entries);
+  out += ",\"bytes\":" + std::to_string(s.bytes);
+  out += ",\"entries\":[";
+  {
+    std::shared_lock lock(mutex_);
+    bool first = true;
+    for (const auto& [key, entry] : entries_) {
+      if (!first) out += ',';
+      first = false;
+      // make_key() joined repository and algebra text with '\n'.
+      const size_t sep = key.find('\n');
+      const std::string remote =
+          sep == std::string::npos ? std::string() : key.substr(sep + 1);
+      out += "{\"repository\":\"" + obs::json_escape(entry->repository);
+      out += "\",\"remote\":\"" + obs::json_escape(remote);
+      out += "\",\"bytes\":" + std::to_string(entry->bytes) + '}';
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace disco::cache

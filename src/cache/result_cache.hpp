@@ -173,6 +173,13 @@ class ResultCache {
 
   CacheStats stats() const;
 
+  /// stats() plus the per-entry inventory as one JSON object:
+  /// {"enabled":true,"hits":..,...,"entries":[{"repository":..,
+  /// "remote":..,"bytes":..},...]}. Repository names and remote algebra
+  /// text are free-form (string predicates carry quotes; names may carry
+  /// backslashes) and are escaped, so the output is always valid JSON.
+  std::string stats_json() const;
+
  private:
   friend class Ticket;
 

@@ -450,7 +450,56 @@ optimizer::Optimizer::Result Mediator::optimize_traced(
 
 session::QueryHandle Mediator::submit(const std::string& oql_text,
                                       QueryOptions options) {
-  return sessions_->submit(oql_text, options.deadline_s);
+  session::QueryHandle handle =
+      sessions_->submit(oql_text, options.deadline_s);
+  {
+    std::lock_guard<std::mutex> lock(handles_mutex_);
+    // Soft cap: a long-lived daemon accumulates handles from clients
+    // that never poll again; sweep settled ones before growing further.
+    constexpr size_t kSweepThreshold = 4096;
+    if (handles_.size() >= kSweepThreshold) {
+      for (auto it = handles_.begin(); it != handles_.end();) {
+        if (it->second.state() != session::SessionState::Pending) {
+          it = handles_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    handles_.emplace(handle.id(), handle);
+  }
+  return handle;
+}
+
+session::QueryHandle Mediator::find_handle(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(handles_mutex_);
+  auto it = handles_.find(query_id);
+  return it == handles_.end() ? session::QueryHandle{} : it->second;
+}
+
+bool Mediator::cancel(uint64_t query_id) {
+  session::QueryHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(handles_mutex_);
+    auto it = handles_.find(query_id);
+    if (it == handles_.end()) return false;
+    handle = it->second;
+    handles_.erase(it);
+  }
+  // cancel() fires settled callbacks inline; never call it while holding
+  // handles_mutex_ (a callback may re-enter the registry).
+  handle.cancel();
+  return true;
+}
+
+bool Mediator::release_handle(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(handles_mutex_);
+  return handles_.erase(query_id) > 0;
+}
+
+size_t Mediator::live_handles() const {
+  std::lock_guard<std::mutex> lock(handles_mutex_);
+  return handles_.size();
 }
 
 Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
@@ -735,6 +784,18 @@ obs::RegistrySnapshot Mediator::obs_snapshot() const {
   snap.counters["session.resubmissions"] = s.resubmissions;
   snap.counters["health.tracked_sources"] = tracker_->tracked();
   snap.counters["health.probes"] = tracker_->total_probes();
+  // Per-source circuit state and availability. Repository names are
+  // free-form (quotes, backslashes, anything a DBA typed), so they rely
+  // on RegistrySnapshot::to_json escaping every key.
+  for (const std::string& name : tracker_->tracked_repositories()) {
+    const session::SourceHealth h = tracker_->health(name);
+    const std::string prefix = "health.source." + name;
+    snap.counters[prefix + ".state"] = static_cast<uint64_t>(h.state);
+    snap.counters[prefix + ".availability_ppm"] =
+        static_cast<uint64_t>(h.availability * 1e6 + 0.5);
+    snap.counters[prefix + ".failures"] = h.failures;
+  }
+  snap.counters["mediator.live_handles"] = live_handles();
   return snap;
 }
 

@@ -165,9 +165,30 @@ class Mediator {
   /// Submits a query for background execution and returns immediately.
   /// The handle's snapshot() is the current best (§4 partial) answer;
   /// the ResubmissionManager re-executes the residuals as sources
-  /// recover until the answer is complete. Thread-safe.
+  /// recover until the answer is complete. The handle is also retained
+  /// in the mediator's registry under its id, so out-of-process clients
+  /// (src/server/) can poll/cancel by id alone. Thread-safe.
   session::QueryHandle submit(const std::string& oql_text,
                               QueryOptions options = {});
+
+  /// Looks up a registered handle by query id; !valid() when the id is
+  /// unknown (never registered, or already released). Thread-safe.
+  session::QueryHandle find_handle(uint64_t query_id) const;
+
+  /// Cancels the registered session with this id and releases it from
+  /// the registry: pending resubmissions are dropped (settled callbacks
+  /// fire with Cancelled) and no tokens or cache leader tickets stay
+  /// held on its behalf. Returns false for unknown ids. Thread-safe.
+  bool cancel(uint64_t query_id);
+
+  /// Drops a handle from the registry without cancelling the session
+  /// (a client that fetched its complete answer and is done with the
+  /// id). Returns false for unknown ids. Thread-safe.
+  bool release_handle(uint64_t query_id);
+
+  /// Handles currently retained in the registry (any state; terminal
+  /// handles are swept opportunistically on submit()).
+  size_t live_handles() const;
 
   /// Per-repository circuit-breaker state and EWMA health.
   session::SourceHealthTracker& health_tracker() { return *tracker_; }
@@ -260,6 +281,13 @@ class Mediator {
   cache::CacheStats cache_stats() const {
     return result_cache_ != nullptr ? result_cache_->stats()
                                     : cache::CacheStats{};
+  }
+  /// cache_stats() plus the per-entry inventory as one JSON object
+  /// (repository names and remote algebra text are escaped — they may
+  /// contain quotes and backslashes). `{"enabled":false}` when off.
+  std::string cache_stats_json() const {
+    return result_cache_ != nullptr ? result_cache_->stats_json()
+                                    : std::string("{\"enabled\":false}");
   }
   /// The cache itself, or null when Options::cache.enabled is false.
   cache::ResultCache* result_cache() { return result_cache_.get(); }
@@ -356,6 +384,12 @@ class Mediator {
   exec::Metrics exec_metrics_;
   std::unique_ptr<exec::ThreadPool> pool_;
   std::unique_ptr<exec::ParallelDispatcher> dispatcher_;
+
+  // Handle registry: every submit()'s QueryHandle retained by id so
+  // network clients can poll/cancel without holding the handle object.
+  // Swept of terminal handles once it outgrows a soft cap.
+  mutable std::mutex handles_mutex_;
+  std::unordered_map<uint64_t, session::QueryHandle> handles_;
 
   // Per-source admission control (Options::sched.enabled and wall-clock
   // mode only); shared by every query and by session resubmissions.

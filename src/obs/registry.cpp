@@ -28,6 +28,9 @@ size_t bucket_for(uint64_t micro) {
 }
 
 std::string format_double(double value) {
+  // %g renders inf/nan as bare words, which is invalid JSON; snapshots
+  // flow straight into the STATS wire frames, so clamp here.
+  if (!std::isfinite(value)) return value > 0 ? "1e308" : "-1e308";
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.6g", value);
   return buffer;

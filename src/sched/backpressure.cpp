@@ -1,0 +1,17 @@
+#include "sched/backpressure.hpp"
+
+namespace disco::sched {
+
+const char* to_string(ConnBackpressure::Verdict verdict) {
+  switch (verdict) {
+    case ConnBackpressure::Verdict::Admit:
+      return "admit";
+    case ConnBackpressure::Verdict::BusyInflight:
+      return "inflight";
+    case ConnBackpressure::Verdict::BusyWriteBuf:
+      return "write_buffer";
+  }
+  return "?";
+}
+
+}  // namespace disco::sched

@@ -1,0 +1,84 @@
+// Per-connection backpressure for the mediator daemon (src/sched/).
+//
+// The QueryScheduler protects *sources* from the mediator; this policy
+// protects the *mediator* from its clients. A network front-end
+// (src/server/) consults it before accepting a SUBMIT:
+//
+//   * too many of the connection's submits still in flight (handles not
+//     yet settled) -> shed the submit into a BUSY reply, and
+//   * an unread write buffer past the high-water mark (the client is not
+//     draining its socket; queueing more answers is unbounded memory)
+//     -> same BUSY reply.
+//
+// Shedding into BUSY mirrors the scheduler's shed-into-residual rule:
+// overload turns into a typed, retryable signal instead of unbounded
+// queueing or an opaque disconnect. The policy itself is stateless per
+// decision (the server passes the connection's current gauges); this
+// class only centralizes the thresholds and counts the verdicts.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace disco::sched {
+
+struct BackpressureOptions {
+  /// Max submits per connection whose sessions are still Pending.
+  size_t max_inflight_per_conn = 64;
+  /// Max bytes of queued, unsent reply frames per connection before new
+  /// submits are refused.
+  size_t write_high_water_bytes = 1 << 20;
+};
+
+class ConnBackpressure {
+ public:
+  enum class Verdict {
+    Admit,          ///< under both limits
+    BusyInflight,   ///< the connection has too many unsettled submits
+    BusyWriteBuf,   ///< the connection is not draining its socket
+  };
+
+  explicit ConnBackpressure(BackpressureOptions options = {})
+      : options_(options) {}
+
+  const BackpressureOptions& options() const { return options_; }
+
+  /// Decides one SUBMIT given the connection's current gauges.
+  /// Thread-safe (counters are atomics).
+  Verdict admit(size_t live_submits, size_t write_buffer_bytes) {
+    if (live_submits >= options_.max_inflight_per_conn) {
+      busy_inflight_.fetch_add(1, std::memory_order_relaxed);
+      return Verdict::BusyInflight;
+    }
+    if (write_buffer_bytes >= options_.write_high_water_bytes) {
+      busy_write_.fetch_add(1, std::memory_order_relaxed);
+      return Verdict::BusyWriteBuf;
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Verdict::Admit;
+  }
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t busy_inflight = 0;
+    uint64_t busy_write = 0;
+    uint64_t shed() const { return busy_inflight + busy_write; }
+  };
+
+  Stats stats() const {
+    return {admitted_.load(std::memory_order_relaxed),
+            busy_inflight_.load(std::memory_order_relaxed),
+            busy_write_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  BackpressureOptions options_;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> busy_inflight_{0};
+  std::atomic<uint64_t> busy_write_{0};
+};
+
+const char* to_string(ConnBackpressure::Verdict verdict);
+
+}  // namespace disco::sched

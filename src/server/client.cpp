@@ -1,0 +1,258 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace disco::server {
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int to_poll_ms(double seconds) {
+  if (!std::isfinite(seconds)) return -1;
+  if (seconds <= 0) return 0;
+  const double ms = seconds * 1000.0;
+  return ms > 2e9 ? 2000000000 : static_cast<int>(ms) + 1;
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw ExecutionError("client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw ExecutionError("client: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw ExecutionError("client: connect(" + host + ":" +
+                         std::to_string(port) +
+                         ") failed: " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_raw(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t sent = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                                MSG_NOSIGNAL);
+    if (sent > 0) {
+      off += static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    throw ExecutionError("client: send failed: " +
+                         std::string(std::strerror(errno)));
+  }
+}
+
+std::optional<Frame> Client::read_frame(double timeout_s) {
+  const double deadline = now_s() + timeout_s;
+  Frame frame;
+  std::string error;
+  for (;;) {
+    const FrameDecoder::Status status = decoder_.next(&frame, &error);
+    if (status == FrameDecoder::Status::kFrame) return frame;
+    if (status == FrameDecoder::Status::kBad) {
+      throw ExecutionError("client: framing error from server: " + error);
+    }
+    const double remaining =
+        std::isfinite(timeout_s) ? deadline - now_s() : timeout_s;
+    if (std::isfinite(timeout_s) && remaining <= 0) return std::nullopt;
+
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, to_poll_ms(remaining));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw ExecutionError("client: poll failed");
+    }
+    if (ready == 0) return std::nullopt;
+
+    char buf[65536];
+    const ssize_t got = ::recv(fd_, buf, sizeof buf, 0);
+    if (got > 0) {
+      decoder_.feed(buf, static_cast<size_t>(got));
+      continue;
+    }
+    if (got == 0) throw ExecutionError("client: server closed the connection");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw ExecutionError("client: recv failed: " +
+                         std::string(std::strerror(errno)));
+  }
+}
+
+std::optional<Frame> Client::recv_frame(double timeout_s) {
+  return read_frame(timeout_s);
+}
+
+Response Client::call(FrameType type, const json::Value& payload) {
+  send_raw(encode_frame(type, payload.dump()));
+  for (;;) {
+    std::optional<Frame> frame =
+        read_frame(std::numeric_limits<double>::infinity());
+    if (!frame.has_value()) {
+      throw ExecutionError("client: no reply");  // unreachable: infinite wait
+    }
+    Response response{frame->type, json::parse(frame->payload)};
+    if (is_push(frame->type)) {
+      events_.push_back(std::move(response));
+      continue;
+    }
+    return response;
+  }
+}
+
+Response Client::submit(const std::string& oql, double deadline_s,
+                        bool subscribe) {
+  std::vector<json::Value::Member> members{
+      {"oql", json::Value::string(oql)}};
+  if (std::isfinite(deadline_s)) {
+    members.emplace_back("deadline_s", json::Value::real(deadline_s));
+  }
+  if (subscribe) {
+    members.emplace_back("subscribe", json::Value::boolean(true));
+  }
+  return call(FrameType::kSubmit, json::Value::object(std::move(members)));
+}
+
+uint64_t Client::submit_id(const std::string& oql, double deadline_s,
+                           bool subscribe) {
+  const Response r = submit(oql, deadline_s, subscribe);
+  if (r.type != FrameType::kSubmitted) {
+    const json::Value* message = r.payload.find("message");
+    const json::Value* reason = r.payload.find("reason");
+    throw ExecutionError(
+        "client: submit refused (" + std::string(to_string(r.type)) + "): " +
+        (message != nullptr   ? message->as_string()
+         : reason != nullptr ? reason->as_string()
+                             : std::string("?")));
+  }
+  return r.payload.at("id").as_uint64();
+}
+
+Response Client::poll(uint64_t id) {
+  return call(FrameType::kPoll,
+              json::Value::object(
+                  {{"id", json::Value::unsigned_integer(id)}}));
+}
+
+Response Client::cancel(uint64_t id, bool release_only) {
+  std::vector<json::Value::Member> members{
+      {"id", json::Value::unsigned_integer(id)}};
+  if (release_only) {
+    members.emplace_back("release", json::Value::boolean(true));
+  }
+  return call(FrameType::kCancel, json::Value::object(std::move(members)));
+}
+
+Response Client::subscribe(uint64_t id) {
+  return call(FrameType::kSubscribe,
+              json::Value::object(
+                  {{"id", json::Value::unsigned_integer(id)}}));
+}
+
+Response Client::explain(const std::string& oql) {
+  return call(FrameType::kExplain,
+              json::Value::object({{"oql", json::Value::string(oql)}}));
+}
+
+Response Client::stats() {
+  return call(FrameType::kStats, json::Value::object({}));
+}
+
+std::optional<Response> Client::next_event(double timeout_s) {
+  if (!events_.empty()) {
+    Response r = std::move(events_.front());
+    events_.erase(events_.begin());
+    return r;
+  }
+  const double deadline = now_s() + timeout_s;
+  for (;;) {
+    const double remaining =
+        std::isfinite(timeout_s) ? deadline - now_s() : timeout_s;
+    if (std::isfinite(timeout_s) && remaining <= 0) return std::nullopt;
+    std::optional<Frame> frame = read_frame(remaining);
+    if (!frame.has_value()) return std::nullopt;
+    Response response{frame->type, json::parse(frame->payload)};
+    // A reply frame here means the caller interleaved call() wrongly;
+    // surface rather than silently dropping.
+    if (!is_push(frame->type)) {
+      throw ExecutionError("client: unexpected reply frame " +
+                           std::string(to_string(frame->type)) +
+                           " while waiting for events");
+    }
+    return response;
+  }
+}
+
+std::optional<Response> Client::wait_event(uint64_t id,
+                                           std::vector<FrameType> types,
+                                           double timeout_s) {
+  const auto matches = [&](const Response& r) {
+    const json::Value* rid = r.payload.find("id");
+    if (rid == nullptr || rid->as_uint64() != id) return false;
+    for (FrameType t : types) {
+      if (r.type == t) return true;
+    }
+    return false;
+  };
+  // Scan the buffer first.
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (matches(events_[i])) {
+      Response r = std::move(events_[i]);
+      events_.erase(events_.begin() + static_cast<ptrdiff_t>(i));
+      return r;
+    }
+  }
+  const double deadline = now_s() + timeout_s;
+  for (;;) {
+    const double remaining =
+        std::isfinite(timeout_s) ? deadline - now_s() : timeout_s;
+    if (std::isfinite(timeout_s) && remaining <= 0) return std::nullopt;
+    std::optional<Frame> frame = read_frame(remaining);
+    if (!frame.has_value()) return std::nullopt;
+    Response response{frame->type, json::parse(frame->payload)};
+    if (!is_push(frame->type)) {
+      throw ExecutionError("client: unexpected reply frame " +
+                           std::string(to_string(frame->type)) +
+                           " while waiting for events");
+    }
+    if (matches(response)) return response;
+    events_.push_back(std::move(response));
+  }
+}
+
+}  // namespace disco::server

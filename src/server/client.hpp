@@ -1,0 +1,92 @@
+// Blocking client for the mediator daemon (src/server/).
+//
+// One Client owns one TCP connection and speaks the frame protocol of
+// protocol.hpp. Requests are synchronous: call() sends one frame and
+// returns the matching reply. Push frames (PARTIAL / COMPLETE /
+// QUERY_FAILED) may arrive interleaved with replies; the client buffers
+// them into an event queue consumed with next_event() — so an
+// application can submit with subscribe, keep issuing requests, and
+// still observe every streamed partial answer in order.
+//
+// Thread safety: none. One Client per thread (the protocol itself is
+// connection-oriented; open more connections for more threads).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/json.hpp"
+#include "server/protocol.hpp"
+
+namespace disco::server {
+
+/// A reply or push frame with its payload parsed.
+struct Response {
+  FrameType type = FrameType::kError;
+  json::Value payload;
+
+  bool is_error() const { return type == FrameType::kError; }
+  bool is_busy() const { return type == FrameType::kBusy; }
+};
+
+class Client {
+ public:
+  /// Connects (blocking); throws ExecutionError on failure.
+  Client(const std::string& host, uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // -- typed requests --------------------------------------------------------
+  /// SUBMIT. The reply is SUBMITTED {"id"}, BUSY, or ERROR.
+  Response submit(const std::string& oql,
+                  double deadline_s = std::numeric_limits<double>::infinity(),
+                  bool subscribe = false);
+  /// SUBMIT and unwrap the id; throws ExecutionError on BUSY/ERROR.
+  uint64_t submit_id(const std::string& oql,
+                     double deadline_s = std::numeric_limits<double>::infinity(),
+                     bool subscribe = false);
+  Response poll(uint64_t id);
+  Response cancel(uint64_t id, bool release_only = false);
+  Response subscribe(uint64_t id);
+  Response explain(const std::string& oql);
+  Response stats();
+
+  /// Sends one request frame and blocks for its reply; pushes that
+  /// arrive first are queued for next_event().
+  Response call(FrameType type, const json::Value& payload);
+
+  // -- streamed events -------------------------------------------------------
+  /// Next push frame: from the buffer, else read from the socket until
+  /// one arrives or `timeout_s` passes (nullopt on timeout).
+  std::optional<Response> next_event(double timeout_s);
+  /// Blocks until a push for `id` of one of `types` arrives; other ids'
+  /// events stay queued. nullopt on timeout.
+  std::optional<Response> wait_event(uint64_t id,
+                                     std::vector<FrameType> types,
+                                     double timeout_s);
+
+  // -- raw access (protocol tests) -------------------------------------------
+  /// Writes arbitrary bytes to the socket (not necessarily a frame).
+  void send_raw(const std::string& bytes);
+  /// Reads one frame (any type), bypassing the event queue split.
+  /// nullopt on timeout; throws ExecutionError when the server closed.
+  std::optional<Frame> recv_frame(double timeout_s);
+
+ private:
+  /// One frame off the decoder/socket. nullopt on timeout.
+  std::optional<Frame> read_frame(double timeout_s);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::vector<Response> events_;  ///< buffered pushes, FIFO
+};
+
+}  // namespace disco::server

@@ -1,0 +1,120 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+
+namespace disco::server {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kSubmit:
+      return "SUBMIT";
+    case FrameType::kPoll:
+      return "POLL";
+    case FrameType::kCancel:
+      return "CANCEL";
+    case FrameType::kSubscribe:
+      return "SUBSCRIBE";
+    case FrameType::kExplain:
+      return "EXPLAIN";
+    case FrameType::kStats:
+      return "STATS";
+    case FrameType::kSubmitted:
+      return "SUBMITTED";
+    case FrameType::kAnswer:
+      return "ANSWER";
+    case FrameType::kOk:
+      return "OK";
+    case FrameType::kExplainResult:
+      return "EXPLAIN_RESULT";
+    case FrameType::kStatsResult:
+      return "STATS_RESULT";
+    case FrameType::kBusy:
+      return "BUSY";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kPartial:
+      return "PARTIAL";
+    case FrameType::kComplete:
+      return "COMPLETE";
+    case FrameType::kQueryFailed:
+      return "QUERY_FAILED";
+  }
+  return "?";
+}
+
+bool is_push(FrameType type) {
+  return type == FrameType::kPartial || type == FrameType::kComplete ||
+         type == FrameType::kQueryFailed;
+}
+
+bool is_request(FrameType type) {
+  switch (type) {
+    case FrameType::kSubmit:
+    case FrameType::kPoll:
+    case FrameType::kCancel:
+    case FrameType::kSubscribe:
+    case FrameType::kExplain:
+    case FrameType::kStats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  const uint32_t len = static_cast<uint32_t>(1 + payload.size());
+  std::string frame;
+  frame.reserve(4 + len);
+  // Little-endian length prefix, byte by byte — no host-order assumption.
+  frame.push_back(static_cast<char>(len & 0xff));
+  frame.push_back(static_cast<char>((len >> 8) & 0xff));
+  frame.push_back(static_cast<char>((len >> 16) & 0xff));
+  frame.push_back(static_cast<char>((len >> 24) & 0xff));
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload);
+  return frame;
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame* out, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = "decoder poisoned by earlier framing error";
+    return Status::kBad;
+  }
+  const size_t avail = buffer_.size() - offset_;
+  if (avail < 4) return Status::kNeedMore;
+
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data()) + offset_;
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  if (len == 0) {
+    poisoned_ = true;
+    if (error != nullptr) *error = "zero-length frame (missing type byte)";
+    return Status::kBad;
+  }
+  if (len > 1 + kMaxPayload) {
+    poisoned_ = true;
+    if (error != nullptr) {
+      *error = "frame length " + std::to_string(len) + " exceeds limit " +
+               std::to_string(1 + kMaxPayload);
+    }
+    return Status::kBad;
+  }
+  if (avail < 4 + static_cast<size_t>(len)) return Status::kNeedMore;
+
+  out->type = static_cast<FrameType>(p[4]);
+  out->payload.assign(buffer_, offset_ + 5, len - 1);
+  offset_ += 4 + static_cast<size_t>(len);
+
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  return Status::kFrame;
+}
+
+}  // namespace disco::server

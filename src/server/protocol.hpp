@@ -1,0 +1,105 @@
+// The mediator daemon's wire protocol (src/server/).
+//
+// Every message is one length-prefixed binary frame:
+//
+//   +-----------+---------+------------------+
+//   | u32 len   | u8 type | payload (JSON)   |
+//   +-----------+---------+------------------+
+//    little-endian; len = 1 + payload bytes
+//
+// Request frames (client -> server): SUBMIT, POLL, CANCEL, SUBSCRIBE,
+// EXPLAIN, STATS. Reply frames mirror them 1:1 in request order;
+// *push* frames (PARTIAL, COMPLETE, QUERY_FAILED) may interleave at any
+// frame boundary — clients discriminate by type, never by position.
+// Malformed input (oversized length prefix, unknown type byte, invalid
+// JSON) yields a typed ERROR frame, never a crash; only unrecoverable
+// framing damage (an impossible length) closes the connection, since
+// the byte stream cannot be resynchronized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace disco::server {
+
+enum class FrameType : uint8_t {
+  // client -> server
+  kSubmit = 1,     ///< {"oql":s, "deadline_s"?:n, "subscribe"?:b}
+  kPoll = 2,       ///< {"id":n}
+  kCancel = 3,     ///< {"id":n, "release"?:b}
+  kSubscribe = 4,  ///< {"id":n}
+  kExplain = 5,    ///< {"oql":s}
+  kStats = 6,      ///< {}
+
+  // server -> client replies (one per request, in request order)
+  kSubmitted = 17,      ///< {"id":n}
+  kAnswer = 18,         ///< poll reply: {"id","state","complete","rows",...}
+  kOk = 19,             ///< cancel/subscribe ack: {"id":n}
+  kExplainResult = 20,  ///< {"text":s}
+  kStatsResult = 21,    ///< {"server":o,"obs":o,"cache":o,"sched":o}
+  kBusy = 22,           ///< backpressure shed: {"reason":s,"limit":n}
+  kError = 23,          ///< {"code":s,"message":s,("id":n)}
+
+  // server -> client pushes (subscription events; may interleave)
+  kPartial = 32,      ///< {"id","complete":false,"rows","residuals"}
+  kComplete = 33,     ///< {"id","complete":true,"rows","residuals":[]}
+  kQueryFailed = 34,  ///< {"id","state"}
+};
+
+const char* to_string(FrameType type);
+bool is_push(FrameType type);
+/// True for the type bytes a client may legally send.
+bool is_request(FrameType type);
+
+/// Typed error codes carried in ERROR payloads ("code" member).
+namespace error_code {
+inline constexpr const char* kBadFrame = "bad_frame";
+inline constexpr const char* kBadJson = "bad_json";
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kUnknownType = "unknown_type";
+inline constexpr const char* kUnknownQuery = "unknown_query";
+inline constexpr const char* kQueryError = "query_error";
+inline constexpr const char* kInternal = "internal";
+}  // namespace error_code
+
+/// Hard cap on one frame's payload (8 MiB of OQL or rows is already far
+/// beyond anything the protocol ships; a 4 GiB length prefix must not
+/// become an allocation).
+inline constexpr uint32_t kMaxPayload = 8u << 20;
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Serializes one frame (length prefix + type byte + payload).
+std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Incremental frame extractor over a raw byte stream. feed() bytes as
+/// they arrive, then drain next() until NeedMore.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     ///< *out holds the next frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kBad,       ///< framing damage; *error says why. Unrecoverable: the
+                ///< stream has no resync point, close the connection.
+  };
+
+  void feed(const char* data, size_t size) { buffer_.append(data, size); }
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  Status next(Frame* out, std::string* error);
+
+  size_t buffered() const { return buffer_.size() - offset_; }
+
+ private:
+  std::string buffer_;
+  size_t offset_ = 0;  ///< consumed prefix (compacted lazily)
+  bool poisoned_ = false;
+};
+
+}  // namespace disco::server

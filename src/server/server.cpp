@@ -1,0 +1,715 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "server/json.hpp"
+#include "server/protocol.hpp"
+
+namespace disco::server {
+namespace {
+
+/// ODMG value -> JSON: collections become arrays, structs objects.
+json::Value value_to_json(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::Null:
+      return json::Value();
+    case ValueKind::Bool:
+      return json::Value::boolean(value.as_bool());
+    case ValueKind::Int:
+      return json::Value::integer(value.as_int());
+    case ValueKind::Double:
+      return json::Value::real(value.as_double());
+    case ValueKind::String:
+      return json::Value::string(value.as_string());
+    case ValueKind::Bag:
+    case ValueKind::Set:
+    case ValueKind::List: {
+      std::vector<json::Value> items;
+      items.reserve(value.items().size());
+      for (const Value& item : value.items()) {
+        items.push_back(value_to_json(item));
+      }
+      return json::Value::array(std::move(items));
+    }
+    case ValueKind::Struct: {
+      std::vector<json::Value::Member> members;
+      members.reserve(value.fields().size());
+      for (const auto& [name, field] : value.fields()) {
+        members.emplace_back(name, value_to_json(field));
+      }
+      return json::Value::object(std::move(members));
+    }
+  }
+  return json::Value();
+}
+
+/// The answer body shared by ANSWER replies and PARTIAL/COMPLETE pushes.
+json::Value answer_event(uint64_t id, const Answer& answer) {
+  std::vector<json::Value::Member> members;
+  members.emplace_back("id", json::Value::unsigned_integer(id));
+  members.emplace_back("complete", json::Value::boolean(answer.complete()));
+  members.emplace_back("rows", value_to_json(answer.data()));
+  std::vector<json::Value> residuals;
+  for (const std::string& r : answer.residual_queries()) {
+    residuals.push_back(json::Value::string(r));
+  }
+  members.emplace_back("residuals", json::Value::array(std::move(residuals)));
+  return json::Value::object(std::move(members));
+}
+
+/// Full POLL reply: the answer body plus session state/resubmissions.
+json::Value answer_reply(uint64_t id, const session::QueryHandle& handle) {
+  const session::SessionState state = handle.state();
+  std::vector<json::Value::Member> members;
+  members.emplace_back("id", json::Value::unsigned_integer(id));
+  members.emplace_back("state",
+                       json::Value::string(session::to_string(state)));
+  members.emplace_back(
+      "resubmissions",
+      json::Value::unsigned_integer(handle.resubmissions()));
+  try {
+    const Answer answer = handle.snapshot();
+    members.emplace_back("complete", json::Value::boolean(answer.complete()));
+    members.emplace_back("rows", value_to_json(answer.data()));
+    std::vector<json::Value> residuals;
+    for (const std::string& r : answer.residual_queries()) {
+      residuals.push_back(json::Value::string(r));
+    }
+    members.emplace_back("residuals",
+                         json::Value::array(std::move(residuals)));
+  } catch (const std::exception& e) {
+    // Failed sessions have no snapshot; the error IS the answer.
+    members.emplace_back("complete", json::Value::boolean(false));
+    members.emplace_back("error", json::Value::string(e.what()));
+  }
+  return json::Value::object(std::move(members));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+/// Cross-thread push channel. Session-manager threads enqueue encoded
+/// frames here and tickle the wake pipe; the IO thread drains the queue
+/// into per-connection write buffers. Subscription callbacks hold this
+/// only weakly, so a stopped (or destroyed) server turns them into
+/// no-ops — and `stopped` is flipped under the mutex *before* the pipe
+/// closes, so no callback can write into a dead fd.
+struct PushHub {
+  struct Push {
+    uint64_t conn_id = 0;
+    std::string frame;
+  };
+
+  std::mutex mutex;
+  bool stopped = false;
+  int wake_fd = -1;  ///< write end of the IO thread's wake pipe
+  std::vector<Push> queue;
+
+  void push(uint64_t conn_id, std::string frame) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (stopped) return;
+    queue.push_back({conn_id, std::move(frame)});
+    const char byte = 1;
+    // EAGAIN (pipe full) is fine: pending bytes already guarantee a wake.
+    (void)!::write(wake_fd, &byte, 1);
+  }
+
+  std::vector<Push> drain() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return std::exchange(queue, {});
+  }
+};
+
+namespace {
+void enqueue_push(const std::weak_ptr<PushHub>& weak, uint64_t conn_id,
+                  std::string frame) {
+  if (std::shared_ptr<PushHub> hub = weak.lock()) {
+    hub->push(conn_id, std::move(frame));
+  }
+}
+}  // namespace
+
+struct Server::Impl {
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameDecoder decoder;
+    std::string out;       ///< queued reply/push bytes
+    size_t out_off = 0;    ///< sent prefix of `out`
+    bool close_after_flush = false;
+    std::vector<uint64_t> owned;  ///< query ids this conn submitted
+  };
+
+  Mediator& mediator;
+  ServerOptions options;
+  sched::ConnBackpressure& backpressure;
+
+  int listen_fd = -1;
+  int wake_read_fd = -1;
+  std::shared_ptr<PushHub> hub;
+  std::atomic<bool> stop_requested{false};
+  std::atomic<size_t> conn_count{0};
+
+  std::unordered_map<uint64_t, Conn> conns;
+  uint64_t next_conn_id = 1;
+
+  // server.* counters in the mediator's registry (single pane of glass).
+  obs::Counter& c_accepted;
+  obs::Counter& c_rejected;
+  obs::Counter& c_disconnects;
+  obs::Counter& c_frames_in;
+  obs::Counter& c_frames_out;
+  obs::Counter& c_bytes_in;
+  obs::Counter& c_bytes_out;
+  obs::Counter& c_submits;
+  obs::Counter& c_busy;
+  obs::Counter& c_errors;
+  obs::Counter& c_pushes;
+
+  Impl(Mediator& m, ServerOptions o, sched::ConnBackpressure& bp)
+      : mediator(m),
+        options(std::move(o)),
+        backpressure(bp),
+        c_accepted(m.obs_registry().counter("server.connections.accepted")),
+        c_rejected(m.obs_registry().counter("server.connections.rejected")),
+        c_disconnects(m.obs_registry().counter("server.connections.closed")),
+        c_frames_in(m.obs_registry().counter("server.frames.in")),
+        c_frames_out(m.obs_registry().counter("server.frames.out")),
+        c_bytes_in(m.obs_registry().counter("server.bytes.in")),
+        c_bytes_out(m.obs_registry().counter("server.bytes.out")),
+        c_submits(m.obs_registry().counter("server.submits")),
+        c_busy(m.obs_registry().counter("server.busy")),
+        c_errors(m.obs_registry().counter("server.errors")),
+        c_pushes(m.obs_registry().counter("server.pushes")) {}
+
+  // -- outgoing frames -------------------------------------------------------
+
+  void send(Conn& conn, FrameType type, const std::string& payload) {
+    conn.out += encode_frame(type, payload);
+    c_frames_out.add();
+  }
+
+  void send_error(Conn& conn, const char* code, const std::string& message) {
+    c_errors.add();
+    send(conn, FrameType::kError,
+         json::Value::object({{"code", json::Value::string(code)},
+                              {"message", json::Value::string(message)}})
+             .dump());
+  }
+
+  /// Drains as much of the write buffer as the socket accepts.
+  /// Returns false when the connection must close.
+  bool flush(Conn& conn) {
+    while (conn.out_off < conn.out.size()) {
+      const ssize_t sent =
+          ::send(conn.fd, conn.out.data() + conn.out_off,
+                 conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+      if (sent > 0) {
+        conn.out_off += static_cast<size_t>(sent);
+        c_bytes_out.add(static_cast<uint64_t>(sent));
+        continue;
+      }
+      if (sent < 0 && errno == EINTR) continue;
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      return false;
+    }
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+      if (conn.close_after_flush) return false;
+    } else if (conn.out_off > 65536 && conn.out_off * 2 > conn.out.size()) {
+      conn.out.erase(0, conn.out_off);
+      conn.out_off = 0;
+    }
+    return true;
+  }
+
+  // -- request handling ------------------------------------------------------
+
+  /// Owned submits whose sessions are still Pending; prunes ids already
+  /// released from the registry so the vector stays bounded.
+  size_t live_submits(Conn& conn) {
+    size_t live = 0;
+    std::vector<uint64_t> kept;
+    kept.reserve(conn.owned.size());
+    for (uint64_t id : conn.owned) {
+      const session::QueryHandle handle = mediator.find_handle(id);
+      if (!handle.valid()) continue;
+      kept.push_back(id);
+      if (handle.state() == session::SessionState::Pending) ++live;
+    }
+    conn.owned = std::move(kept);
+    return live;
+  }
+
+  void attach_subscription(uint64_t conn_id, session::QueryHandle& handle) {
+    // Callbacks must not capture the handle itself: they are stored in
+    // the session, and a handle capture would make the session own a
+    // shared_ptr to itself. The hub is held weakly so a stopped server
+    // turns every pending callback into a no-op.
+    const uint64_t qid = handle.id();
+    std::weak_ptr<PushHub> weak = hub;
+    handle.on_progress([weak, conn_id, qid](const Answer& answer) {
+      enqueue_push(weak, conn_id,
+                   encode_frame(FrameType::kPartial,
+                                answer_event(qid, answer).dump()));
+    });
+    handle.on_complete([weak, conn_id, qid](const Answer& answer) {
+      enqueue_push(weak, conn_id,
+                   encode_frame(FrameType::kComplete,
+                                answer_event(qid, answer).dump()));
+    });
+    handle.on_settled([weak, conn_id, qid](session::SessionState state) {
+      if (state != session::SessionState::Failed) return;
+      enqueue_push(
+          weak, conn_id,
+          encode_frame(
+              FrameType::kQueryFailed,
+              json::Value::object(
+                  {{"id", json::Value::unsigned_integer(qid)},
+                   {"state",
+                    json::Value::string(session::to_string(state))}})
+                  .dump()));
+    });
+  }
+
+  void handle_submit(Conn& conn, const json::Value& req) {
+    const std::string& oql = req.at("oql").as_string();
+    QueryOptions qopts;
+    if (const json::Value* d = req.find("deadline_s")) {
+      qopts.deadline_s = d->as_double();
+    }
+    bool subscribe = false;
+    if (const json::Value* s = req.find("subscribe")) {
+      subscribe = s->as_bool();
+    }
+
+    const size_t live = live_submits(conn);
+    const size_t buffered = conn.out.size() - conn.out_off;
+    const auto verdict = backpressure.admit(live, buffered);
+    if (verdict != sched::ConnBackpressure::Verdict::Admit) {
+      c_busy.add();
+      const size_t limit =
+          verdict == sched::ConnBackpressure::Verdict::BusyInflight
+              ? backpressure.options().max_inflight_per_conn
+              : backpressure.options().write_high_water_bytes;
+      send(conn, FrameType::kBusy,
+           json::Value::object(
+               {{"reason", json::Value::string(to_string(verdict))},
+                {"limit", json::Value::unsigned_integer(limit)}})
+               .dump());
+      return;
+    }
+
+    session::QueryHandle handle;
+    try {
+      handle = mediator.submit(oql, qopts);
+    } catch (const std::exception& e) {
+      send_error(conn, error_code::kQueryError, e.what());
+      return;
+    }
+    c_submits.add();
+    conn.owned.push_back(handle.id());
+    if (subscribe) attach_subscription(conn.id, handle);
+    send(conn, FrameType::kSubmitted,
+         json::Value::object(
+             {{"id", json::Value::unsigned_integer(handle.id())}})
+             .dump());
+  }
+
+  void handle_poll(Conn& conn, const json::Value& req) {
+    const uint64_t id = req.at("id").as_uint64();
+    const session::QueryHandle handle = mediator.find_handle(id);
+    if (!handle.valid()) {
+      send_error(conn, error_code::kUnknownQuery,
+                 "unknown query id " + std::to_string(id));
+      return;
+    }
+    send(conn, FrameType::kAnswer, answer_reply(id, handle).dump());
+  }
+
+  void handle_cancel(Conn& conn, const json::Value& req) {
+    const uint64_t id = req.at("id").as_uint64();
+    bool release_only = false;
+    if (const json::Value* r = req.find("release")) {
+      release_only = r->as_bool();
+    }
+    const bool found =
+        release_only ? mediator.release_handle(id) : mediator.cancel(id);
+    if (!found) {
+      send_error(conn, error_code::kUnknownQuery,
+                 "unknown query id " + std::to_string(id));
+      return;
+    }
+    send(conn, FrameType::kOk,
+         json::Value::object({{"id", json::Value::unsigned_integer(id)}})
+             .dump());
+  }
+
+  void handle_subscribe(Conn& conn, const json::Value& req) {
+    const uint64_t id = req.at("id").as_uint64();
+    session::QueryHandle handle = mediator.find_handle(id);
+    if (!handle.valid()) {
+      send_error(conn, error_code::kUnknownQuery,
+                 "unknown query id " + std::to_string(id));
+      return;
+    }
+    attach_subscription(conn.id, handle);
+    send(conn, FrameType::kOk,
+         json::Value::object({{"id", json::Value::unsigned_integer(id)}})
+             .dump());
+  }
+
+  void handle_explain(Conn& conn, const json::Value& req) {
+    const std::string& oql = req.at("oql").as_string();
+    std::string text;
+    try {
+      text = mediator.explain(oql);
+    } catch (const std::exception& e) {
+      send_error(conn, error_code::kQueryError, e.what());
+      return;
+    }
+    send(conn, FrameType::kExplainResult,
+         json::Value::object({{"text", json::Value::string(std::move(text))}})
+             .dump());
+  }
+
+  void handle_stats(Conn& conn) {
+    const sched::SchedStats sched = mediator.sched_stats();
+    const sched::ConnBackpressure::Stats bp = backpressure.stats();
+    std::vector<json::Value::Member> server_members{
+        {"connections",
+         json::Value::unsigned_integer(conn_count.load())},
+        {"accepted", json::Value::unsigned_integer(c_accepted.value())},
+        {"frames_in", json::Value::unsigned_integer(c_frames_in.value())},
+        {"frames_out", json::Value::unsigned_integer(c_frames_out.value())},
+        {"submits", json::Value::unsigned_integer(c_submits.value())},
+        {"pushes", json::Value::unsigned_integer(c_pushes.value())},
+        {"busy", json::Value::unsigned_integer(c_busy.value())},
+        {"errors", json::Value::unsigned_integer(c_errors.value())},
+        {"backpressure",
+         json::Value::object(
+             {{"admitted", json::Value::unsigned_integer(bp.admitted)},
+              {"busy_inflight",
+               json::Value::unsigned_integer(bp.busy_inflight)},
+              {"busy_write", json::Value::unsigned_integer(bp.busy_write)}})},
+    };
+    // Embedding by parse() (not raw splicing) is deliberate: it asserts
+    // on every STATS that the obs/cache emitters produce valid JSON even
+    // with hostile repository names.
+    json::Value payload = json::Value::object({
+        {"server", json::Value::object(std::move(server_members))},
+        {"obs", json::parse(mediator.obs_snapshot().to_json())},
+        {"cache", json::parse(mediator.cache_stats_json())},
+        {"sched",
+         json::Value::object(
+             {{"admitted", json::Value::unsigned_integer(sched.admitted)},
+              {"queued_calls",
+               json::Value::unsigned_integer(sched.queued_calls)},
+              {"shed", json::Value::unsigned_integer(sched.shed)}})},
+    });
+    send(conn, FrameType::kStatsResult, payload.dump());
+  }
+
+  void dispatch(Conn& conn, const Frame& frame) {
+    if (!is_request(frame.type)) {
+      send_error(conn, error_code::kUnknownType,
+                 "unknown request type " +
+                     std::to_string(static_cast<unsigned>(frame.type)));
+      return;
+    }
+    json::Value req;
+    try {
+      req = json::parse(frame.payload.empty() ? std::string("{}")
+                                              : frame.payload);
+    } catch (const json::JsonError& e) {
+      send_error(conn, error_code::kBadJson, e.what());
+      return;
+    }
+    try {
+      switch (frame.type) {
+        case FrameType::kSubmit:
+          handle_submit(conn, req);
+          break;
+        case FrameType::kPoll:
+          handle_poll(conn, req);
+          break;
+        case FrameType::kCancel:
+          handle_cancel(conn, req);
+          break;
+        case FrameType::kSubscribe:
+          handle_subscribe(conn, req);
+          break;
+        case FrameType::kExplain:
+          handle_explain(conn, req);
+          break;
+        case FrameType::kStats:
+          handle_stats(conn);
+          break;
+        default:
+          break;  // unreachable: is_request() filtered
+      }
+    } catch (const json::JsonError& e) {
+      // Missing/mistyped request members.
+      send_error(conn, error_code::kBadRequest, e.what());
+    } catch (const std::exception& e) {
+      send_error(conn, error_code::kInternal, e.what());
+    }
+  }
+
+  /// Extracts and dispatches every buffered frame. A framing error
+  /// queues an ERROR and schedules close-after-flush (the byte stream
+  /// cannot be resynchronized).
+  void drain_frames(Conn& conn) {
+    Frame frame;
+    std::string error;
+    while (!conn.close_after_flush) {
+      const FrameDecoder::Status status = conn.decoder.next(&frame, &error);
+      if (status == FrameDecoder::Status::kNeedMore) return;
+      if (status == FrameDecoder::Status::kBad) {
+        send_error(conn, error_code::kBadFrame, error);
+        conn.close_after_flush = true;
+        return;
+      }
+      c_frames_in.add();
+      dispatch(conn, frame);
+    }
+  }
+
+  /// Returns false when the connection closed or errored.
+  bool read_conn(Conn& conn) {
+    char buf[65536];
+    for (;;) {
+      const ssize_t got = ::recv(conn.fd, buf, sizeof buf, 0);
+      if (got > 0) {
+        c_bytes_in.add(static_cast<uint64_t>(got));
+        conn.decoder.feed(buf, static_cast<size_t>(got));
+        drain_frames(conn);
+        if (static_cast<size_t>(got) < sizeof buf) return true;
+        continue;
+      }
+      if (got == 0) return false;  // peer closed
+      if (errno == EINTR) continue;
+      return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+  }
+
+  /// Closes the socket and cancels every query the connection still
+  /// owns: pending resubmissions drop, scheduler tokens and cache leader
+  /// tickets release, registry entries free.
+  void close_conn(Conn& conn) {
+    for (uint64_t id : conn.owned) (void)mediator.cancel(id);
+    ::close(conn.fd);
+    conn.fd = -1;
+    c_disconnects.add();
+    conn_count.fetch_sub(1);
+  }
+
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient error: try again next poll round
+      }
+      if (conns.size() >= options.max_connections) {
+        c_rejected.add();
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      Conn conn;
+      conn.fd = fd;
+      conn.id = next_conn_id++;
+      const uint64_t id = conn.id;
+      conns.emplace(id, std::move(conn));
+      c_accepted.add();
+      conn_count.fetch_add(1);
+    }
+  }
+
+  /// Moves pushed frames from the hub into their connections' write
+  /// buffers (connections that disconnected meanwhile drop theirs).
+  void drain_pushes() {
+    for (PushHub::Push& push : hub->drain()) {
+      auto it = conns.find(push.conn_id);
+      if (it == conns.end()) continue;
+      it->second.out += push.frame;
+      c_pushes.add();
+      c_frames_out.add();
+    }
+  }
+
+  void run() {
+    std::vector<pollfd> pfds;
+    std::vector<uint64_t> pfd_conn;
+    std::vector<uint64_t> doomed;
+    while (!stop_requested.load(std::memory_order_acquire)) {
+      pfds.clear();
+      pfd_conn.clear();
+      pfds.push_back({listen_fd, POLLIN, 0});
+      pfds.push_back({wake_read_fd, POLLIN, 0});
+      for (auto& [id, conn] : conns) {
+        short events = POLLIN;
+        if (conn.out_off < conn.out.size()) events |= POLLOUT;
+        pfds.push_back({conn.fd, events, 0});
+        pfd_conn.push_back(id);
+      }
+
+      const int ready = ::poll(pfds.data(), pfds.size(), 100);
+      if (ready < 0 && errno != EINTR) break;
+      if (stop_requested.load(std::memory_order_acquire)) break;
+
+      if (pfds[1].revents & POLLIN) {
+        char sink[256];
+        while (::read(wake_read_fd, sink, sizeof sink) > 0) {
+        }
+      }
+      // Drain pushes every round (cheap when empty) — a wake byte that
+      // raced with the poll timeout must not strand its frame.
+      drain_pushes();
+
+      if (pfds[0].revents & POLLIN) accept_loop();
+
+      doomed.clear();
+      for (size_t i = 2; i < pfds.size(); ++i) {
+        const uint64_t id = pfd_conn[i - 2];
+        auto it = conns.find(id);
+        if (it == conns.end()) continue;
+        Conn& conn = it->second;
+        bool alive = true;
+        if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+        if (alive && (pfds[i].revents & POLLIN)) alive = read_conn(conn);
+        if (alive) alive = flush(conn);
+        if (!alive) doomed.push_back(id);
+      }
+      // Connections that only got pushed-to (no poll event) still need a
+      // flush attempt, or a push-only stream would wait for unrelated IO.
+      for (auto& [id, conn] : conns) {
+        if (conn.fd < 0) continue;
+        if (conn.out_off < conn.out.size() || conn.close_after_flush) {
+          if (!flush(conn)) doomed.push_back(id);
+        }
+      }
+      for (uint64_t id : doomed) {
+        auto it = conns.find(id);
+        if (it == conns.end()) continue;
+        close_conn(it->second);
+        conns.erase(it);
+      }
+    }
+    for (auto& [id, conn] : conns) close_conn(conn);
+    conns.clear();
+  }
+};
+
+Server::Server(Mediator& mediator, ServerOptions options)
+    : options_(std::move(options)),
+      backpressure_(std::make_unique<sched::ConnBackpressure>(
+          options_.backpressure)) {
+  impl_ = std::make_unique<Impl>(mediator, options_, *backpressure_);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw ExecutionError("server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw ExecutionError("server: bad host address " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ExecutionError("server: bind(" + options_.host + ":" +
+                         std::to_string(options_.port) +
+                         ") failed: " + std::strerror(err));
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    throw ExecutionError("server: listen() failed");
+  }
+  set_nonblocking(fd);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    ::close(fd);
+    throw ExecutionError("server: pipe2() failed");
+  }
+
+  impl_->listen_fd = fd;
+  impl_->wake_read_fd = pipe_fds[0];
+  impl_->hub = std::make_shared<PushHub>();
+  impl_->hub->wake_fd = pipe_fds[1];
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (io_thread_.joinable()) return;
+  impl_->stop_requested.store(false, std::memory_order_release);
+  io_thread_ = std::thread([this] { impl_->run(); });
+}
+
+void Server::stop() {
+  if (impl_ == nullptr) return;
+  int wake_fd = -1;
+  {
+    // Flip stopped under the hub mutex BEFORE closing the pipe: any
+    // callback already inside push() finishes its write first, and
+    // every later callback sees stopped and returns.
+    std::lock_guard<std::mutex> lock(impl_->hub->mutex);
+    if (!impl_->hub->stopped) {
+      impl_->hub->stopped = true;
+      wake_fd = impl_->hub->wake_fd;
+      impl_->hub->wake_fd = -1;
+    }
+  }
+  impl_->stop_requested.store(true, std::memory_order_release);
+  if (wake_fd >= 0) {
+    const char byte = 1;
+    (void)!::write(wake_fd, &byte, 1);
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+  if (wake_fd >= 0) ::close(wake_fd);
+  if (impl_->wake_read_fd >= 0) {
+    ::close(impl_->wake_read_fd);
+    impl_->wake_read_fd = -1;
+  }
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+}
+
+size_t Server::connections() const { return impl_->conn_count.load(); }
+
+}  // namespace disco::server

@@ -1,0 +1,88 @@
+// The mediator daemon (src/server/): a socket front-end for one
+// Mediator.
+//
+// The paper's Prototype-0 runs mediator and application in one process;
+// a scaled federation serves many applications at once, so the mediator
+// grows a network face. One Server wraps one Mediator behind a TCP
+// listener speaking the frame protocol of protocol.hpp:
+//
+//   * a single poll()-based IO thread owns the listener and every
+//     connection (non-blocking sockets, per-connection read/write
+//     buffers and a FrameDecoder) — no thread-per-connection,
+//   * requests dispatch inline onto the mediator, whose session layer
+//     (SessionOptions::workers) and exec pool supply the parallelism;
+//     SUBMIT returns immediately with the query id,
+//   * subscriptions push: SUBMIT{subscribe} or SUBSCRIBE attach
+//     QueryHandle callbacks (on_progress/on_complete/on_settled) that
+//     enqueue PARTIAL / COMPLETE / QUERY_FAILED frames through a wake
+//     pipe into the IO thread — §4 partial answers stream to the client
+//     as sources recover, over the same connection that submitted,
+//   * per-connection backpressure (sched::ConnBackpressure): too many
+//     unsettled submits or an undrained write buffer turns new SUBMITs
+//     into typed BUSY replies instead of unbounded queueing,
+//   * a dropped connection cancels its pending queries
+//     (Mediator::cancel), so abandoned clients leak neither scheduler
+//     tokens nor cache leader tickets.
+//
+// Counters land in the mediator's obs registry under "server.*", so
+// obs_snapshot() stays the single pane of glass.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/mediator.hpp"
+#include "sched/backpressure.hpp"
+
+namespace disco::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral: the OS picks, Server::port() reports.
+  uint16_t port = 0;
+  /// Connections beyond this are accepted and immediately closed.
+  size_t max_connections = 256;
+  sched::BackpressureOptions backpressure;
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws ExecutionError when the address is taken.
+  /// The mediator must outlive the server.
+  Server(Mediator& mediator, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Starts the IO thread. Idempotent.
+  void start();
+  /// Stops the IO thread and closes every connection. Subscription
+  /// callbacks still registered on live sessions become no-ops (they
+  /// hold weak references to the push hub). Idempotent; also run by the
+  /// destructor.
+  void stop();
+
+  /// The bound TCP port (resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Connections currently open.
+  size_t connections() const;
+
+  sched::ConnBackpressure::Stats backpressure_stats() const {
+    return backpressure_->stats();
+  }
+
+ private:
+  struct Impl;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  std::unique_ptr<sched::ConnBackpressure> backpressure_;
+  std::unique_ptr<Impl> impl_;
+  std::thread io_thread_;
+};
+
+}  // namespace disco::server

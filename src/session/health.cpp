@@ -173,6 +173,15 @@ bool SourceHealthTracker::try_begin_probe(const std::string& repository) {
   return begin;
 }
 
+std::vector<std::string> SourceHealthTracker::tracked_repositories() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<std::string> SourceHealthTracker::probe_candidates() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;

@@ -111,6 +111,10 @@ class SourceHealthTracker {
   /// Repositories currently worth probing (Open or HalfOpen).
   std::vector<std::string> probe_candidates() const;
 
+  /// Every repository that ever reported an outcome, sorted — the
+  /// iteration base for per-source obs_snapshot gauges.
+  std::vector<std::string> tracked_repositories() const;
+
   SourceHealth health(const std::string& repository) const;
   CircuitState state(const std::string& repository) const;
   /// Availability estimate in [0, 1]; 0 while the circuit is Open (the

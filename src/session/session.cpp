@@ -45,6 +45,8 @@ struct Session {
   uint32_t resubmissions = 0;
   std::string error;
   std::vector<std::function<void(const Answer&)>> callbacks;
+  std::vector<std::function<void(const Answer&)>> progress_callbacks;
+  std::vector<std::function<void(SessionState)>> settled_callbacks;
 
   /// Must hold mutex. Best current answer in §4 form.
   Answer snapshot_locked() const {
@@ -133,16 +135,51 @@ void QueryHandle::on_complete(std::function<void(const Answer&)> callback) {
   s.callbacks.push_back(std::move(callback));
 }
 
+void QueryHandle::on_progress(std::function<void(const Answer&)> callback) {
+  internal_check(static_cast<bool>(callback), "null progress callback");
+  internal_check(session_ != nullptr, "empty QueryHandle");
+  detail::Session& s = *session_;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (s.state != SessionState::Pending) return;  // settled: never fires
+  bool fire_now = s.started;
+  Answer current = fire_now ? s.snapshot_locked()
+                            : Answer::complete_answer(Value::bag({}), {});
+  s.progress_callbacks.push_back(callback);
+  lock.unlock();
+  // Late subscriber: deliver the current partial state immediately. The
+  // stored copy keeps firing on future runs (at-least-once semantics).
+  if (fire_now) callback(current);
+}
+
+void QueryHandle::on_settled(std::function<void(SessionState)> callback) {
+  internal_check(static_cast<bool>(callback), "null settled callback");
+  internal_check(session_ != nullptr, "empty QueryHandle");
+  detail::Session& s = *session_;
+  std::unique_lock<std::mutex> lock(s.mutex);
+  if (s.state != SessionState::Pending) {
+    const SessionState state = s.state;
+    lock.unlock();
+    callback(state);
+    return;
+  }
+  s.settled_callbacks.push_back(std::move(callback));
+}
+
 void QueryHandle::cancel() {
   internal_check(session_ != nullptr, "empty QueryHandle");
   detail::Session& s = *session_;
+  std::vector<std::function<void(SessionState)>> settled;
   {
     std::lock_guard<std::mutex> lock(s.mutex);
     if (s.state != SessionState::Pending) return;
     s.state = SessionState::Cancelled;
     s.callbacks.clear();
+    s.progress_callbacks.clear();
+    settled = std::move(s.settled_callbacks);
+    s.settled_callbacks.clear();
   }
   s.changed.notify_all();
+  for (const auto& callback : settled) callback(SessionState::Cancelled);
 }
 
 uint32_t QueryHandle::resubmissions() const {
@@ -165,7 +202,11 @@ ResubmissionManager::ResubmissionManager(Runner runner,
   internal_check(static_cast<bool>(runner_), "manager needs a runner");
   internal_check(options_.retry_interval_s > 0,
                  "retry interval must be positive");
-  worker_ = std::thread([this] { loop(); });
+  if (options_.workers == 0) options_.workers = 1;
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { loop(); });
+  }
 }
 
 ResubmissionManager::~ResubmissionManager() { stop(); }
@@ -177,7 +218,9 @@ void ResubmissionManager::stop() {
     stopping_ = true;
   }
   wake_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 QueryHandle ResubmissionManager::submit(std::string oql_text,
@@ -240,7 +283,7 @@ bool ResubmissionManager::advance(
   bool initial;
   uint32_t run_number = 0;
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    std::unique_lock<std::mutex> lock(s.mutex);
     if (s.state != SessionState::Pending) {
       std::lock_guard<std::mutex> mgr(mutex_);
       if (s.state == SessionState::Cancelled) ++stats_.cancelled;
@@ -257,9 +300,18 @@ bool ResubmissionManager::advance(
         s.error = "gave up after " + std::to_string(s.resubmissions) +
                   " resubmissions";
         s.callbacks.clear();
+        s.progress_callbacks.clear();
+        auto settled = std::move(s.settled_callbacks);
+        s.settled_callbacks.clear();
         s.changed.notify_all();
-        std::lock_guard<std::mutex> mgr(mutex_);
-        ++stats_.failed;
+        {
+          std::lock_guard<std::mutex> mgr(mutex_);
+          ++stats_.failed;
+        }
+        lock.unlock();
+        for (const auto& callback : settled) {
+          callback(SessionState::Failed);
+        }
         return true;
       }
       // §4: re-execute only the residuals — the data part stays put.
@@ -275,15 +327,17 @@ bool ResubmissionManager::advance(
     RunScope scope(s.id, run_number);
     answer = runner_(query_text, deadline);
   } catch (const std::exception& e) {
-    std::vector<std::function<void(const Answer&)>> dropped;
+    std::vector<std::function<void(SessionState)>> settled;
     bool failed_now = false;
     {
       std::lock_guard<std::mutex> lock(s.mutex);
       if (s.state == SessionState::Pending) {
         s.state = SessionState::Failed;
         s.error = e.what();
-        dropped = std::move(s.callbacks);
         s.callbacks.clear();
+        s.progress_callbacks.clear();
+        settled = std::move(s.settled_callbacks);
+        s.settled_callbacks.clear();
         failed_now = true;
       }
     }
@@ -294,10 +348,13 @@ bool ResubmissionManager::advance(
       ++stats_.failed;
     }
     s.changed.notify_all();
+    for (const auto& callback : settled) callback(SessionState::Failed);
     return true;
   }
 
   std::vector<std::function<void(const Answer&)>> callbacks;
+  std::vector<std::function<void(const Answer&)>> progress;
+  std::vector<std::function<void(SessionState)>> settled;
   Answer final = answer;
   bool done = false;
   {
@@ -339,6 +396,14 @@ bool ResubmissionManager::advance(
       final = *s.final_answer;
       callbacks = std::move(s.callbacks);
       s.callbacks.clear();
+      s.progress_callbacks.clear();
+      settled = std::move(s.settled_callbacks);
+      s.settled_callbacks.clear();
+    } else {
+      // Still Pending after this run: notify progress subscribers with
+      // the updated §4 partial answer.
+      progress = s.progress_callbacks;
+      final = s.snapshot_locked();
     }
   }
   if (done) {
@@ -349,47 +414,61 @@ bool ResubmissionManager::advance(
     }
     s.changed.notify_all();
     for (const auto& callback : callbacks) callback(final);
+    for (const auto& callback : settled) callback(SessionState::Complete);
+  } else {
+    for (const auto& callback : progress) callback(final);
   }
   return done;
 }
 
 void ResubmissionManager::loop() {
+  // Every worker runs this loop; fresh_ is the shared ready queue and
+  // each session lives in exactly one place at a time (fresh_, pending_,
+  // or one worker's hands), so two workers never advance one session
+  // concurrently.
   std::unique_lock<std::mutex> lock(mutex_);
   while (!stopping_) {
-    const bool work_waiting = !fresh_.empty() || recovery_signal_;
-    if (!work_waiting) {
+    if (recovery_signal_) {
+      // A source came back (or a sweep is due): every parked partial
+      // session becomes runnable.
+      recovery_signal_ = false;
+      fresh_.insert(fresh_.end(), pending_.begin(), pending_.end());
+      pending_.clear();
+      if (fresh_.size() > 1) wake_.notify_all();
+    }
+    if (fresh_.empty()) {
       if (pending_.empty()) {
+        // Also woken when a sibling worker parks a partial session, so
+        // this worker switches to the timed retry wait below.
         wake_.wait(lock, [this] {
-          return stopping_ || !fresh_.empty() || recovery_signal_;
+          return stopping_ || !fresh_.empty() || recovery_signal_ ||
+                 !pending_.empty();
         });
       } else {
-        wake_.wait_for(lock,
-                       std::chrono::duration<double>(
-                           options_.retry_interval_s),
-                       [this] {
-                         return stopping_ || !fresh_.empty() ||
-                                recovery_signal_;
-                       });
+        const bool signalled = wake_.wait_for(
+            lock, std::chrono::duration<double>(options_.retry_interval_s),
+            [this] {
+              return stopping_ || !fresh_.empty() || recovery_signal_;
+            });
+        // Retry-interval sweep: treat the timeout like a recovery
+        // signal so parked residuals get re-executed.
+        if (!signalled) recovery_signal_ = true;
       }
+      continue;
     }
-    if (stopping_) break;
-    recovery_signal_ = false;
 
-    std::vector<std::shared_ptr<detail::Session>> work(fresh_.begin(),
-                                                       fresh_.end());
-    fresh_.clear();
-    work.insert(work.end(), pending_.begin(), pending_.end());
-    pending_.clear();
-
+    std::shared_ptr<detail::Session> session = fresh_.front();
+    fresh_.pop_front();
     lock.unlock();
-    std::vector<std::shared_ptr<detail::Session>> still_pending;
-    for (const auto& session : work) {
-      if (!advance(session)) still_pending.push_back(session);
-    }
+    const bool done = advance(session);
     lock.lock();
-    // New submissions may have arrived meanwhile; they sit in fresh_.
-    pending_.insert(pending_.end(), still_pending.begin(),
-                    still_pending.end());
+    if (!done) {
+      pending_.push_back(std::move(session));
+      // Kick one sleeping worker from its indefinite wait into the
+      // timed retry wait, so the new parked session gets swept even if
+      // this worker stays busy with fresh work.
+      wake_.notify_one();
+    }
   }
 }
 

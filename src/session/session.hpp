@@ -58,6 +58,12 @@ struct SessionOptions {
   /// Give up and mark the session Failed after this many resubmissions
   /// (0 = keep trying until cancelled).
   uint32_t max_resubmissions = 0;
+  /// Worker threads running (re)submissions. One worker preserves the
+  /// original strictly-serial execution order; the mediator daemon
+  /// raises it so concurrent client submits do not convoy behind a
+  /// single in-flight query (each worker still fans its source calls
+  /// out over the shared exec pool).
+  size_t workers = 1;
 };
 
 namespace detail {
@@ -92,8 +98,25 @@ class QueryHandle {
 
   /// Registers a completion callback, fired exactly once with the final
   /// answer (manager thread; inline when already complete). Failed and
-  /// cancelled sessions never fire callbacks.
+  /// cancelled sessions never fire completion callbacks — subscribe to
+  /// on_settled() for those.
   void on_complete(std::function<void(const Answer&)> callback);
+
+  /// Registers a progress callback, fired with the current §4 partial
+  /// answer after every (re)submission that leaves the session Pending
+  /// (manager thread). When the session has already run and is still
+  /// Pending, the callback also fires inline once with the current
+  /// snapshot, so a late subscriber sees the partial state immediately.
+  /// At-least-once semantics: a run racing with registration may deliver
+  /// the same snapshot twice. Dropped once the session settles.
+  void on_progress(std::function<void(const Answer&)> callback);
+
+  /// Registers a terminal-state callback, fired exactly once when the
+  /// session leaves Pending — Complete, Failed or Cancelled (manager
+  /// thread, or the cancelling thread, or inline when already settled).
+  /// Unlike on_complete(), this also fires for failures and
+  /// cancellations, so push-style front-ends can always notify clients.
+  void on_settled(std::function<void(SessionState)> callback);
 
   /// Abandons the session: no further resubmissions.
   void cancel();
@@ -175,11 +198,14 @@ class ResubmissionManager {
   std::condition_variable wake_;
   bool stopping_ = false;
   bool recovery_signal_ = false;
+  /// Sessions ready to run now; workers pop one at a time.
   std::deque<std::shared_ptr<detail::Session>> fresh_;
+  /// Partial sessions awaiting a recovery signal or the retry interval;
+  /// a sweep moves them back into fresh_.
   std::vector<std::shared_ptr<detail::Session>> pending_;
   Stats stats_;
   std::atomic<uint64_t> next_id_{1};
-  std::thread worker_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace disco::session

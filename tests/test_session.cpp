@@ -524,6 +524,192 @@ TEST(SessionTest, CallbackFiresExactlyOnceWithTheFinalAnswer) {
   EXPECT_EQ(late.load(), 1);
 }
 
+TEST(SessionTest, OnCompleteRegistrationRacesAreExactlyOnce) {
+  // Many threads hammer on_complete() while the session completes
+  // underneath them: every callback must fire exactly once, whether it
+  // was stored before completion or fired inline after. TSan-sensitive.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<bool> up{false};
+  session::SessionOptions options;
+  options.retry_interval_s = 0.001;
+  session::ResubmissionManager manager(
+      [&](const std::string&, double) {
+        if (!up.load()) {
+          return Answer::partial_answer(
+              Value::bag({}), {oql::parse("select x.a from x in e")},
+              stub_stats());
+        }
+        return Answer::complete_answer(Value::bag({Value::integer(1)}),
+                                       stub_stats());
+      },
+      options);
+  session::QueryHandle handle = manager.submit("select ...");
+
+  std::atomic<int> fired{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        handle.on_complete([&fired](const Answer& answer) {
+          ASSERT_TRUE(answer.complete());
+          fired.fetch_add(1);
+        });
+      }
+    });
+  }
+  go = true;
+  up = true;  // completion races with the registrations above
+  manager.notify_recovery();
+  for (std::thread& t : threads) t.join();
+  handle.wait();
+  const int expected = kThreads * kPerThread;
+  for (int i = 0; i < 2000 && fired.load() < expected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fired.load(), expected);
+}
+
+TEST(SessionTest, OnProgressFiresPerPartialRunAndInlineForLateSubscribers) {
+  std::atomic<bool> up{false};
+  std::atomic<int> runs{0};
+  session::SessionOptions options;
+  options.retry_interval_s = 0.002;
+  session::ResubmissionManager manager(
+      [&](const std::string&, double) {
+        ++runs;
+        if (!up.load()) {
+          return Answer::partial_answer(
+              Value::bag({Value::string("Sam")}),
+              {oql::parse("select x.a from x in e")}, stub_stats());
+        }
+        return Answer::complete_answer(Value::bag({Value::string("Sam")}),
+                                       stub_stats());
+      },
+      options);
+  session::QueryHandle handle = manager.submit("select ...");
+  while (runs.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Late subscriber on a Pending session: fires inline with the current
+  // partial snapshot, then again after every further partial run.
+  std::atomic<int> progress{0};
+  std::atomic<int> incomplete_snapshots{0};
+  handle.on_progress([&](const Answer& answer) {
+    progress.fetch_add(1);
+    if (!answer.complete()) incomplete_snapshots.fetch_add(1);
+  });
+  EXPECT_GE(progress.load(), 1);  // the inline fire
+  const int before = progress.load();
+  for (int i = 0; i < 2000 && progress.load() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(progress.load(), before);  // a retry run reported progress
+  EXPECT_GE(incomplete_snapshots.load(), 1);
+
+  up = true;
+  manager.notify_recovery();
+  handle.wait();
+  // Settled sessions drop progress callbacks; registering now is a no-op.
+  const int settled_count = progress.load();
+  handle.on_progress([&](const Answer&) { progress.fetch_add(1); });
+  EXPECT_EQ(progress.load(), settled_count);
+}
+
+TEST(SessionTest, OnSettledFiresForEveryTerminalState) {
+  // Complete.
+  {
+    session::ResubmissionManager manager([](const std::string&, double) {
+      return Answer::complete_answer(Value::bag({}), stub_stats());
+    });
+    session::QueryHandle handle = manager.submit("select ...");
+    handle.wait();
+    std::atomic<int> fires{0};
+    session::SessionState seen{};
+    handle.on_settled([&](session::SessionState s) {
+      seen = s;
+      ++fires;
+    });
+    EXPECT_EQ(fires.load(), 1);  // inline: already settled
+    EXPECT_EQ(seen, session::SessionState::Complete);
+  }
+  // Failed.
+  {
+    session::ResubmissionManager manager(
+        [](const std::string&, double) -> Answer {
+          throw ExecutionError("boom");
+        });
+    session::QueryHandle handle = manager.submit("select ...");
+    std::atomic<int> fires{0};
+    std::atomic<session::SessionState> seen{session::SessionState::Pending};
+    handle.on_settled([&](session::SessionState s) {
+      seen = s;
+      ++fires;
+    });
+    handle.wait_for(5.0);
+    for (int i = 0; i < 2000 && fires.load() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(fires.load(), 1);
+    EXPECT_EQ(seen.load(), session::SessionState::Failed);
+  }
+  // Cancelled: fires on the cancelling thread.
+  {
+    session::SessionOptions options;
+    options.retry_interval_s = 0.001;
+    session::ResubmissionManager manager(
+        [](const std::string&, double) {
+          return Answer::partial_answer(
+              Value::bag({}), {oql::parse("select x.a from x in e")},
+              stub_stats());
+        },
+        options);
+    session::QueryHandle handle = manager.submit("select ...");
+    std::atomic<int> fires{0};
+    std::atomic<session::SessionState> seen{session::SessionState::Pending};
+    handle.on_settled([&](session::SessionState s) {
+      seen = s;
+      ++fires;
+    });
+    handle.cancel();
+    EXPECT_EQ(fires.load(), 1);
+    EXPECT_EQ(seen.load(), session::SessionState::Cancelled);
+  }
+}
+
+TEST(SessionTest, MultiWorkerManagerOverlapsSubmissions) {
+  // With two workers, two submits must be *inside the runner at the same
+  // time* — the proof that server submits do not convoy. A barrier in
+  // the runner deadlocks unless two runner invocations overlap.
+  std::mutex mutex;
+  std::condition_variable cv;
+  int inside = 0;
+  bool both_seen = false;
+  session::SessionOptions options;
+  options.workers = 2;
+  session::ResubmissionManager manager(
+      [&](const std::string&, double) {
+        std::unique_lock<std::mutex> lock(mutex);
+        ++inside;
+        cv.notify_all();
+        // Wait (bounded) until the other submission is in here too.
+        both_seen |= cv.wait_for(lock, std::chrono::seconds(10),
+                                 [&] { return inside >= 2; });
+        return Answer::complete_answer(Value::bag({}), stub_stats());
+      },
+      options);
+  session::QueryHandle a = manager.submit("select a");
+  session::QueryHandle b = manager.submit("select b");
+  a.wait();
+  b.wait();
+  EXPECT_TRUE(both_seen);
+  EXPECT_EQ(manager.stats().completed, 2u);
+}
+
 // --------------------------------------------------- admin/query exclusion ---
 
 /// Wrapper that signals when a submit is in flight and blocks it until
