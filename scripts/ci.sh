@@ -18,17 +18,22 @@ cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$(nproc)"
 ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)"
 
-echo "== concurrency label (executor + session + obs + cache + server) =="
+echo "== concurrency label (executor + session + obs + cache + server + fedcat) =="
 ctest --test-dir "$repo/build" -L concurrency --output-on-failure
 
 echo "== obs label (tracing & explain suite) =="
 ctest --test-dir "$repo/build" -L obs --output-on-failure
 
+echo "== fedcat many-sources smoke (flat vs hierarchical, pruning) =="
+cmake --build "$repo/build" -j "$(nproc)" --target bench_manysources
+"$repo/build/bench/bench_manysources" --smoke
+
 if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer pass (concurrency label) =="
   cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$(nproc)" \
-    --target test_exec test_session test_obs test_cache test_sched test_server
+    --target test_exec test_session test_obs test_cache test_sched \
+             test_server test_fedcat
   ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
 fi
 
@@ -55,6 +60,8 @@ if [[ "${DISCO_BENCH:-0}" != "0" ]]; then
   echo "== server bench (64-connection QPS, cached-hit overhead, storm) =="
   cmake --build "$repo/build" -j "$(nproc)" --target bench_server
   "$repo/build/bench/bench_server" "$repo/BENCH_server.json"
+  echo "== many-sources bench (1k/5k/10k extents, flat vs hierarchical) =="
+  "$repo/build/bench/bench_manysources" "$repo/BENCH_manysources.json"
 fi
 
 echo "ci OK"

@@ -1,5 +1,6 @@
 #include "catalog/catalog.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "common/error.hpp"
@@ -58,14 +59,26 @@ void Catalog::define_extent(MetaExtent extent) {
     throw CatalogError("extent '" + extent.name + "' needs a wrapper");
   }
   extent_order_.push_back(extent.name);
+  extents_by_interface_[extent.interface].push_back(extent.name);
+  extent_seq_[extent.name] = next_extent_seq_++;
   extents_.emplace(extent.name, std::move(extent));
 }
 
 void Catalog::drop_extent(const std::string& name) {
   ++version_;
-  if (extents_.erase(name) == 0) {
+  auto it = extents_.find(name);
+  if (it == extents_.end()) {
     throw CatalogError("cannot drop unknown extent '" + name + "'");
   }
+  auto by_interface = extents_by_interface_.find(it->second.interface);
+  if (by_interface != extents_by_interface_.end()) {
+    std::erase(by_interface->second, name);
+    if (by_interface->second.empty()) {
+      extents_by_interface_.erase(by_interface);
+    }
+  }
+  extent_seq_.erase(name);
+  extents_.erase(it);
   std::erase(extent_order_, name);
 }
 
@@ -84,24 +97,31 @@ const MetaExtent& Catalog::extent(const std::string& name) const {
 std::vector<const MetaExtent*> Catalog::extents_of_type(
     const std::string& type) const {
   std::vector<const MetaExtent*> out;
-  for (const std::string& name : extent_order_) {
-    const MetaExtent& extent = extents_.at(name);
-    if (extent.interface == type) out.push_back(&extent);
+  auto it = extents_by_interface_.find(type);
+  if (it == extents_by_interface_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::string& name : it->second) {
+    out.push_back(&extents_.at(name));
   }
   return out;
 }
 
 std::vector<const MetaExtent*> Catalog::extents_of_closure(
     const std::string& type) const {
+  // Gather per-interface (indexed), then restore registration order
+  // via sequence numbers — matching extents only, never a full scan.
   std::vector<const MetaExtent*> out;
-  std::set<std::string> closure;
   for (const std::string& sub : types_.with_subtypes(type)) {
-    closure.insert(sub);
+    auto it = extents_by_interface_.find(sub);
+    if (it == extents_by_interface_.end()) continue;
+    for (const std::string& name : it->second) {
+      out.push_back(&extents_.at(name));
+    }
   }
-  for (const std::string& name : extent_order_) {
-    const MetaExtent& extent = extents_.at(name);
-    if (closure.contains(extent.interface)) out.push_back(&extent);
-  }
+  std::sort(out.begin(), out.end(),
+            [this](const MetaExtent* a, const MetaExtent* b) {
+              return extent_seq_.at(a->name) < extent_seq_.at(b->name);
+            });
   return out;
 }
 

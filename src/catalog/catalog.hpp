@@ -77,6 +77,11 @@ class Catalog {
   void drop_extent(const std::string& name);
   bool has_extent(const std::string& name) const;
   const MetaExtent& extent(const std::string& name) const;
+  size_t extent_count() const { return extents_.size(); }
+  /// Every registered extent name, in registration order.
+  const std::vector<std::string>& extent_names() const {
+    return extent_order_;
+  }
 
   /// Extents registered for exactly `type` (§2.2.1: "the extent of a type
   /// does not automatically reference the extents of the sub-types").
@@ -120,6 +125,17 @@ class Catalog {
   std::vector<std::string> repository_order_;
   std::unordered_map<std::string, MetaExtent> extents_;
   std::vector<std::string> extent_order_;
+  /// Secondary index: interface name -> extent names in registration
+  /// order. Makes `extents_of_type` O(matching extents) instead of a
+  /// scan over every registered extent — the difference between a
+  /// 10-extent world and a 10,000-extent federation.
+  std::unordered_map<std::string, std::vector<std::string>>
+      extents_by_interface_;
+  /// Registration sequence numbers so multi-interface lookups
+  /// (subtype closures) can re-establish registration order without
+  /// scanning `extent_order_`.
+  std::unordered_map<std::string, uint64_t> extent_seq_;
+  uint64_t next_extent_seq_ = 0;
   std::unordered_map<std::string, oql::ExprPtr> views_;
   std::vector<std::string> view_order_;
 };

@@ -14,22 +14,6 @@
 
 namespace disco {
 
-namespace {
-
-/// RAII pairing of the shared admin-exclusion lock with the in-flight
-/// query counter (the counter exists so admin errors can say how many).
-struct QueryGate {
-  QueryGate(std::shared_mutex& mutex, std::atomic<size_t>& counter)
-      : lock(mutex), counter(&counter) {
-    counter.fetch_add(1, std::memory_order_relaxed);
-  }
-  ~QueryGate() { counter->fetch_sub(1, std::memory_order_relaxed); }
-  std::shared_lock<std::shared_mutex> lock;
-  std::atomic<size_t>* counter;
-};
-
-}  // namespace
-
 Mediator::Mediator() : Mediator(Options{}) {}
 
 Mediator::Mediator(Options options)
@@ -160,132 +144,158 @@ Mediator::Mediator(Options options)
   }
 }
 
-std::unique_lock<std::shared_mutex> Mediator::admin_lock(const char* what) {
-  std::unique_lock lock(admin_mutex_, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    throw ExecutionError(
-        std::string("cannot ") + what + " while " +
-        std::to_string(active_queries_.load(std::memory_order_relaxed)) +
-        " query(ies) are in flight: administration and queries must not "
-        "overlap (define the federation first, then serve traffic)");
+void Mediator::apply_invalidation(const fedcat::UpdateScope& scope) {
+  if (result_cache_ == nullptr) return;
+  // Interface definitions change what any query *means*; every cached
+  // submit answer is suspect. Extent changes only invalidate their
+  // repository's entries (the cache keys carry the extent name inside
+  // the remote algebra text, so entries for other repositories cannot
+  // alias the changed extents). New wrappers, factories, repositories
+  // and view definitions invalidate nothing: a name that did not exist
+  // has no cached answers, and views are expanded at planning time.
+  //
+  // The invalidation runs *after* the new epoch is published. In-flight
+  // queries of the old epoch may still publish results for dropped
+  // extents afterwards; the cache's repository generation fence and the
+  // circuit-transition listeners bound such strays, and they are
+  // answers a query of that epoch was entitled to anyway.
+  if (scope.types_changed) {
+    result_cache_->invalidate_all();
+    return;
   }
-  return lock;
+  for (const std::string& repository : scope.repositories) {
+    result_cache_->invalidate_repository(repository);
+  }
 }
 
 void Mediator::register_wrapper(const std::string& name,
                                 std::shared_ptr<wrapper::Wrapper> wrapper) {
-  auto guard = admin_lock("register a wrapper");
-  register_wrapper_locked(name, std::move(wrapper));
-}
-
-void Mediator::register_wrapper_locked(
-    const std::string& name, std::shared_ptr<wrapper::Wrapper> wrapper) {
   internal_check(wrapper != nullptr, "null wrapper");
-  if (wrappers_.contains(name)) {
-    throw CatalogError("wrapper '" + name + "' is already defined");
-  }
-  wrappers_[name] = std::move(wrapper);
-  // A new wrapper can change what any repository answers; cached replies
-  // from before the registration must not survive it. (Admin/query
-  // exclusion guarantees no query holds a cache ticket right now.)
-  if (result_cache_ != nullptr) result_cache_->invalidate_all();
+  apply_invalidation(
+      fedcat_.update([&](fedcat::CatalogManager::Draft& draft) {
+        if (draft.wrappers.contains(name)) {
+          throw CatalogError("wrapper '" + name + "' is already defined");
+        }
+        draft.wrappers[name] = std::move(wrapper);
+      }));
 }
 
 void Mediator::register_wrapper_factory(
     const std::string& constructor,
     std::function<std::shared_ptr<wrapper::Wrapper>()> factory) {
-  auto guard = admin_lock("register a wrapper factory");
   internal_check(static_cast<bool>(factory), "null wrapper factory");
+  std::lock_guard<std::mutex> lock(factories_mutex_);
   factories_[constructor] = std::move(factory);
 }
 
 void Mediator::register_repository(catalog::Repository repository,
                                    net::LatencyModel latency,
                                    net::Availability availability) {
-  auto guard = admin_lock("register a repository");
-  register_repository_locked(std::move(repository), latency, availability);
-}
-
-void Mediator::register_repository_locked(catalog::Repository repository,
-                                          net::LatencyModel latency,
-                                          net::Availability availability) {
-  net::Endpoint endpoint;
-  endpoint.name = repository.name;
-  endpoint.latency = latency;
-  endpoint.availability = availability;
-  catalog_.define_repository(std::move(repository));
-  network_.add_endpoint(std::move(endpoint));
-  if (result_cache_ != nullptr) result_cache_->invalidate_all();
+  apply_invalidation(
+      fedcat_.update([&](fedcat::CatalogManager::Draft& draft) {
+        net::Endpoint endpoint;
+        endpoint.name = repository.name;
+        endpoint.latency = latency;
+        endpoint.availability = availability;
+        draft.catalog.define_repository(std::move(repository));
+        // The network is internally synchronized and add_endpoint is
+        // keyed by name, so publishing the endpoint here (rather than
+        // after the swap) only makes it reachable a moment early.
+        network_.add_endpoint(std::move(endpoint));
+      }));
 }
 
 wrapper::Wrapper* Mediator::wrapper_by_name(const std::string& name) const {
-  auto it = wrappers_.find(name);
-  if (it == wrappers_.end()) {
-    throw CatalogError("unknown wrapper '" + name + "'");
-  }
-  return it->second.get();
+  // Wrapper bindings are never replaced or dropped, only added; every
+  // later epoch copies the map, so the object outlives any epoch swap.
+  return fedcat_.snapshot()->wrapper_by_name(name);
 }
 
 void Mediator::execute_odl(const std::string& text) {
-  auto guard = admin_lock("execute ODL");
-  for (const odl::Statement& statement : odl::parse_odl(text)) {
-    if (const auto* interface_def = std::get_if<odl::InterfaceDef>(&statement)) {
-      catalog_.types().define(interface_def->type);
-    } else if (const auto* extent_def =
-                   std::get_if<odl::ExtentDef>(&statement)) {
-      // The wrapper object must exist so the optimizer can ask for its
-      // capabilities.
-      wrapper_by_name(extent_def->extent.wrapper);
-      catalog_.define_extent(extent_def->extent);
-    } else if (const auto* drop = std::get_if<odl::DropExtent>(&statement)) {
-      catalog_.drop_extent(drop->name);
-    } else if (const auto* view_def =
-                   std::get_if<odl::ViewDefStmt>(&statement)) {
-      catalog_.define_view(view_def->name, view_def->query);
-    } else if (const auto* assignment =
-                   std::get_if<odl::Assignment>(&statement)) {
-      if (assignment->constructor == "Repository") {
-        catalog::Repository repository;
-        repository.name = assignment->var;
-        for (const auto& [key, value] : assignment->args) {
-          if (key == "host") {
-            repository.host = value;
-          } else if (key == "name") {
-            repository.db_name = value;
-          } else if (key == "address") {
-            repository.address = value;
-          } else {
-            throw CatalogError("Repository has no attribute '" + key + "'");
+  // Parse outside the admin path; all statements of one text publish as
+  // ONE new epoch — queries never see half an ODL batch.
+  const std::vector<odl::Statement> statements = odl::parse_odl(text);
+  fedcat::UpdateScope scope =
+      fedcat_.update([&](fedcat::CatalogManager::Draft& draft) {
+        for (const odl::Statement& statement : statements) {
+          if (const auto* interface_def =
+                  std::get_if<odl::InterfaceDef>(&statement)) {
+            draft.catalog.types().define(interface_def->type);
+            draft.scope.types_changed = true;
+          } else if (const auto* extent_def =
+                         std::get_if<odl::ExtentDef>(&statement)) {
+            // The wrapper object must exist so the optimizer can ask for
+            // its capabilities.
+            if (!draft.wrappers.contains(extent_def->extent.wrapper)) {
+              throw CatalogError("unknown wrapper '" +
+                                 extent_def->extent.wrapper + "'");
+            }
+            draft.scope.touch_repository(extent_def->extent.repository);
+            draft.catalog.define_extent(extent_def->extent);
+          } else if (const auto* drop =
+                         std::get_if<odl::DropExtent>(&statement)) {
+            draft.scope.touch_repository(
+                draft.catalog.extent(drop->name).repository);
+            draft.catalog.drop_extent(drop->name);
+          } else if (const auto* view_def =
+                         std::get_if<odl::ViewDefStmt>(&statement)) {
+            draft.catalog.define_view(view_def->name, view_def->query);
+          } else if (const auto* assignment =
+                         std::get_if<odl::Assignment>(&statement)) {
+            if (assignment->constructor == "Repository") {
+              catalog::Repository repository;
+              repository.name = assignment->var;
+              for (const auto& [key, value] : assignment->args) {
+                if (key == "host") {
+                  repository.host = value;
+                } else if (key == "name") {
+                  repository.db_name = value;
+                } else if (key == "address") {
+                  repository.address = value;
+                } else {
+                  throw CatalogError("Repository has no attribute '" + key +
+                                     "'");
+                }
+              }
+              net::Endpoint endpoint;
+              endpoint.name = repository.name;
+              endpoint.latency = options_.default_latency;
+              draft.catalog.define_repository(std::move(repository));
+              network_.add_endpoint(std::move(endpoint));
+            } else {
+              std::function<std::shared_ptr<wrapper::Wrapper>()> factory;
+              {
+                std::lock_guard<std::mutex> lock(factories_mutex_);
+                auto it = factories_.find(assignment->constructor);
+                if (it == factories_.end()) {
+                  throw CatalogError("unknown constructor '" +
+                                     assignment->constructor + "'");
+                }
+                factory = it->second;
+              }
+              if (draft.wrappers.contains(assignment->var)) {
+                throw CatalogError("wrapper '" + assignment->var +
+                                   "' is already defined");
+              }
+              draft.wrappers[assignment->var] = factory();
+            }
           }
         }
-        register_repository_locked(std::move(repository),
-                                   options_.default_latency,
-                                   net::Availability{});
-      } else {
-        auto factory = factories_.find(assignment->constructor);
-        if (factory == factories_.end()) {
-          throw CatalogError("unknown constructor '" +
-                             assignment->constructor + "'");
-        }
-        register_wrapper_locked(assignment->var, factory->second());
-      }
-    }
-  }
-  // §3.3: "the mediator must monitor updates to extents" — any ODL
-  // (interface/extent/view definitions, drops) invalidates every cached
-  // submit result, like the plan cache's catalog-version check.
-  if (result_cache_ != nullptr) result_cache_->invalidate_all();
-}
-
-optimizer::Optimizer Mediator::make_optimizer() const {
-  return make_optimizer(options_.optimizer);
+      });
+  apply_invalidation(scope);
 }
 
 optimizer::Optimizer Mediator::make_optimizer(
+    const fedcat::SnapshotPtr& snap) const {
+  return make_optimizer(snap, options_.optimizer);
+}
+
+optimizer::Optimizer Mediator::make_optimizer(
+    const fedcat::SnapshotPtr& snap,
     optimizer::OptimizerOptions opt_options) const {
   optimizer::Optimizer opt(
-      &catalog_,
-      [this](const std::string& name) { return wrapper_by_name(name); },
+      &snap->catalog,
+      [snap](const std::string& name) { return snap->wrapper_by_name(name); },
       &history_, std::move(opt_options));
   if (options_.health.enabled) {
     // Health-aware costing: plans leaning on open-circuit or flaky
@@ -298,15 +308,18 @@ optimizer::Optimizer Mediator::make_optimizer(
 }
 
 physical::ExecContext Mediator::make_context(
+    const fedcat::SnapshotPtr& snap,
     const oql::CollectionResolver* resolver, double deadline_s,
     obs::ObsContext obs) {
   physical::ExecContext context;
   context.obs = obs;
-  context.catalog = &catalog_;
+  context.catalog = &snap->catalog;
   context.network = &network_;
   context.clock = &clock_;
-  context.wrapper_by_name = [this](const std::string& name) {
-    return wrapper_by_name(name);
+  // Captures the snapshot: the epoch stays alive for as long as this
+  // runtime context does.
+  context.wrapper_by_name = [snap](const std::string& name) {
+    return snap->wrapper_by_name(name);
   };
   context.resolver = resolver;
   context.dispatcher = dispatcher_.get();
@@ -321,9 +334,9 @@ physical::ExecContext Mediator::make_context(
                        + 1;
   }
   if (result_cache_ != nullptr) {
-    // Catalog-version fence: covers any mutation path that bumped the
-    // version without going through the explicit invalidations above.
-    result_cache_->on_catalog_version(catalog_.version());
+    // No version fence here: invalidation is epoch-scoped now
+    // (apply_invalidation drops exactly what an admin update touched,
+    // the moment it publishes).
     context.cache = result_cache_.get();
   }
   context.deadline_s = deadline_s;
@@ -353,7 +366,9 @@ physical::ExecContext Mediator::make_context(
 }
 
 Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
-  QueryGate gate(admin_mutex_, active_queries_);
+  // Pin the current epoch: this query plans and executes against exactly
+  // this snapshot, no matter what administration does meanwhile.
+  const fedcat::SnapshotPtr snap = fedcat_.snapshot();
   QueryTrace qt = begin_trace(oql_text);
   if (!options_.enable_plan_cache) {
     oql::ExprPtr parsed;
@@ -361,22 +376,23 @@ Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
       obs::ScopedSpan parse(qt.obs(), "parse", "mediator");
       parsed = oql::parse(oql_text);
     }
-    Answer answer = query_impl(parsed, options, qt);
+    Answer answer = query_impl(snap, parsed, options, qt);
     finish_query_trace(qt, answer);
     return answer;
   }
-  // §3.3: cached plans are recomputed when the catalog changes — and when
-  // cost observations materially move the learned model, so a plan chosen
-  // with the 0/1 default does not outlive the first real measurements.
-  const uint64_t catalog_version = catalog_.version();
+  // §3.3: cached plans are recomputed when the catalog changes (the
+  // epoch number moved) — and when cost observations materially move the
+  // learned model, so a plan chosen with the 0/1 default does not
+  // outlive the first real measurements.
+  const uint64_t epoch = snap->epoch;
   const uint64_t history_version = history_.version();
   std::optional<optimizer::Optimizer::Result> planned;
   {
     std::unique_lock lock(plan_cache_mutex_);
-    if (plan_cache_catalog_version_ != catalog_version ||
+    if (plan_cache_epoch_ != epoch ||
         plan_cache_history_version_ != history_version) {
       plan_cache_.clear();
-      plan_cache_catalog_version_ = catalog_version;
+      plan_cache_epoch_ = epoch;
       plan_cache_history_version_ = history_version;
       ++plan_cache_stats_.invalidations;
     }
@@ -398,42 +414,44 @@ Answer Mediator::query(const std::string& oql_text, QueryOptions options) {
       obs::ScopedSpan parse(qt.obs(), "parse", "mediator");
       parsed = oql::parse(oql_text);
     }
-    planned = optimize_traced(parsed, qt);
+    planned = optimize_traced(snap, parsed, qt);
     std::unique_lock lock(plan_cache_mutex_);
     // Cache only if the world did not move while we optimized; a stale
     // insert would serve outdated plans to later queries.
-    if (plan_cache_catalog_version_ == catalog_version &&
+    if (plan_cache_epoch_ == epoch &&
         plan_cache_history_version_ == history_version) {
       plan_cache_.emplace(oql_text, *planned);
     }
   }
-  Answer answer = run_planned(*planned, options, qt);
+  Answer answer = run_planned(snap, *planned, options, qt);
   finish_query_trace(qt, answer);
   return answer;
 }
 
 Answer Mediator::query(const oql::ExprPtr& query_expr,
                        QueryOptions options) {
-  QueryGate gate(admin_mutex_, active_queries_);
+  const fedcat::SnapshotPtr snap = fedcat_.snapshot();
   // The OQL text is only reconstructed when someone will read it.
   QueryTrace qt = begin_trace(tracer_ != nullptr ? oql::to_oql(query_expr)
                                                  : std::string());
-  Answer answer = query_impl(query_expr, options, qt);
+  Answer answer = query_impl(snap, query_expr, options, qt);
   finish_query_trace(qt, answer);
   return answer;
 }
 
-Answer Mediator::query_impl(const oql::ExprPtr& query_expr,
+Answer Mediator::query_impl(const fedcat::SnapshotPtr& snap,
+                            const oql::ExprPtr& query_expr,
                             QueryOptions options, const QueryTrace& qt) {
-  optimizer::Optimizer::Result planned = optimize_traced(query_expr, qt);
-  return run_planned(planned, options, qt);
+  optimizer::Optimizer::Result planned = optimize_traced(snap, query_expr, qt);
+  return run_planned(snap, planned, options, qt);
 }
 
 optimizer::Optimizer::Result Mediator::optimize_traced(
-    const oql::ExprPtr& query_expr, const QueryTrace& qt) const {
+    const fedcat::SnapshotPtr& snap, const oql::ExprPtr& query_expr,
+    const QueryTrace& qt) const {
   obs::ScopedSpan span(qt.obs(), "optimize", "optimizer");
   optimizer::Optimizer::Result planned =
-      make_optimizer().optimize(query_expr, span.context());
+      make_optimizer(snap).optimize(query_expr, span.context());
   if (span) {
     span.tag("plans_considered",
              static_cast<uint64_t>(planned.plans_considered));
@@ -502,7 +520,8 @@ size_t Mediator::live_handles() const {
   return handles_.size();
 }
 
-Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
+Answer Mediator::run_planned(const fedcat::SnapshotPtr& snap,
+                             const optimizer::Optimizer::Result& planned,
                              QueryOptions options, const QueryTrace& qt) {
 
   QueryStats stats;
@@ -523,8 +542,9 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
     for (const auto& [name, plan] : plans) {
       obs::ScopedSpan aux_span(qt.obs(), "aux", "mediator");
       aux_span.tag("name", name + (closure ? "*" : ""));
-      physical::Runtime runtime(
-          make_context(nullptr, options.deadline_s, aux_span.context()));
+      physical::Runtime runtime(make_context(snap, nullptr,
+                                             options.deadline_s,
+                                             aux_span.context()));
       physical::RunResult run = runtime.run(plan);
       stats.run += run.stats;
       if (!run.complete()) {
@@ -556,8 +576,9 @@ Answer Mediator::run_planned(const optimizer::Optimizer::Result& planned,
   physical::RunResult run;
   {
     obs::ScopedSpan exec_span(qt.obs(), "execute", "mediator");
-    physical::Runtime runtime(
-        make_context(&resolver, options.deadline_s, exec_span.context()));
+    physical::Runtime runtime(make_context(snap, &resolver,
+                                           options.deadline_s,
+                                           exec_span.context()));
     run = runtime.run(planned.plan);
   }
   stats.run += run.stats;
@@ -629,10 +650,11 @@ void collect_submits(const physical::PhysicalPtr& node,
 
 Mediator::ExplainReport Mediator::explain_report(
     const std::string& oql_text) const {
+  const fedcat::SnapshotPtr snap = fedcat_.snapshot();
   optimizer::OptimizerOptions opt_options = options_.optimizer;
   opt_options.record_decisions = true;
   optimizer::Optimizer::Result planned =
-      make_optimizer(opt_options).optimize(oql::parse(oql_text));
+      make_optimizer(snap, opt_options).optimize(oql::parse(oql_text));
 
   ExplainReport report;
   report.query = oql_text;
@@ -640,6 +662,7 @@ Mediator::ExplainReport Mediator::explain_report(
   report.local_mode = planned.plan == nullptr;
   report.estimated = planned.estimated;
   report.plans_considered = planned.plans_considered;
+  report.prune = planned.prune;
   report.decisions = std::move(planned.decisions);
   report.candidates = std::move(planned.candidates);
   for (const auto& [name, plan] : planned.aux) {
@@ -670,6 +693,14 @@ std::string Mediator::ExplainReport::to_string() const {
   }
   out += "plan: " + plan + "\n";
   out += "plans considered: " + std::to_string(plans_considered) + "\n";
+  out += "pruning: " + std::to_string(prune.extents_considered) + "/" +
+         std::to_string(prune.extents_total) + " extents considered, " +
+         std::to_string(prune.pruned_by_type) + " pruned by type; " +
+         std::to_string(prune.grammar_consultations) +
+         " grammar consultations (" +
+         std::to_string(prune.grammar_memo_hits) + " memo hits), " +
+         std::to_string(prune.variants_skipped) +
+         " variants shape-shared\n";
   out += "estimated: net " + std::to_string(estimated.net_s) + "s, cpu " +
          std::to_string(estimated.cpu_s) + "s, rows " +
          std::to_string(estimated.rows) + "\n";
@@ -796,6 +827,15 @@ obs::RegistrySnapshot Mediator::obs_snapshot() const {
     snap.counters[prefix + ".failures"] = h.failures;
   }
   snap.counters["mediator.live_handles"] = live_handles();
+  {
+    const fedcat::SnapshotPtr fed = fedcat_.snapshot();
+    snap.counters["fedcat.epoch"] = fed->epoch;
+    snap.counters["fedcat.extents"] = fed->catalog.extent_count();
+    snap.counters["fedcat.interfaces_indexed"] = fed->index.interface_count();
+    snap.counters["fedcat.capability_shards"] = fed->index.shard_count();
+  }
+  snap.counters["fedcat.live_epochs"] = fedcat_.live_epochs();
+  snap.counters["fedcat.retired_epochs"] = fedcat_.retired_epochs();
   return snap;
 }
 

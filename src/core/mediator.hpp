@@ -25,10 +25,15 @@
 // the plan cache sits under a shared_mutex, CostHistory and the network
 // are internally synchronized, and with Options::exec.workers > 0 the
 // source calls of each plan fan out across one shared thread pool.
-// Administration (execute_odl, register_*) is NOT allowed concurrently
-// with queries and is *enforced*: admin calls throw ExecutionError while
-// any query is in flight (define the federation first, then serve
-// traffic).
+// Administration (execute_odl, register_*) is concurrent with queries:
+// the federation catalog lives in epoch-numbered immutable snapshots
+// (src/fedcat/). Every query pins the snapshot current at its start and
+// runs against it to completion; each admin call builds the next
+// snapshot aside and atomically publishes it. Mid-query registration
+// neither blocks nor corrupts — running queries keep answering from the
+// epoch they started in, later queries see the new world, and an old
+// epoch is retired when its last query drains. Concurrent admin calls
+// serialize against each other (blocking, not throwing).
 //
 // Resilience (src/session/): every source-call outcome feeds a
 // SourceHealthTracker. With Options::health.enabled the tracker's
@@ -54,6 +59,7 @@
 #include "exec/dispatcher.hpp"
 #include "exec/metrics.hpp"
 #include "exec/thread_pool.hpp"
+#include "fedcat/snapshot.hpp"
 #include "net/network.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
@@ -129,8 +135,21 @@ class Mediator {
   explicit Mediator(Options options);
 
   // -- component access (the internal db, the simulated world) -------------
-  catalog::Catalog& catalog() { return catalog_; }
-  const catalog::Catalog& catalog() const { return catalog_; }
+  /// The *current* epoch's catalog. Read-only: mutations go through
+  /// execute_odl / register_* so they publish a fresh epoch. The
+  /// reference is stable until the next admin call — code that may race
+  /// with administration pins catalog_snapshot() instead.
+  const catalog::Catalog& catalog() const {
+    return fedcat_.current_catalog();
+  }
+  /// Pins the current federation epoch (catalog + wrappers + extent
+  /// index); holding it keeps that epoch alive across admin swaps.
+  fedcat::SnapshotPtr catalog_snapshot() const { return fedcat_.snapshot(); }
+  /// Current catalog generation, and how many epochs are still pinned by
+  /// draining queries / have fully drained.
+  uint64_t catalog_epoch() const { return fedcat_.epoch(); }
+  size_t live_epochs() const { return fedcat_.live_epochs(); }
+  uint64_t retired_epochs() const { return fedcat_.retired_epochs(); }
   net::Network& network() { return network_; }
   net::VirtualClock& clock() { return clock_; }
   optimizer::CostHistory& cost_history() { return history_; }
@@ -227,6 +246,10 @@ class Mediator {
     std::string plan;  ///< physical plan text; empty in local mode
     optimizer::Cost estimated;
     size_t plans_considered = 0;
+    /// Federation-scale pruning counters: how much of the registered
+    /// extent world planning touched, and what the grammar memo / shape
+    /// sharing saved (src/fedcat/).
+    optimizer::PruneStats prune;
     std::vector<Submit> submits;
     std::vector<optimizer::PushdownDecision> decisions;
     std::vector<optimizer::PlanCandidate> candidates;
@@ -333,42 +356,44 @@ class Mediator {
   /// and query counters into the registry, and retains the trace.
   void finish_query_trace(const QueryTrace& qt, const Answer& answer);
 
-  /// query() without the admin/query exclusion gate (the public entry
-  /// points hold the shared side; nesting shared locks would deadlock
-  /// against a waiting admin writer).
-  Answer query_impl(const oql::ExprPtr& query, QueryOptions options,
+  /// The query pipeline under one pinned snapshot: every stage below
+  /// plans and executes against `snap`'s epoch, so a concurrent
+  /// registration can never change the world out from under a running
+  /// query. The lambdas handed to the optimizer / runtime capture the
+  /// SnapshotPtr by value, which is what keeps the epoch alive.
+  Answer query_impl(const fedcat::SnapshotPtr& snap,
+                    const oql::ExprPtr& query, QueryOptions options,
                     const QueryTrace& qt);
   /// Optimizes under an "optimize" span (plan tags, candidate events).
-  optimizer::Optimizer::Result optimize_traced(const oql::ExprPtr& query,
-                                               const QueryTrace& qt) const;
-  Answer run_planned(const optimizer::Optimizer::Result& planned,
+  optimizer::Optimizer::Result optimize_traced(
+      const fedcat::SnapshotPtr& snap, const oql::ExprPtr& query,
+      const QueryTrace& qt) const;
+  Answer run_planned(const fedcat::SnapshotPtr& snap,
+                     const optimizer::Optimizer::Result& planned,
                      QueryOptions options, const QueryTrace& qt);
-  optimizer::Optimizer make_optimizer() const;
+  optimizer::Optimizer make_optimizer(const fedcat::SnapshotPtr& snap) const;
   optimizer::Optimizer make_optimizer(
+      const fedcat::SnapshotPtr& snap,
       optimizer::OptimizerOptions options) const;
-  physical::ExecContext make_context(const oql::CollectionResolver* resolver,
+  physical::ExecContext make_context(const fedcat::SnapshotPtr& snap,
+                                     const oql::CollectionResolver* resolver,
                                      double deadline_s,
                                      obs::ObsContext obs = {});
-
-  /// "No administration during queries": returns the held (unique) admin
-  /// lock, or throws ExecutionError naming `what` when queries are in
-  /// flight. Queries hold the shared side for their whole duration.
-  std::unique_lock<std::shared_mutex> admin_lock(const char* what);
-  /// Registration bodies without the gate, for use under admin_lock()
-  /// (execute_odl registers repositories/wrappers while holding it).
-  void register_wrapper_locked(const std::string& name,
-                               std::shared_ptr<wrapper::Wrapper> wrapper);
-  void register_repository_locked(catalog::Repository repository,
-                                  net::LatencyModel latency,
-                                  net::Availability availability);
+  /// Epoch-scoped cache invalidation: drops only what an admin update
+  /// declared it touched (types changed -> everything; otherwise the
+  /// affected repositories' entries).
+  void apply_invalidation(const fedcat::UpdateScope& scope);
 
   Options options_;
-  catalog::Catalog catalog_;
+  /// The federation catalog: epoch snapshots of (catalog, wrappers,
+  /// extent index). See src/fedcat/snapshot.hpp.
+  fedcat::CatalogManager fedcat_;
   net::Network network_;
   net::VirtualClock clock_;
   optimizer::CostHistory history_;
-  std::unordered_map<std::string, std::shared_ptr<wrapper::Wrapper>>
-      wrappers_;
+  /// ODL constructors. Not part of the snapshot: factories are mediator
+  /// configuration, not federation state — a query never consults them.
+  mutable std::mutex factories_mutex_;
   std::unordered_map<std::string,
                      std::function<std::shared_ptr<wrapper::Wrapper>()>>
       factories_;
@@ -404,21 +429,15 @@ class Mediator {
   std::unique_ptr<cache::ResultCache> result_cache_;
 
   // Plan cache (Options::enable_plan_cache), shared across concurrent
-  // queries. Invalidated when the catalog *or* the cost-history version
-  // moves, so §3.3's "recompute plans that are affected" also covers
-  // fresh cost observations.
+  // queries. Invalidated when the catalog epoch *or* the cost-history
+  // version moves, so §3.3's "recompute plans that are affected" also
+  // covers fresh cost observations.
   mutable std::shared_mutex plan_cache_mutex_;
   mutable std::unordered_map<std::string, optimizer::Optimizer::Result>
       plan_cache_;
-  mutable uint64_t plan_cache_catalog_version_ = 0;
+  mutable uint64_t plan_cache_epoch_ = 0;
   mutable uint64_t plan_cache_history_version_ = 0;
   mutable PlanCacheStats plan_cache_stats_;
-
-  // Admin/query exclusion (enforced "define first, then serve"):
-  // queries hold the shared side, admin try-locks the unique side and
-  // throws instead of blocking.
-  mutable std::shared_mutex admin_mutex_;
-  std::atomic<size_t> active_queries_{0};
 
   // Session subsystem (src/session/). Declared last on purpose —
   // destroyed first, in order: sessions_ (its worker runs queries

@@ -2,106 +2,10 @@
 
 #include "algebra/to_oql.hpp"
 #include "common/error.hpp"
+#include "fedcat/boundary.hpp"
 #include "oql/printer.hpp"
 
 namespace disco {
-
-namespace {
-
-using algebra::LogicalPtr;
-using algebra::LOp;
-
-/// Rewrites var.attr paths into the remote attribute names.
-class Renamer {
- public:
-  explicit Renamer(const wrapper::BindingMap& bindings)
-      : bindings_(bindings) {}
-
-  LogicalPtr rename(const LogicalPtr& node) {
-    switch (node->op) {
-      case LOp::Get: {
-        const wrapper::ExtentBinding& binding = binding_of(node->extent);
-        var_maps_[node->var] = binding.map;
-        return algebra::get(binding.source_relation, node->var);
-      }
-      case LOp::Filter: {
-        LogicalPtr child = rename(node->child);
-        return algebra::filter(child, rename_expr(node->predicate));
-      }
-      case LOp::Project: {
-        LogicalPtr child = rename(node->child);
-        return algebra::project(child, rename_expr(node->projection),
-                                node->distinct);
-      }
-      case LOp::Join: {
-        LogicalPtr left = rename(node->left);
-        LogicalPtr right = rename(node->right);
-        return algebra::join(left, right,
-                             node->predicate == nullptr
-                                 ? nullptr
-                                 : rename_expr(node->predicate));
-      }
-      default:
-        throw ExecutionError(
-            std::string("operator '") + to_string(node->op) +
-            "' cannot cross the mediator-wrapper boundary");
-    }
-  }
-
-  /// Local mediator attribute names for each variable, for renaming
-  /// returned rows back.
-  const std::unordered_map<std::string, const catalog::TypeMap*>& var_maps()
-      const {
-    return var_maps_;
-  }
-
- private:
-  const wrapper::ExtentBinding& binding_of(const std::string& extent) const {
-    auto it = bindings_.find(extent);
-    internal_check(it != bindings_.end(),
-                   "missing binding for extent '" + extent + "'");
-    return it->second;
-  }
-
-  oql::ExprPtr rename_expr(const oql::ExprPtr& expr) {
-    using oql::ExprKind;
-    switch (expr->kind) {
-      case ExprKind::Literal:
-      case ExprKind::Ident:
-        return expr;
-      case ExprKind::Path: {
-        if (expr->child->kind == ExprKind::Ident) {
-          auto it = var_maps_.find(expr->child->name);
-          if (it != var_maps_.end()) {
-            return oql::path(expr->child,
-                             it->second->to_source_attribute(expr->name));
-          }
-        }
-        return oql::path(rename_expr(expr->child), expr->name);
-      }
-      case ExprKind::Unary:
-        return oql::unary(expr->unary_op, rename_expr(expr->child));
-      case ExprKind::Binary:
-        return oql::binary(expr->binary_op, rename_expr(expr->left),
-                           rename_expr(expr->right));
-      case ExprKind::StructCtor: {
-        std::vector<std::pair<std::string, oql::ExprPtr>> fields;
-        for (const auto& [name, value] : expr->struct_fields) {
-          fields.emplace_back(name, rename_expr(value));
-        }
-        return oql::struct_ctor(std::move(fields));
-      }
-      default:
-        throw ExecutionError("expression '" + oql::to_oql(expr) +
-                             "' cannot cross the mediator-wrapper boundary");
-    }
-  }
-
-  const wrapper::BindingMap& bindings_;
-  std::unordered_map<std::string, const catalog::TypeMap*> var_maps_;
-};
-
-}  // namespace
 
 MediatorWrapper::MediatorWrapper(Mediator* remote) : remote_(remote) {
   internal_check(remote_ != nullptr, "MediatorWrapper needs a mediator");
@@ -120,14 +24,14 @@ wrapper::SubmitResult MediatorWrapper::submit(
     const catalog::Repository& repository, const algebra::LogicalPtr& expr,
     const wrapper::BindingMap& bindings) {
   (void)repository;
-  Renamer renamer(bindings);
-  LogicalPtr renamed;
+  fedcat::RenamedQuery renamed;
   try {
-    renamed = renamer.rename(expr);
+    renamed = fedcat::rename_for_remote(expr, bindings);
   } catch (const ExecutionError& e) {
     return wrapper::SubmitResult::refused(e.what());
   }
-  const std::string remote_oql = oql::to_oql(algebra::reconstruct(renamed));
+  const std::string remote_oql =
+      oql::to_oql(algebra::reconstruct(renamed.expr));
   {
     std::lock_guard<std::mutex> lock(last_oql_mutex_);
     last_oql_ = remote_oql;
@@ -141,20 +45,9 @@ wrapper::SubmitResult MediatorWrapper::submit(
 
   // Env-shaped results carry remote attribute names inside each variable's
   // row; rename them back into this mediator's name space.
-  if (expr->op != LOp::Project) {
-    std::vector<Value> renamed_rows;
-    renamed_rows.reserve(answer.data().size());
-    for (const Value& env : answer.data().items()) {
-      std::vector<std::pair<std::string, Value>> fields;
-      for (const auto& [var, row] : env.fields()) {
-        auto it = renamer.var_maps().find(var);
-        internal_check(it != renamer.var_maps().end(),
-                       "unknown variable in remote answer");
-        fields.emplace_back(var, it->second->rename_row_to_mediator(row));
-      }
-      renamed_rows.push_back(Value::strct(std::move(fields)));
-    }
-    return wrapper::SubmitResult::ok(Value::bag(std::move(renamed_rows)));
+  if (expr->op != algebra::LOp::Project) {
+    return wrapper::SubmitResult::ok(
+        fedcat::rename_rows_to_mediator(answer.data(), renamed.var_maps));
   }
   return wrapper::SubmitResult::ok(answer.data());
 }

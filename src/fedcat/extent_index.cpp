@@ -1,0 +1,49 @@
+#include "fedcat/extent_index.hpp"
+
+namespace disco::fedcat {
+
+namespace {
+const std::vector<std::string> kEmptyNames;
+const std::string kEmptySignature;
+}  // namespace
+
+ExtentIndex ExtentIndex::build(const catalog::Catalog& catalog,
+                               const WrapperMap& wrappers) {
+  ExtentIndex index;
+  for (const std::string& name : catalog.extent_names()) {
+    const catalog::MetaExtent& extent = catalog.extent(name);
+    index.by_interface_[extent.interface].push_back(name);
+    auto sig = index.wrapper_signature_.find(extent.wrapper);
+    if (sig == index.wrapper_signature_.end()) {
+      auto wrapper = wrappers.find(extent.wrapper);
+      std::string text = wrapper != wrappers.end() && wrapper->second != nullptr
+                             ? wrapper->second->capabilities().to_text()
+                             : std::string();
+      sig = index.wrapper_signature_.emplace(extent.wrapper, std::move(text))
+                .first;
+    }
+    index.by_signature_[sig->second].push_back(name);
+    ++index.total_extents_;
+  }
+  return index;
+}
+
+const std::vector<std::string>& ExtentIndex::extents_of_interface(
+    const std::string& interface) const {
+  auto it = by_interface_.find(interface);
+  return it == by_interface_.end() ? kEmptyNames : it->second;
+}
+
+const std::vector<std::string>& ExtentIndex::extents_with_signature(
+    const std::string& signature) const {
+  auto it = by_signature_.find(signature);
+  return it == by_signature_.end() ? kEmptyNames : it->second;
+}
+
+const std::string& ExtentIndex::signature_of_wrapper(
+    const std::string& wrapper) const {
+  auto it = wrapper_signature_.find(wrapper);
+  return it == wrapper_signature_.end() ? kEmptySignature : it->second;
+}
+
+}  // namespace disco::fedcat

@@ -1,0 +1,68 @@
+// Sharded extent index for federation-scale catalogs (src/fedcat/).
+//
+// The paper's title problem is scaling the *number* of heterogeneous
+// sources. At 1,000–10,000 registered extents the planner must not walk
+// the whole MetaExtent table per query: this index, built once per
+// catalog epoch (see snapshot.hpp), shards the extents two ways:
+//
+//   * by interface — what `extents_of_type` resolves through (the
+//     catalog itself keeps the authoritative per-interface index; this
+//     one mirrors the counts for introspection), and
+//   * by capability-grammar signature — extents whose wrappers advertise
+//     the *same* grammar text form one shard. Every grammar consultation
+//     the optimizer makes has an identical outcome across a shard, which
+//     is what makes pushdown memoization (optimizer/) exact and lets
+//     explain reports say "N extents across M capability shards".
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace disco::fedcat {
+
+/// Wrapper name -> wrapper object; the mediator's binding table as it
+/// exists inside one immutable snapshot.
+using WrapperMap =
+    std::unordered_map<std::string, std::shared_ptr<wrapper::Wrapper>>;
+
+class ExtentIndex {
+ public:
+  ExtentIndex() = default;
+
+  /// Builds the index over every extent in `catalog`. Wrapper objects
+  /// missing from `wrappers` (programmatic setups that bind extents
+  /// before wrappers) land in the "" signature shard instead of
+  /// throwing — the index is an accelerator, not a validator.
+  static ExtentIndex build(const catalog::Catalog& catalog,
+                           const WrapperMap& wrappers);
+
+  size_t total_extents() const { return total_extents_; }
+  size_t interface_count() const { return by_interface_.size(); }
+  /// Distinct capability-grammar signatures across all extents.
+  size_t shard_count() const { return by_signature_.size(); }
+
+  /// Extent names registered for exactly this interface (registration
+  /// order). Empty vector for unknown interfaces.
+  const std::vector<std::string>& extents_of_interface(
+      const std::string& interface) const;
+  /// Extent names whose wrapper advertises this grammar signature.
+  const std::vector<std::string>& extents_with_signature(
+      const std::string& signature) const;
+  /// The grammar signature (Grammar::to_text) of a wrapper object, or ""
+  /// when the wrapper is unknown to this snapshot.
+  const std::string& signature_of_wrapper(const std::string& wrapper) const;
+
+ private:
+  size_t total_extents_ = 0;
+  std::unordered_map<std::string, std::vector<std::string>> by_interface_;
+  std::unordered_map<std::string, std::vector<std::string>> by_signature_;
+  std::unordered_map<std::string, std::string> wrapper_signature_;
+};
+
+}  // namespace disco::fedcat

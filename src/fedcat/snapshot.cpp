@@ -1,0 +1,85 @@
+#include "fedcat/snapshot.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace disco::fedcat {
+
+wrapper::Wrapper* FederationSnapshot::wrapper_by_name(
+    const std::string& name) const {
+  auto it = wrappers.find(name);
+  if (it == wrappers.end()) {
+    throw CatalogError("unknown wrapper '" + name + "'");
+  }
+  return it->second.get();
+}
+
+void UpdateScope::touch_repository(const std::string& name) {
+  if (std::find(repositories.begin(), repositories.end(), name) ==
+      repositories.end()) {
+    repositories.push_back(name);
+  }
+}
+
+CatalogManager::CatalogManager()
+    : counters_(std::make_shared<EpochCounters>()) {
+  current_ = publish(0, catalog::Catalog{}, WrapperMap{});
+}
+
+SnapshotPtr CatalogManager::snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mutex_);
+  return current_;
+}
+
+const catalog::Catalog& CatalogManager::current_catalog() const {
+  std::lock_guard<std::mutex> lock(snap_mutex_);
+  return current_->catalog;
+}
+
+UpdateScope CatalogManager::update(const std::function<void(Draft&)>& fn) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  SnapshotPtr parent = snapshot();
+  Draft draft;
+  draft.catalog = parent->catalog;
+  draft.wrappers = parent->wrappers;
+  fn(draft);  // a throw here publishes nothing: the parent epoch stands
+  SnapshotPtr next = publish(parent->epoch + 1, std::move(draft.catalog),
+                             std::move(draft.wrappers));
+  {
+    std::lock_guard<std::mutex> lock(snap_mutex_);
+    current_ = std::move(next);
+  }
+  return std::move(draft.scope);
+}
+
+uint64_t CatalogManager::epoch() const { return snapshot()->epoch; }
+
+size_t CatalogManager::live_epochs() const {
+  const uint64_t created = counters_->created.load(std::memory_order_acquire);
+  const uint64_t retired = counters_->retired.load(std::memory_order_acquire);
+  return static_cast<size_t>(created - retired);
+}
+
+uint64_t CatalogManager::retired_epochs() const {
+  return counters_->retired.load(std::memory_order_acquire);
+}
+
+SnapshotPtr CatalogManager::publish(uint64_t epoch, catalog::Catalog catalog,
+                                    WrapperMap wrappers) {
+  auto* snap = new FederationSnapshot{};
+  snap->epoch = epoch;
+  snap->catalog = std::move(catalog);
+  snap->wrappers = std::move(wrappers);
+  snap->index = ExtentIndex::build(snap->catalog, snap->wrappers);
+  counters_->created.fetch_add(1, std::memory_order_acq_rel);
+  // The deleter holds the counters (not `this`): epochs may outlive the
+  // manager and still retire cleanly.
+  std::shared_ptr<EpochCounters> counters = counters_;
+  return SnapshotPtr(snap, [counters](const FederationSnapshot* p) {
+    counters->retired.fetch_add(1, std::memory_order_acq_rel);
+    delete p;
+  });
+}
+
+}  // namespace disco::fedcat

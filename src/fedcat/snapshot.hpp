@@ -1,0 +1,121 @@
+// Epoch-based catalog snapshots (src/fedcat/): RCU-style swap of the
+// mediator's internal database, so administration is concurrent with
+// queries.
+//
+// The original design enforced "define the federation first, then serve
+// traffic": admin calls threw while any query was in flight. A
+// federation of thousands of sources cannot stop the world to admit
+// source N+1. Instead, every admin operation builds a *new* immutable
+// FederationSnapshot (catalog + wrapper bindings + extent index) and
+// atomically publishes it with the next generation number. Queries pin
+// the snapshot current at their start and run against it to completion —
+// they never observe a half-applied registration, and registration never
+// blocks on them. An old epoch is retired when its last query drains
+// (the shared_ptr refcount is the drain count; a custom deleter ticks
+// the retirement counter).
+//
+// Update transactionality: the mutation function runs on a private copy;
+// if it throws, nothing is published and the current epoch stands. The
+// UpdateScope it returns names what changed, so cache invalidation can
+// be scoped to the affected repositories instead of flushing the world.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "fedcat/extent_index.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace disco::fedcat {
+
+/// One immutable epoch of the federation: never modified after publish.
+struct FederationSnapshot {
+  uint64_t epoch = 0;
+  catalog::Catalog catalog;
+  WrapperMap wrappers;
+  ExtentIndex index;
+
+  /// Resolves a wrapper object; throws CatalogError for unknown names.
+  wrapper::Wrapper* wrapper_by_name(const std::string& name) const;
+};
+
+using SnapshotPtr = std::shared_ptr<const FederationSnapshot>;
+
+/// What one admin update touched — drives epoch-scoped invalidation.
+struct UpdateScope {
+  /// Interface/type definitions changed: query *semantics* moved, every
+  /// derived artifact (cached submits, plans) is suspect.
+  bool types_changed = false;
+  /// Repositories whose extent set changed (defines/drops). Cached
+  /// submit results for these repositories are invalidated; everything
+  /// else survives the registration.
+  std::vector<std::string> repositories;
+
+  void touch_repository(const std::string& name);
+};
+
+class CatalogManager {
+ public:
+  CatalogManager();
+
+  /// The current epoch, pinned: holding the returned pointer keeps this
+  /// epoch (catalog, wrappers, index) alive no matter how many admin
+  /// swaps happen meanwhile. One snapshot() per query is the contract.
+  SnapshotPtr snapshot() const;
+
+  /// Reference into the *current* snapshot, for single-threaded
+  /// introspection (tests, benches, explain). Stable only until the next
+  /// admin call — code that may race with administration must pin a
+  /// snapshot() instead.
+  const catalog::Catalog& current_catalog() const;
+
+  /// Mutable state handed to update functions; starts as a copy of the
+  /// current epoch.
+  struct Draft {
+    catalog::Catalog catalog;
+    WrapperMap wrappers;
+    UpdateScope scope;
+  };
+
+  /// Runs `fn` on a draft copy of the current epoch and publishes the
+  /// result as epoch N+1. Serializes concurrent updaters (blocking, not
+  /// throwing); never blocks or is blocked by queries. If `fn` throws,
+  /// no swap happens and the exception propagates. Returns the scope the
+  /// update declared.
+  UpdateScope update(const std::function<void(Draft&)>& fn);
+
+  // -- epoch accounting -------------------------------------------------------
+  uint64_t epoch() const;
+  /// Snapshots currently alive: the published one plus every old epoch
+  /// still pinned by a draining query.
+  size_t live_epochs() const;
+  /// Epochs whose last reference has drained.
+  uint64_t retired_epochs() const;
+
+ private:
+  SnapshotPtr publish(uint64_t epoch, catalog::Catalog catalog,
+                      WrapperMap wrappers);
+
+  struct EpochCounters {
+    std::atomic<uint64_t> created{0};
+    std::atomic<uint64_t> retired{0};
+  };
+  std::shared_ptr<EpochCounters> counters_;
+
+  /// Guards the current_ pointer (reads copy the shared_ptr; writes swap
+  /// it). Held for pointer copies only — never across catalog work.
+  mutable std::mutex snap_mutex_;
+  SnapshotPtr current_;
+
+  /// Serializes updaters: drafts are built outside snap_mutex_, so two
+  /// concurrent updates must not both fork the same parent epoch.
+  std::mutex admin_mutex_;
+};
+
+}  // namespace disco::fedcat

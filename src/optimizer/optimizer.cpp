@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "optimizer/typecheck.hpp"
@@ -240,6 +241,67 @@ struct Unit {
   LogicalPtr inner;  ///< expression inside the submit
 };
 
+/// Per-optimize() cache of wrapper grammars and accepts() verdicts.
+///
+/// At federation scale one implicit-extent query fans out over thousands
+/// of branches whose submit candidates differ only in extent names — and
+/// grammar::serialize erases extent names (every extent is the SOURCE
+/// terminal), so the verdict of one Earley run answers them all. The
+/// memo is keyed (grammar text, token string) and is therefore *exact*:
+/// it can never change a verdict, only skip recomputing it.
+class GrammarCache {
+ public:
+  GrammarCache(const Optimizer& optimizer, bool memo_enabled,
+               PruneStats* stats)
+      : optimizer_(optimizer), memo_enabled_(memo_enabled), stats_(stats) {}
+
+  const grammar::Grammar& grammar_for(const std::string& wrapper) {
+    auto it = grammars_.find(wrapper);
+    if (it == grammars_.end()) {
+      it = grammars_.emplace(wrapper, optimizer_.capability_for(wrapper))
+               .first;
+      signatures_.emplace(wrapper, it->second.to_text());
+    }
+    return it->second;
+  }
+
+  /// The grammar text of a wrapper — the capability signature extents
+  /// shard by (fedcat::ExtentIndex uses the same form).
+  const std::string& signature_of(const std::string& wrapper) {
+    grammar_for(wrapper);
+    return signatures_.at(wrapper);
+  }
+
+  bool accepts(const std::string& wrapper, const LogicalPtr& expr) {
+    ++stats_->grammar_consultations;
+    const grammar::Grammar& g = grammar_for(wrapper);
+    if (!memo_enabled_) return g.accepts(expr);
+    std::vector<grammar::Terminal> tokens;
+    if (!grammar::serialize(expr, tokens)) return false;
+    std::string key = signatures_.at(wrapper);
+    key.push_back('\x01');
+    for (grammar::Terminal t : tokens) {
+      key.push_back(static_cast<char>(static_cast<int>(t) + 1));
+    }
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++stats_->grammar_memo_hits;
+      return it->second;
+    }
+    const bool ok = g.recognizes(tokens);
+    memo_.emplace(std::move(key), ok);
+    return ok;
+  }
+
+ private:
+  const Optimizer& optimizer_;
+  bool memo_enabled_;
+  PruneStats* stats_;
+  std::map<std::string, grammar::Grammar> grammars_;
+  std::map<std::string, std::string> signatures_;
+  std::unordered_map<std::string, bool> memo_;
+};
+
 }  // namespace
 
 bool is_pushable_predicate(const oql::ExprPtr& expr,
@@ -423,13 +485,15 @@ namespace {
 class BranchPlanner {
  public:
   /// `decisions` (nullable) receives one PushdownDecision per capability
-  /// grammar consultation made while building variants.
+  /// grammar consultation made while building variants. `grammars` is
+  /// shared across every variant and branch of one optimize() call.
   BranchPlanner(const Optimizer& optimizer, const catalog::Catalog& catalog,
-                const OptimizerOptions& options,
+                const OptimizerOptions& options, GrammarCache* grammars,
                 std::vector<PushdownDecision>* decisions = nullptr)
       : optimizer_(optimizer),
         catalog_(catalog),
         options_(options),
+        grammars_(grammars),
         decisions_(decisions) {}
 
   LogicalPtr build(const BranchParts& parts, bool push_select,
@@ -499,7 +563,7 @@ class BranchPlanner {
         is_pushable_projection(parts.projection, units.front().vars)) {
       LogicalPtr pushed = algebra::project(tree->child, parts.projection,
                                            false);
-      const bool accepted = grammar_for(units.front().wrapper).accepts(pushed);
+      const bool accepted = grammars_->accepts(units.front().wrapper, pushed);
       record("R2 project-pushdown", units.front().repository,
              units.front().wrapper, pushed, accepted);
       if (accepted) {
@@ -510,15 +574,6 @@ class BranchPlanner {
   }
 
  private:
-  const grammar::Grammar& grammar_for(const std::string& wrapper) const {
-    auto it = grammars_.find(wrapper);
-    if (it == grammars_.end()) {
-      it = grammars_.emplace(wrapper, optimizer_.capability_for(wrapper))
-               .first;
-    }
-    return it->second;
-  }
-
   Unit make_unit(const Leaf& leaf, bool push_select) const {
     Unit unit;
     unit.vars.insert(leaf.var);
@@ -538,7 +593,7 @@ class BranchPlanner {
       LogicalPtr candidate =
           algebra::filter(inner, oql::conjoin(leaf.pushable_preds));
       // R1 consults the wrapper interface (§3.2).
-      const bool accepted = grammar_for(unit.wrapper).accepts(candidate);
+      const bool accepted = grammars_->accepts(unit.wrapper, candidate);
       record("R1 select-pushdown", unit.repository, unit.wrapper, candidate,
              accepted);
       if (accepted) {
@@ -640,7 +695,7 @@ class BranchPlanner {
           }
           LogicalPtr merged =
               algebra::join(prev.inner, next.inner, oql::conjoin(link));
-          const bool accepted = grammar_for(prev.wrapper).accepts(merged);
+          const bool accepted = grammars_->accepts(prev.wrapper, merged);
           record("R3 join-merge", prev.repository, prev.wrapper, merged,
                  accepted);
           if (accepted) {
@@ -670,8 +725,8 @@ class BranchPlanner {
   const Optimizer& optimizer_;
   const catalog::Catalog& catalog_;
   const OptimizerOptions& options_;
+  GrammarCache* grammars_;
   std::vector<PushdownDecision>* decisions_;
-  mutable std::map<std::string, grammar::Grammar> grammars_;
   mutable std::set<std::string> consumed_;
 };
 
@@ -679,6 +734,7 @@ class BranchPlanner {
 /// or returns null when the shape does not qualify. `decisions`
 /// (nullable) receives the probe-side capability consultation.
 physical::PhysicalPtr try_bind_join(const Optimizer& optimizer,
+                                    GrammarCache& grammars,
                                     const BranchParts& parts,
                                     const LogicalPtr& branch_logical,
                                     std::vector<PushdownDecision>* decisions) {
@@ -725,8 +781,8 @@ physical::PhysicalPtr try_bind_join(const Optimizer& optimizer,
   LogicalPtr probe_with_bind = algebra::filter(
       probe_base->op == LOp::Filter ? probe_base->child : probe_base,
       oql::binary(oql::BinaryOp::Eq, right_key, right_key));
-  const bool probe_ok = optimizer.capability_for(probe.extent->wrapper)
-                            .accepts(probe_with_bind);
+  const bool probe_ok =
+      grammars.accepts(probe.extent->wrapper, probe_with_bind);
   if (decisions != nullptr) {
     decisions->push_back({"bind-join probe", probe.extent->repository,
                           probe.extent->wrapper,
@@ -743,7 +799,7 @@ physical::PhysicalPtr try_bind_join(const Optimizer& optimizer,
   if (!build.pushable_preds.empty()) {
     LogicalPtr candidate = algebra::filter(
         build_inner, oql::conjoin(build.pushable_preds));
-    if (optimizer.capability_for(build.extent->wrapper).accepts(candidate)) {
+    if (grammars.accepts(build.extent->wrapper, candidate)) {
       build_inner = candidate;
     } else {
       build_mediator.insert(build_mediator.end(),
@@ -789,6 +845,7 @@ Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query,
   }
   Result result;
   result.expanded = unit.expanded;
+  result.prune = unit.prune;
   for (const auto& [name, plan] : unit.aux) {
     result.aux.emplace_back(name, implement(plan));
   }
@@ -808,10 +865,69 @@ Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query,
   }
 
   Coster coster(history_, &health_);
+  GrammarCache grammar_cache(*this, options_.prune, &result.prune);
   std::vector<PhysicalPtr> physical_branches;
   physical_branches.reserve(branches.size());
   std::vector<LogicalPtr> chosen_logical;
   chosen_logical.reserve(branches.size());
+
+  // Shape sharing: above the threshold, branches with an identical shape
+  // key reuse the first such branch's winning pushdown flags instead of
+  // re-enumerating the {R1, R2, R3} lattice. The key captures everything
+  // the rewrite rules can see — wrapper grammar texts, the repository /
+  // wrapper co-location pattern (R3 merges need both equal), and the
+  // predicate / projection texts — so a shared branch builds the same
+  // *structural* winner; only per-repository cost differences are traded
+  // away.
+  struct ShapeChoice {
+    bool push_select = false;
+    bool push_project = false;
+    bool merge_joins = false;
+    bool bind_join = false;
+    size_t variants_costed = 0;  ///< what the representative enumerated
+  };
+  std::unordered_map<std::string, ShapeChoice> shape_memo;
+  const bool share = options_.prune &&
+                     branches.size() > options_.prune_share_threshold;
+  auto shape_key = [&](const BranchParts& parts) {
+    std::string key;
+    std::map<std::string, size_t> repo_ids;
+    std::map<std::string, size_t> wrapper_ids;
+    for (const Leaf& leaf : parts.leaves) {
+      if (leaf.extent == nullptr) {
+        key += "c|";
+      } else {
+        const size_t repo =
+            repo_ids.emplace(leaf.extent->repository, repo_ids.size())
+                .first->second;
+        const size_t wrap =
+            wrapper_ids.emplace(leaf.extent->wrapper, wrapper_ids.size())
+                .first->second;
+        key += 'e';
+        key += std::to_string(repo);
+        key += '.';
+        key += std::to_string(wrap);
+        key += ':';
+        key += grammar_cache.signature_of(leaf.extent->wrapper);
+        key += '|';
+      }
+      for (const oql::ExprPtr& pred : leaf.pushable_preds) {
+        key += 'p' + oql::to_oql(pred) + ';';
+      }
+      for (const oql::ExprPtr& pred : leaf.local_preds) {
+        key += 'l' + oql::to_oql(pred) + ';';
+      }
+    }
+    for (const oql::ExprPtr& pred : parts.join_preds) {
+      key += 'j' + oql::to_oql(pred) + ';';
+    }
+    for (const oql::ExprPtr& pred : parts.other_preds) {
+      key += 'o' + oql::to_oql(pred) + ';';
+    }
+    key += parts.distinct ? "D" : "d";
+    key += oql::to_oql(parts.projection);
+    return key;
+  };
 
   for (const LogicalPtr& branch : branches) {
     if (branch->op == LOp::Const) {
@@ -841,69 +957,132 @@ Optimizer::Result Optimizer::optimize(const oql::ExprPtr& query,
         obs.trace->tag(event, "total_s", c.total());
       }
     };
-    std::set<std::string> seen;
-    for (bool push_select : {true, false}) {
-      if (push_select && !options_.enable_select_pushdown) continue;
-      for (bool push_project : {true, false}) {
-        if (push_project && !options_.enable_project_pushdown) continue;
-        for (bool merge_joins : {true, false}) {
-          if (merge_joins && !options_.enable_join_merge) continue;
-          std::vector<PushdownDecision> variant_decisions;
-          BranchPlanner planner(*this, *catalog_, options_,
-                                record ? &variant_decisions : nullptr);
-          LogicalPtr variant =
-              planner.build(parts, push_select, push_project, merge_joins);
-          if (!seen.insert(algebra::to_algebra_string(variant)).second) {
-            continue;  // the flags made no difference
-          }
-          PhysicalPtr plan = implement(variant);
-          Cost c = coster.cost(plan);
-          ++result.plans_considered;
-          note_candidate(algebra::to_algebra_string(variant), c,
-                         push_select, push_project, merge_joins, false);
-          bool better =
-              !best_cost.has_value() || c.total() < best_cost->total() ||
-              (c.total() == best_cost->total() && !options_.cost_based);
-          if (better) {
-            best_cost = c;
-            best_plan = plan;
-            best_logical = variant;
-            best_decisions = std::move(variant_decisions);
-            if (record) best_candidate = result.candidates.size() - 1;
-          }
-          if (!options_.cost_based) break;  // maximal pushdown first
-        }
-        if (!options_.cost_based && best_plan != nullptr) break;
-      }
-      if (!options_.cost_based && best_plan != nullptr) break;
+
+    std::string key;
+    const ShapeChoice* shared = nullptr;
+    if (share) {
+      key = shape_key(parts);
+      auto it = shape_memo.find(key);
+      if (it != shape_memo.end()) shared = &it->second;
     }
-    if (options_.enable_bind_join) {
+
+    if (shared != nullptr && shared->bind_join) {
+      // The representative's winner was a bind join; the qualification
+      // tests and grammar verdicts are all shape-covered, so this should
+      // qualify too — but fall back to full enumeration if it does not.
       std::vector<PushdownDecision> bind_decisions;
-      physical::PhysicalPtr candidate = try_bind_join(
-          *this, parts, branch, record ? &bind_decisions : nullptr);
+      physical::PhysicalPtr candidate =
+          try_bind_join(*this, grammar_cache, parts, branch,
+                        record ? &bind_decisions : nullptr);
       if (candidate != nullptr) {
         Cost c = coster.cost(candidate);
         ++result.plans_considered;
+        result.prune.variants_skipped += shared->variants_costed - 1;
         note_candidate(algebra::to_algebra_string(branch), c, false, false,
                        false, true);
-        if (!best_cost.has_value() || c.total() < best_cost->total()) {
-          best_cost = c;
-          best_plan = candidate;
-          // The logical form stays the original branch: bind join is a
-          // physical strategy for the same logical join.
-          best_logical = branch;
-          // The losing variant's consultations no longer apply; the
-          // bind-join ones are appended below.
-          best_decisions.clear();
-          if (record) best_candidate = result.candidates.size() - 1;
+        best_cost = c;
+        best_plan = candidate;
+        best_logical = branch;
+        best_decisions = std::move(bind_decisions);
+        if (record) best_candidate = result.candidates.size() - 1;
+      } else {
+        shared = nullptr;
+      }
+    } else if (shared != nullptr) {
+      std::vector<PushdownDecision> variant_decisions;
+      BranchPlanner planner(*this, *catalog_, options_, &grammar_cache,
+                            record ? &variant_decisions : nullptr);
+      LogicalPtr variant = planner.build(parts, shared->push_select,
+                                         shared->push_project,
+                                         shared->merge_joins);
+      best_plan = implement(variant);
+      best_cost = coster.cost(best_plan);
+      best_logical = variant;
+      best_decisions = std::move(variant_decisions);
+      ++result.plans_considered;
+      result.prune.variants_skipped += shared->variants_costed - 1;
+      note_candidate(algebra::to_algebra_string(variant), *best_cost,
+                     shared->push_select, shared->push_project,
+                     shared->merge_joins, false);
+      if (record) best_candidate = result.candidates.size() - 1;
+    }
+
+    if (shared == nullptr) {
+      ShapeChoice winner;
+      size_t variants_costed = 0;
+      std::set<std::string> seen;
+      for (bool push_select : {true, false}) {
+        if (push_select && !options_.enable_select_pushdown) continue;
+        for (bool push_project : {true, false}) {
+          if (push_project && !options_.enable_project_pushdown) continue;
+          for (bool merge_joins : {true, false}) {
+            if (merge_joins && !options_.enable_join_merge) continue;
+            std::vector<PushdownDecision> variant_decisions;
+            BranchPlanner planner(*this, *catalog_, options_, &grammar_cache,
+                                  record ? &variant_decisions : nullptr);
+            LogicalPtr variant =
+                planner.build(parts, push_select, push_project, merge_joins);
+            if (!seen.insert(algebra::to_algebra_string(variant)).second) {
+              continue;  // the flags made no difference
+            }
+            PhysicalPtr plan = implement(variant);
+            Cost c = coster.cost(plan);
+            ++result.plans_considered;
+            ++variants_costed;
+            note_candidate(algebra::to_algebra_string(variant), c,
+                           push_select, push_project, merge_joins, false);
+            bool better =
+                !best_cost.has_value() || c.total() < best_cost->total() ||
+                (c.total() == best_cost->total() && !options_.cost_based);
+            if (better) {
+              best_cost = c;
+              best_plan = plan;
+              best_logical = variant;
+              best_decisions = std::move(variant_decisions);
+              winner = {push_select, push_project, merge_joins, false, 0};
+              if (record) best_candidate = result.candidates.size() - 1;
+            }
+            if (!options_.cost_based) break;  // maximal pushdown first
+          }
+          if (!options_.cost_based && best_plan != nullptr) break;
+        }
+        if (!options_.cost_based && best_plan != nullptr) break;
+      }
+      if (options_.enable_bind_join) {
+        std::vector<PushdownDecision> bind_decisions;
+        physical::PhysicalPtr candidate =
+            try_bind_join(*this, grammar_cache, parts, branch,
+                          record ? &bind_decisions : nullptr);
+        if (candidate != nullptr) {
+          Cost c = coster.cost(candidate);
+          ++result.plans_considered;
+          ++variants_costed;
+          note_candidate(algebra::to_algebra_string(branch), c, false, false,
+                         false, true);
+          if (!best_cost.has_value() || c.total() < best_cost->total()) {
+            best_cost = c;
+            best_plan = candidate;
+            // The logical form stays the original branch: bind join is a
+            // physical strategy for the same logical join.
+            best_logical = branch;
+            // The losing variant's consultations no longer apply; the
+            // bind-join ones are appended below.
+            best_decisions.clear();
+            winner = {false, false, false, true, 0};
+            if (record) best_candidate = result.candidates.size() - 1;
+          }
+        }
+        // The probe-side consultation is worth explaining even when the
+        // bind join lost or never qualified.
+        if (record) {
+          for (PushdownDecision& decision : bind_decisions) {
+            best_decisions.push_back(std::move(decision));
+          }
         }
       }
-      // The probe-side consultation is worth explaining even when the
-      // bind join lost or never qualified.
-      if (record) {
-        for (PushdownDecision& decision : bind_decisions) {
-          best_decisions.push_back(std::move(decision));
-        }
+      if (share) {
+        winner.variants_costed = variants_costed;
+        shape_memo.emplace(std::move(key), winner);
       }
     }
     internal_check(best_plan != nullptr, "no plan produced for branch");

@@ -55,6 +55,21 @@ struct OptimizerOptions {
   /// (what the 0/1 default cost implies anyway). Used for ablation.
   bool cost_based = true;
   size_t max_branches = 4096;
+  /// Federation-scale pruning (src/fedcat/): memoize capability-grammar
+  /// verdicts by token shape (exact — the terminal alphabet erases
+  /// extent names, so same-shaped candidates share one Earley run), and
+  /// above prune_share_threshold branches let identically-shaped
+  /// branches reuse the first branch's winning pushdown flags instead of
+  /// re-enumerating the whole {R1,R2,R3} lattice. The shape covers the
+  /// per-leaf wrapper grammars and the repository/wrapper co-location
+  /// pattern, so sharing can only diverge from exhaustive search when
+  /// per-repository *cost* differences would flip a winner — the classic
+  /// pruning trade at 1,000+ sources.
+  bool prune = true;
+  /// Branch count above which same-shaped branches share pushdown
+  /// choices. High enough that every hand-built test world enumerates
+  /// exhaustively.
+  size_t prune_share_threshold = 64;
   /// Record every capability-grammar consultation (R1/R2/R3, bind-join
   /// probe) and every costed plan variant into Result::decisions /
   /// Result::candidates. Off by default — the explain path turns it on.
@@ -117,6 +132,8 @@ class Optimizer {
     oql::ExprPtr expanded;
     size_t plans_considered = 0;
     Cost estimated;
+    /// Extent-pruning and grammar-memo counters for this optimization.
+    PruneStats prune;
     /// Grammar consultations of the *chosen* variants (empty unless
     /// OptimizerOptions::record_decisions).
     std::vector<PushdownDecision> decisions;

@@ -164,6 +164,7 @@ class Translator {
 
   TranslationUnit run(const oql::ExprPtr& query) {
     TranslationUnit out;
+    prune_.extents_total = catalog_.extent_count();
     out.expanded = expand_views(query, catalog_);
     if (LogicalPtr plan = try_plan(out.expanded)) {
       out.plan = std::move(plan);
@@ -173,6 +174,7 @@ class Translator {
     }
     out.aux = std::move(aux_);
     out.aux_closures = std::move(aux_closures_);
+    out.prune = prune_;
     return out;
   }
 
@@ -213,6 +215,22 @@ class Translator {
     for (const oql::Binding& binding : expr->from) {
       auto sources = resolve_domain(binding.domain, catalog_);
       if (!sources.has_value()) return nullptr;  // local mode
+      // Pruning accounting: a binding over an implicit extent or a
+      // closure considered only the type-matching extents — everything
+      // else in the catalog was pruned by the interface index.
+      size_t matched = 0;
+      for (const DomainSource& source : *sources) {
+        if (source.extent != nullptr) ++matched;
+      }
+      prune_.extents_considered += matched;
+      const bool type_indexed =
+          (binding.domain->kind == oql::ExprKind::Ident &&
+           catalog_.classify(binding.domain->name) ==
+               Catalog::NameKind::ImplicitExtent) ||
+          binding.domain->kind == oql::ExprKind::ExtentClosure;
+      if (type_indexed) {
+        prune_.pruned_by_type += catalog_.extent_count() - matched;
+      }
       alternatives.push_back(std::move(*sources));
     }
 
@@ -325,6 +343,7 @@ class Translator {
 
   const Catalog& catalog_;
   size_t max_branches_;
+  PruneStats prune_;
   std::vector<std::pair<std::string, LogicalPtr>> aux_;
   std::vector<std::pair<std::string, LogicalPtr>> aux_closures_;
 };

@@ -36,6 +36,28 @@
 
 namespace disco::optimizer {
 
+/// Counters for federation-scale extent pruning (src/fedcat/): how much
+/// of the registered world the planner actually touched, and how much
+/// capability-grammar work was saved by memoization and shape sharing.
+/// Filled by translate() (type pruning) and Optimizer::optimize()
+/// (grammar memo / variant sharing); surfaced by explain_report().
+struct PruneStats {
+  /// Extents registered in the catalog when planning started.
+  size_t extents_total = 0;
+  /// Extent leaves the plan actually ranges over.
+  size_t extents_considered = 0;
+  /// Extents skipped because their interface cannot satisfy a queried
+  /// implicit extent or closure (wrong type).
+  size_t pruned_by_type = 0;
+  /// Capability-grammar consultations asked during pushdown rewriting.
+  size_t grammar_consultations = 0;
+  /// Consultations answered from the token-shape memo (no Earley run).
+  size_t grammar_memo_hits = 0;
+  /// Branch plan variants never built because an identically-shaped
+  /// branch already chose the winning pushdown flags.
+  size_t variants_skipped = 0;
+};
+
 struct TranslationUnit {
   /// Plan mode: the logical plan (union of branches). Null in local mode.
   algebra::LogicalPtr plan;
@@ -49,6 +71,8 @@ struct TranslationUnit {
   /// View-expanded original query; the whole-query residual in local
   /// mode, and the basis of explain output.
   oql::ExprPtr expanded;
+  /// Type-pruning counters (extents_total / considered / pruned_by_type).
+  PruneStats prune;
 
   bool is_plan_mode() const { return plan != nullptr; }
 };

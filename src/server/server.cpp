@@ -18,44 +18,10 @@
 #include "common/error.hpp"
 #include "server/json.hpp"
 #include "server/protocol.hpp"
+#include "server/values.hpp"
 
 namespace disco::server {
 namespace {
-
-/// ODMG value -> JSON: collections become arrays, structs objects.
-json::Value value_to_json(const Value& value) {
-  switch (value.kind()) {
-    case ValueKind::Null:
-      return json::Value();
-    case ValueKind::Bool:
-      return json::Value::boolean(value.as_bool());
-    case ValueKind::Int:
-      return json::Value::integer(value.as_int());
-    case ValueKind::Double:
-      return json::Value::real(value.as_double());
-    case ValueKind::String:
-      return json::Value::string(value.as_string());
-    case ValueKind::Bag:
-    case ValueKind::Set:
-    case ValueKind::List: {
-      std::vector<json::Value> items;
-      items.reserve(value.items().size());
-      for (const Value& item : value.items()) {
-        items.push_back(value_to_json(item));
-      }
-      return json::Value::array(std::move(items));
-    }
-    case ValueKind::Struct: {
-      std::vector<json::Value::Member> members;
-      members.reserve(value.fields().size());
-      for (const auto& [name, field] : value.fields()) {
-        members.emplace_back(name, value_to_json(field));
-      }
-      return json::Value::object(std::move(members));
-    }
-  }
-  return json::Value();
-}
 
 /// The answer body shared by ANSWER replies and PARTIAL/COMPLETE pushes.
 json::Value answer_event(uint64_t id, const Answer& answer) {

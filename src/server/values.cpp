@@ -1,0 +1,71 @@
+#include "server/values.hpp"
+
+namespace disco::server {
+
+json::Value value_to_json(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::Null:
+      return json::Value();
+    case ValueKind::Bool:
+      return json::Value::boolean(value.as_bool());
+    case ValueKind::Int:
+      return json::Value::integer(value.as_int());
+    case ValueKind::Double:
+      return json::Value::real(value.as_double());
+    case ValueKind::String:
+      return json::Value::string(value.as_string());
+    case ValueKind::Bag:
+    case ValueKind::Set:
+    case ValueKind::List: {
+      std::vector<json::Value> items;
+      items.reserve(value.items().size());
+      for (const Value& item : value.items()) {
+        items.push_back(value_to_json(item));
+      }
+      return json::Value::array(std::move(items));
+    }
+    case ValueKind::Struct: {
+      std::vector<json::Value::Member> members;
+      members.reserve(value.fields().size());
+      for (const auto& [name, field] : value.fields()) {
+        members.emplace_back(name, value_to_json(field));
+      }
+      return json::Value::object(std::move(members));
+    }
+  }
+  return json::Value();
+}
+
+Value json_to_value(const json::Value& value) {
+  switch (value.kind()) {
+    case json::Value::Kind::Null:
+      return Value::null();
+    case json::Value::Kind::Bool:
+      return Value::boolean(value.as_bool());
+    case json::Value::Kind::Int:
+      return Value::integer(value.as_int64());
+    case json::Value::Kind::Double:
+      return Value::real(value.as_double());
+    case json::Value::Kind::String:
+      return Value::string(value.as_string());
+    case json::Value::Kind::Array: {
+      std::vector<Value> items;
+      items.reserve(value.items().size());
+      for (const json::Value& item : value.items()) {
+        items.push_back(json_to_value(item));
+      }
+      return Value::bag(std::move(items));
+    }
+    case json::Value::Kind::Object: {
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.reserve(value.members().size());
+      for (const auto& [name, member] : value.members()) {
+        fields.emplace_back(name, json_to_value(member));
+      }
+      return Value::strct(std::move(fields));
+    }
+  }
+  return Value::null();
+}
+
+}  // namespace disco::server

@@ -1,0 +1,26 @@
+// ODMG Value <-> wire JSON conversion (src/server/).
+//
+// The daemon ships answers as JSON; clients that feed rows back into a
+// mediator (the hierarchical MediatorSource in src/fedcat/) need the
+// inverse. The mapping is faithful for everything that crosses the
+// wrapper boundary: Int and Double stay distinct (json::Value remembers
+// integer-ness), structs keep field order. Collection *flavor* is not on
+// the wire — bags, sets and lists all serialize as arrays, and
+// json_to_value reads every array back as a bag, the shape wrapper
+// answers use.
+#pragma once
+
+#include "server/json.hpp"
+#include "value/value.hpp"
+
+namespace disco::server {
+
+/// ODMG value -> JSON: collections become arrays, structs objects.
+json::Value value_to_json(const Value& value);
+
+/// JSON -> ODMG value: arrays become bags, objects structs. Throws
+/// JsonError only via malformed accessor use (any well-formed document
+/// converts).
+Value json_to_value(const json::Value& value);
+
+}  // namespace disco::server

@@ -403,25 +403,41 @@ TEST(MediatorCacheTest, ExplicitInvalidateForcesRefetch) {
   EXPECT_GE(world.mediator.cache_stats().invalidations, 1u);
 }
 
-TEST(MediatorCacheTest, OdlAndRegistrationInvalidate) {
+TEST(MediatorCacheTest, InvalidationIsScopedToWhatTheUpdateTouched) {
   PaperWorld world(cached_options());
   const std::string query = "select x.name from x in person";
   (void)world.mediator.query(query);
   ASSERT_GT(world.mediator.cache_stats().entries, 0u);
 
-  // Any ODL execution — here a brand-new interface — drops every cached
-  // reply ("the mediator must monitor updates to extents", §3.3).
+  // Interface definitions change what queries *mean* — they still drop
+  // every cached reply ("the mediator must monitor updates to extents",
+  // §3.3).
   world.mediator.execute_odl(R"(
     interface Dept (extent dept) { attribute Long id; };
   )");
   EXPECT_EQ(world.mediator.cache_stats().entries, 0u);
 
   (void)world.mediator.query(query);
-  ASSERT_GT(world.mediator.cache_stats().entries, 0u);
-  // So does registering a repository.
+  const uint64_t warm = world.mediator.cache_stats().entries;
+  ASSERT_GT(warm, 0u);
+
+  // A brand-new repository has no cached answers; registering it keeps
+  // every warm entry (epoch-scoped invalidation).
   world.mediator.register_repository(
       catalog::Repository{"r9", "new", "db", "9.9.9.9"});
-  EXPECT_EQ(world.mediator.cache_stats().entries, 0u);
+  EXPECT_EQ(world.mediator.cache_stats().entries, warm);
+  // Likewise a new wrapper binding: no extent references it yet.
+  world.mediator.register_wrapper(
+      "w9", std::make_shared<wrapper::MemDbWrapper>());
+  EXPECT_EQ(world.mediator.cache_stats().entries, warm);
+
+  // Registering an extent drops only its repository's entries: r1's
+  // cached submit survives an extent landing in r0.
+  world.mediator.execute_odl(
+      "extent person9 of Person wrapper w0 repository r0;");
+  const cache::CacheStats after = world.mediator.cache_stats();
+  EXPECT_LT(after.entries, warm);
+  EXPECT_GT(after.entries, 0u);
 }
 
 Mediator::Options cached_breaker_options() {

@@ -257,8 +257,8 @@ TEST_F(OptimizerTest, LearnedCostCanReversePushdown) {
 }
 
 TEST_F(OptimizerTest, ViewExpansionBeforePlanning) {
-  world_.mediator.catalog().define_view(
-      "rich", parse("select x.name from x in person where x.salary > 100"));
+  world_.mediator.execute_odl(
+      "define rich as select x.name from x in person where x.salary > 100;");
   std::string text = plan_text("rich");
   EXPECT_NE(text.find("select(x.salary > 100"), std::string::npos) << text;
 }

@@ -710,7 +710,7 @@ TEST(SessionTest, MultiWorkerManagerOverlapsSubmissions) {
   EXPECT_EQ(manager.stats().completed, 2u);
 }
 
-// --------------------------------------------------- admin/query exclusion ---
+// ----------------------------------------------- admin/query concurrency ---
 
 /// Wrapper that signals when a submit is in flight and blocks it until
 /// released — makes "a query is running right now" a deterministic state.
@@ -759,7 +759,7 @@ class GateWrapper : public wrapper::Wrapper {
   bool released_ = false;
 };
 
-TEST(AdminGuardTest, AdminDuringAQueryThrowsInsteadOfRacing) {
+TEST(AdminGuardTest, MidQueryRegistrationNeitherBlocksNorCorrupts) {
   memdb::Database db("db0");
   auto& table = db.create_table("person0",
                                 {{"id", memdb::ColumnType::Int},
@@ -767,6 +767,12 @@ TEST(AdminGuardTest, AdminDuringAQueryThrowsInsteadOfRacing) {
                                  {"salary", memdb::ColumnType::Int}});
   table.insert(
       {Value::integer(1), Value::string("Mary"), Value::integer(200)});
+  auto& table2 = db.create_table("person1",
+                                 {{"id", memdb::ColumnType::Int},
+                                  {"name", memdb::ColumnType::Text},
+                                  {"salary", memdb::ColumnType::Int}});
+  table2.insert(
+      {Value::integer(2), Value::string("John"), Value::integer(100)});
 
   auto memdb_wrapper = std::make_shared<wrapper::MemDbWrapper>();
   memdb_wrapper->attach_database("r0", &db);
@@ -784,33 +790,44 @@ TEST(AdminGuardTest, AdminDuringAQueryThrowsInsteadOfRacing) {
       attribute Short salary; };
     extent person0 of Person wrapper w0 repository r0;
   )");
+  const uint64_t epoch_before = mediator.catalog_epoch();
 
+  // Query over the implicit extent `person`: its branch set is fixed at
+  // planning time, from the epoch the query pinned.
   std::thread client([&] {
-    Answer a = mediator.query("select x.name from x in person0");
+    Answer a = mediator.query("select x.name from x in person");
     EXPECT_TRUE(a.complete());
+    // The mid-query registration below must NOT leak into this answer:
+    // the query runs against the epoch it started in, where person0 is
+    // the only extent of Person.
+    EXPECT_EQ(a.data().items().size(), 1u);
   });
-  gate->wait_for_entry();  // the query now provably holds the shared side
+  gate->wait_for_entry();  // the query is now provably in flight
 
-  EXPECT_THROW(mediator.execute_odl("drop extent person0;"),
-               ExecutionError);
-  EXPECT_THROW(mediator.register_repository(
-                   catalog::Repository{"r9", "h", "db", "10.0.0.9"}),
-               ExecutionError);
-  EXPECT_THROW(
-      mediator.register_wrapper(
-          "w9", std::make_shared<wrapper::MemDbWrapper>()),
-      ExecutionError);
-  try {
-    mediator.execute_odl("drop extent person0;");
-    FAIL() << "expected ExecutionError";
-  } catch (const ExecutionError& e) {
-    EXPECT_NE(std::string(e.what()).find("in flight"), std::string::npos);
-  }
+  // Registration while the query is blocked inside a source call: it
+  // must complete without waiting for the query to finish (the gate is
+  // still closed), publish a new epoch, and not corrupt the running
+  // query's world.
+  mediator.execute_odl(
+      "extent person1 of Person wrapper w0 repository r0;");
+  EXPECT_EQ(mediator.catalog_epoch(), epoch_before + 1);
+  mediator.register_repository(
+      catalog::Repository{"r9", "h", "db", "10.0.0.9"});
+  mediator.register_wrapper("w9", std::make_shared<wrapper::MemDbWrapper>());
+  EXPECT_EQ(mediator.catalog_epoch(), epoch_before + 3);
 
-  gate->release();
+  gate->release();  // sticky: later submits pass straight through
   client.join();
-  // With the query finished, administration proceeds normally again.
-  mediator.execute_odl("drop extent person0;");
+
+  // A fresh query sees the new world: both extents of Person.
+  Answer after = mediator.query("select x.name from x in person");
+  ASSERT_TRUE(after.complete());
+  EXPECT_EQ(after.data().items().size(), 2u);
+
+  // Old epochs drain once their queries finish: only the current one
+  // stays alive.
+  EXPECT_EQ(mediator.live_epochs(), 1u);
+  EXPECT_EQ(mediator.retired_epochs(), mediator.catalog_epoch());
 }
 
 // ------------------------------------------------------- metrics satellite ---

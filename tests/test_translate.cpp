@@ -139,10 +139,9 @@ TEST_F(TranslateTest, LocalModeForDependentDomains) {
 }
 
 TEST_F(TranslateTest, ViewExpansionIsTransitive) {
-  world_.mediator.catalog().define_view(
-      "rich", parse("select x from x in person where x.salary > 100"));
-  world_.mediator.catalog().define_view(
-      "rich_names", parse("select y.name from y in rich"));
+  world_.mediator.execute_odl(
+      "define rich as select x from x in person where x.salary > 100;\n"
+      "define rich_names as select y.name from y in rich;");
   oql::ExprPtr expanded = expand_views(parse("rich_names"),
                                        world_.mediator.catalog());
   EXPECT_EQ(oql::to_oql(expanded),

@@ -96,8 +96,8 @@ TEST_F(TypecheckTest, MediatorRejectsTyposEndToEnd) {
   EXPECT_THROW(world_.mediator.query("select x.nmae from x in person"),
                TypeError);
   // Views are expanded first, so typos inside views surface too.
-  world_.mediator.catalog().define_view(
-      "broken", parse("select v.salry from v in person"));
+  world_.mediator.execute_odl(
+      "define broken as select v.salry from v in person;");
   EXPECT_THROW(world_.mediator.query("broken"), TypeError);
 }
 
