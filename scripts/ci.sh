@@ -9,6 +9,9 @@
 #                                 # under ASan+UBSan
 #   DISCO_BENCH=1 scripts/ci.sh   # additionally run the experiment
 #                                 # benches (writes BENCH_*.json)
+#   DISCO_COVERAGE=1 scripts/ci.sh  # additionally build instrumented,
+#                                   # run the vec suites and gate src/vec
+#                                   # line coverage at 90%
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -33,7 +36,7 @@ if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
   cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$(nproc)" \
     --target test_exec test_session test_obs test_cache test_sched \
-             test_server test_fedcat
+             test_server test_fedcat test_vec_differential
   ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
 fi
 
@@ -62,6 +65,38 @@ if [[ "${DISCO_BENCH:-0}" != "0" ]]; then
   "$repo/build/bench/bench_server" "$repo/BENCH_server.json"
   echo "== many-sources bench (1k/5k/10k extents, flat vs hierarchical) =="
   "$repo/build/bench/bench_manysources" "$repo/BENCH_manysources.json"
+  echo "== vectorized bench (batch kernels vs row loops, 3x bar) =="
+  cmake --build "$repo/build" -j "$(nproc)" --target bench_vectorized
+  "$repo/build/bench/bench_vectorized" "$repo/BENCH_vectorized.json"
+fi
+
+if [[ "${DISCO_COVERAGE:-0}" != "0" ]]; then
+  echo "== coverage gate: src/vec line coverage >= 90% =="
+  cmake -B "$repo/build-cov" -S "$repo" -DDISCO_COVERAGE=ON
+  cmake --build "$repo/build-cov" -j "$(nproc)" \
+    --target test_vec test_vec_differential
+  # Stale counters from an earlier run would inflate the numbers.
+  find "$repo/build-cov" -name '*.gcda' -delete
+  ctest --test-dir "$repo/build-cov" -L vec --output-on-failure
+  # gcov is handed the .gcda files directly: CMake names the counters
+  # <source>.cpp.gcda, which gcov's source-name lookup does not find.
+  gcov -n "$repo/build-cov/src/vec/CMakeFiles/disco_vec.dir"/*.gcda \
+    2>/dev/null \
+    | awk '
+      /^File/   { file = $0; keep = (file ~ /src\/vec\//) }
+      keep && /^Lines executed/ {
+        split($0, byColon, ":"); split(byColon[2], pctOf, "% of ");
+        covered += pctOf[1] / 100 * pctOf[2]; total += pctOf[2];
+        printf "  %-48s %7s%% of %d lines\n", file, pctOf[1], pctOf[2];
+        keep = 0
+      }
+      END {
+        if (total == 0) { print "no src/vec coverage data"; exit 1 }
+        pct = 100 * covered / total;
+        printf "src/vec aggregate: %.2f%% of %d lines (gate: 90%%)\n",
+               pct, total;
+        exit (pct >= 90.0 ? 0 : 1)
+      }'
 fi
 
 echo "ci OK"

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "optimizer/typecheck.hpp"
 #include "oql/printer.hpp"
+#include "vec/ops.hpp"
 
 namespace disco::optimizer {
 
@@ -459,7 +460,12 @@ physical::PhysicalPtr Optimizer::implement(const LogicalPtr& node) const {
         residual.push_back(conjunct);
       }
       if (left_key != nullptr) {
-        if (options_.prefer_merge_join) {
+        // Vec mode steers batchable equi joins to the (vectorized) hash
+        // join; merge join has no batch implementation.
+        const bool vec_hash_join = options_.vec &&
+                                   vec::vec_batchable(node->left) &&
+                                   vec::vec_batchable(node->right);
+        if (options_.prefer_merge_join && !vec_hash_join) {
           return physical::make_merge_join(std::move(left),
                                            std::move(right), left_key,
                                            right_key,

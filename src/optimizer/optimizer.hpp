@@ -51,6 +51,12 @@ struct OptimizerOptions {
   /// ship the build side's keys into the probe side's submit. Off by
   /// default: it is not in the paper's Prototype-0 plan space.
   bool enable_bind_join = false;
+  /// Columnar batch execution is on (Mediator::Options::vec): equi joins
+  /// whose inputs are both batchable (exec/filter/join/union shapes that
+  /// produce env rows) implement as hash join — the vectorized join —
+  /// even under prefer_merge_join, which keeps governing joins the vec
+  /// runtime would row-fall-back on anyway.
+  bool vec = false;
   /// When false, skip cost comparison and always prefer maximal pushdown
   /// (what the 0/1 default cost implies anyway). Used for ablation.
   bool cost_based = true;

@@ -379,6 +379,9 @@ bool ResubmissionManager::advance(
     } else {
       s.started = true;
       const std::vector<Value>& fresh_rows = answer.data().items();
+      // Batch-wise merge: one reallocation per resubmission round, not
+      // one per row (rounds can carry thousands of recovered rows).
+      s.items.reserve(s.items.size() + fresh_rows.size());
       s.items.insert(s.items.end(), fresh_rows.begin(), fresh_rows.end());
       s.residuals = answer.residuals();
       if (s.residuals.empty()) {

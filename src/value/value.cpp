@@ -320,6 +320,19 @@ uint64_t Value::hash() const {
   return h;
 }
 
+namespace {
+
+/// Heap bytes behind a std::string: zero while the text fits the
+/// small-string buffer (those bytes live inside the string object,
+/// which the caller already counts), capacity + 1 terminator once it
+/// spills. Counting capacity() unconditionally double-counted every
+/// short string.
+size_t string_heap_bytes(const std::string& s) {
+  return s.capacity() > std::string().capacity() ? s.capacity() + 1 : 0;
+}
+
+}  // namespace
+
 size_t Value::deep_size() const {
   size_t bytes = sizeof(Value);
   switch (kind()) {
@@ -329,7 +342,9 @@ size_t Value::deep_size() const {
     case ValueKind::Double:
       break;
     case ValueKind::String:
-      bytes += as_string().capacity();
+      // The string object itself is inline in the variant (inside
+      // sizeof(Value)); only a spilled buffer adds heap bytes.
+      bytes += string_heap_bytes(as_string());
       break;
     case ValueKind::Bag:
     case ValueKind::Set:
@@ -340,7 +355,11 @@ size_t Value::deep_size() const {
     case ValueKind::Struct:
       bytes += sizeof(StructData);
       for (const auto& [name, value] : fields()) {
-        bytes += name.capacity() + value.deep_size();
+        // Each entry is pair<string, Value>: the name object plus the
+        // value's footprint (deep_size counts the Value object), plus
+        // the name's spilled buffer if any.
+        bytes += sizeof(std::string) + string_heap_bytes(name) +
+                 value.deep_size();
       }
       break;
   }

@@ -88,7 +88,11 @@ class Value {
 
   /// Approximate in-memory footprint in bytes, counting shared payloads
   /// at every reference (an upper bound under structural sharing). Used
-  /// for cache byte budgets, not exact allocator accounting.
+  /// for cache byte budgets, not exact allocator accounting. Strings
+  /// count heap bytes only when they spill the small-string buffer —
+  /// the inline buffer is already inside sizeof(Value) / the field pair
+  /// (counting capacity() unconditionally double-counted every short
+  /// string, inflating cache budgets by ~2x on string-heavy rows).
   size_t deep_size() const;
 
   /// OQL literal text; see file comment.

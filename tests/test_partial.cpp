@@ -250,6 +250,81 @@ TEST(PartialEval, RoundTripEqualsNeverFailedAnswerAcrossQueryShapes) {
   }
 }
 
+// -- union-merge edge cases -------------------------------------------------
+//
+// The §4 answer is union(residuals, data); these pin the degenerate
+// merges the batch-splicing union (Options::vec) must also honor, so the
+// row path's behavior is test-locked in the shapes the differential
+// harness generates.
+
+TEST(PartialEval, EmptyPartialWithNonEmptyResidualMerges) {
+  // The available source contributes zero rows (Sam's salary is 50),
+  // so the partial is pure residual over the down source.
+  PaperWorld world;
+  world.mediator.network().set_availability(
+      "r0", net::Availability::always_down());
+  Answer a = world.mediator.query(
+      "select x.name from x in person where x.salary > 100");
+  ASSERT_FALSE(a.complete());
+  EXPECT_EQ(a.data().size(), 0u);
+  ASSERT_EQ(a.residual_queries().size(), 1u);
+
+  world.mediator.network().set_availability(
+      "r0", net::Availability::always_up());
+  Answer b = world.mediator.query(a.to_oql());
+  ASSERT_TRUE(b.complete());
+  EXPECT_EQ(b.data(), Value::bag({Value::string("Mary")}));
+}
+
+TEST(PartialEval, DuplicateRowsAcrossResubmissionsKeepMultiplicity) {
+  // r1 holds a second "Mary": the recovered residual's rows duplicate a
+  // row already in the partial's data bag, and bag union must keep both
+  // ("the union of two bags is a bag", §1.3) — a set-style merge would
+  // silently drop one.
+  PaperWorld world;
+  world.db1.table("person1").insert(
+      {Value::integer(3), Value::string("Mary"), Value::integer(200)});
+  world.mediator.network().set_availability(
+      "r0", net::Availability::always_down());
+  Answer a = world.mediator.query(
+      "select x.name from x in person where x.salary > 10");
+  ASSERT_FALSE(a.complete());
+  EXPECT_EQ(a.data(), Value::bag({Value::string("Sam"),
+                                  Value::string("Mary")}));
+
+  world.mediator.network().set_availability(
+      "r0", net::Availability::always_up());
+  Answer b = world.mediator.query(a.to_oql());
+  ASSERT_TRUE(b.complete());
+  EXPECT_EQ(b.data().size(), 3u);
+  size_t marys = 0;
+  for (const Value& item : b.data().items()) {
+    if (item == Value::string("Mary")) ++marys;
+  }
+  EXPECT_EQ(marys, 2u);
+}
+
+TEST(PartialEval, ZeroRowCompleteAfterAPartial) {
+  // The recovered source matches nothing: resubmission must settle to a
+  // COMPLETE answer with an empty bag, not stay partial and not invent
+  // rows.
+  PaperWorld world;
+  world.mediator.network().set_availability(
+      "r0", net::Availability::always_down());
+  Answer a = world.mediator.query(
+      "select x.name from x in person where x.salary > 300");
+  ASSERT_FALSE(a.complete());
+  EXPECT_EQ(a.data().size(), 0u);
+  ASSERT_EQ(a.residual_queries().size(), 1u);
+
+  world.mediator.network().set_availability(
+      "r0", net::Availability::always_up());
+  Answer b = world.mediator.query(a.to_oql());
+  ASSERT_TRUE(b.complete());
+  EXPECT_EQ(b.data(), Value::bag({}));
+  EXPECT_TRUE(b.residual_queries().empty());
+}
+
 TEST(PartialEval, StatsCountUnavailableCalls) {
   PaperWorld world;
   world.mediator.network().set_availability(

@@ -193,6 +193,78 @@ TEST(Value, CopyIsShallowAndCheap) {
   EXPECT_EQ(copy.items().data(), big.items().data());
 }
 
+// -- deep_size: the cache's byte-budget currency ----------------------------
+//
+// These pin the accounting identities the result cache depends on. The
+// key one: a short (SSO) string weighs exactly as much as an int — its
+// text lives inside the object, and counting capacity() on top of that
+// double-counted every short string.
+
+TEST(ValueDeepSize, ScalarsWeighSizeofValue) {
+  EXPECT_EQ(Value::null().deep_size(), sizeof(Value));
+  EXPECT_EQ(Value::boolean(true).deep_size(), sizeof(Value));
+  EXPECT_EQ(Value::integer(42).deep_size(), sizeof(Value));
+  EXPECT_EQ(Value::real(2.5).deep_size(), sizeof(Value));
+}
+
+TEST(ValueDeepSize, ShortStringEqualsIntLongStringAddsItsBuffer) {
+  // Small-string text is inside the object: no extra bytes.
+  EXPECT_EQ(Value::string("hi").deep_size(), sizeof(Value));
+  EXPECT_EQ(Value::string("").deep_size(), sizeof(Value));
+  // A spilled string adds its heap buffer (capacity + NUL), nothing
+  // else.
+  const std::string long_text(100, 'x');
+  const Value long_string = Value::string(long_text);
+  EXPECT_EQ(long_string.deep_size(),
+            sizeof(Value) + long_string.as_string().capacity() + 1);
+  EXPECT_GT(long_string.deep_size(), sizeof(Value) + 100);
+}
+
+TEST(ValueDeepSize, CollectionsAddHeaderPlusItems) {
+  const Value empty = Value::bag({});
+  const size_t header = empty.deep_size();
+  EXPECT_GT(header, sizeof(Value));  // the shared Collection block
+  // Each int item adds exactly one Value.
+  EXPECT_EQ(Value::bag({Value::integer(1), Value::integer(2)}).deep_size(),
+            header + 2 * sizeof(Value));
+  // Bag of short strings weighs the same as a bag of ints.
+  EXPECT_EQ(
+      Value::bag({Value::string("a"), Value::string("b")}).deep_size(),
+      Value::bag({Value::integer(1), Value::integer(2)}).deep_size());
+}
+
+TEST(ValueDeepSize, StructsCountFieldPairsOnce) {
+  const Value empty = Value::strct({});
+  const size_t header = empty.deep_size();
+  // One short-named int field: the pair is one string object plus one
+  // Value, no heap spill for either.
+  const Value one = Value::strct({{"a", Value::integer(1)}});
+  EXPECT_EQ(one.deep_size(), header + sizeof(std::string) + sizeof(Value));
+  // A long field name adds its spilled buffer on top.
+  const std::string long_name(80, 'n');
+  const Value named = Value::strct({{long_name, Value::integer(1)}});
+  EXPECT_GT(named.deep_size(), one.deep_size() + 80);
+}
+
+TEST(ValueDeepSize, NestedStructureAddsUpExactly) {
+  // struct(inner: bag(1, "hi")) — every layer accounted once.
+  const Value nested = Value::strct(
+      {{"inner", Value::bag({Value::integer(1), Value::string("hi")})}});
+  const size_t struct_header = Value::strct({}).deep_size();
+  const size_t bag_header = Value::bag({}).deep_size();
+  EXPECT_EQ(nested.deep_size(), struct_header + sizeof(std::string) +
+                                    bag_header + 2 * sizeof(Value));
+}
+
+TEST(ValueDeepSize, SharedPayloadsCountAtEveryReference) {
+  // deep_size is an upper bound under structural sharing: two references
+  // to one payload count twice (documented contract, used as a budget).
+  const Value inner = Value::bag({Value::integer(1)});
+  const Value twice = Value::bag({inner, inner});
+  EXPECT_EQ(twice.deep_size(),
+            Value::bag({}).deep_size() + 2 * inner.deep_size());
+}
+
 TEST(Value, NestedStructures) {
   Value nested = Value::strct(
       {{"inner", Value::bag({person("Mary", 200), person("Sam", 50)})}});
