@@ -31,12 +31,17 @@ echo "== fedcat many-sources smoke (flat vs hierarchical, pruning) =="
 cmake --build "$repo/build" -j "$(nproc)" --target bench_manysources
 "$repo/build/bench/bench_manysources" --smoke
 
+echo "== index smoke (point/range/bind-join + plan flip, small table) =="
+cmake --build "$repo/build" -j "$(nproc)" --target bench_index
+"$repo/build/bench/bench_index" --smoke
+
 if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer pass (concurrency label) =="
   cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$(nproc)" \
     --target test_exec test_session test_obs test_cache test_sched \
-             test_server test_fedcat test_vec_differential
+             test_server test_fedcat test_vec_differential \
+             test_memdb_concurrency
   ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
 fi
 
@@ -71,32 +76,45 @@ if [[ "${DISCO_BENCH:-0}" != "0" ]]; then
 fi
 
 if [[ "${DISCO_COVERAGE:-0}" != "0" ]]; then
-  echo "== coverage gate: src/vec line coverage >= 90% =="
+  echo "== coverage gate: src/vec >= 90%, src/sources/memdb >= 85% =="
   cmake -B "$repo/build-cov" -S "$repo" -DDISCO_COVERAGE=ON
   cmake --build "$repo/build-cov" -j "$(nproc)" \
-    --target test_vec test_vec_differential
+    --target test_vec test_vec_differential test_memdb \
+             test_memdb_concurrency test_differential
   # Stale counters from an earlier run would inflate the numbers.
   find "$repo/build-cov" -name '*.gcda' -delete
   ctest --test-dir "$repo/build-cov" -L vec --output-on-failure
+  # The memdb suites (test_memdb + the storms + the MiniSQL
+  # differential) drive src/sources/memdb, including the new index path.
+  "$repo/build-cov/tests/test_memdb"
+  "$repo/build-cov/tests/test_memdb_concurrency"
+  "$repo/build-cov/tests/test_differential"
   # gcov is handed the .gcda files directly: CMake names the counters
   # <source>.cpp.gcda, which gcov's source-name lookup does not find.
-  gcov -n "$repo/build-cov/src/vec/CMakeFiles/disco_vec.dir"/*.gcda \
-    2>/dev/null \
-    | awk '
-      /^File/   { file = $0; keep = (file ~ /src\/vec\//) }
-      keep && /^Lines executed/ {
-        split($0, byColon, ":"); split(byColon[2], pctOf, "% of ");
-        covered += pctOf[1] / 100 * pctOf[2]; total += pctOf[2];
-        printf "  %-48s %7s%% of %d lines\n", file, pctOf[1], pctOf[2];
-        keep = 0
-      }
-      END {
-        if (total == 0) { print "no src/vec coverage data"; exit 1 }
-        pct = 100 * covered / total;
-        printf "src/vec aggregate: %.2f%% of %d lines (gate: 90%%)\n",
-               pct, total;
-        exit (pct >= 90.0 ? 0 : 1)
-      }'
+  gate_coverage() {
+    local dir="$1" match="$2" gate="$3"
+    gcov -n "$dir"/*.gcda 2>/dev/null \
+      | awk -v match_re="$match" -v gate="$gate" '
+        /^File/   { file = $0; keep = (file ~ match_re) }
+        keep && /^Lines executed/ {
+          split($0, byColon, ":"); split(byColon[2], pctOf, "% of ");
+          covered += pctOf[1] / 100 * pctOf[2]; total += pctOf[2];
+          printf "  %-48s %7s%% of %d lines\n", file, pctOf[1], pctOf[2];
+          keep = 0
+        }
+        END {
+          if (total == 0) { print "no " match_re " coverage data"; exit 1 }
+          pct = 100 * covered / total;
+          printf "%s aggregate: %.2f%% of %d lines (gate: %s%%)\n",
+                 match_re, pct, total, gate;
+          exit (pct >= gate + 0 ? 0 : 1)
+        }'
+  }
+  gate_coverage "$repo/build-cov/src/vec/CMakeFiles/disco_vec.dir" \
+    "src/vec/" 90
+  gate_coverage \
+    "$repo/build-cov/src/sources/memdb/CMakeFiles/disco_memdb.dir" \
+    "src/sources/memdb/" 85
 fi
 
 echo "ci OK"

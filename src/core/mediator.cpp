@@ -689,7 +689,13 @@ void collect_submits(const physical::PhysicalPtr& node,
     // when the plan degenerates to the base remote.
     submit.cached =
         cache != nullptr && cache->contains(node->repository, node->remote);
-    submit.learned = history.estimate(node->repository, node->remote);
+    // Bind-join probes are recorded (and costed) under the plan's
+    // canonical one-key probe_shape, so report the estimate the Coster
+    // actually consulted.
+    submit.learned = history.estimate(
+        node->repository,
+        submit.bind_join && node->probe_shape != nullptr ? node->probe_shape
+                                                         : node->remote);
     out->push_back(std::move(submit));
   }
   collect_submits(node->child, history, cache, out);
@@ -1006,6 +1012,14 @@ obs::RegistrySnapshot Mediator::obs_snapshot() const {
     snap.counters["fedcat.extents"] = fed->catalog.extent_count();
     snap.counters["fedcat.interfaces_indexed"] = fed->index.interface_count();
     snap.counters["fedcat.capability_shards"] = fed->index.shard_count();
+    // Source-side gauges (e.g. memdb.rows_scanned / index_hits), summed
+    // across every registered wrapper of the current epoch so federations
+    // with several wrappers of one kind report one family.
+    for (const auto& [name, wrapper] : fed->wrappers) {
+      for (const auto& [gauge, value] : wrapper->stat_gauges()) {
+        snap.counters[gauge] += value;
+      }
+    }
   }
   snap.counters["fedcat.live_epochs"] = fedcat_.live_epochs();
   snap.counters["fedcat.retired_epochs"] = fedcat_.retired_epochs();

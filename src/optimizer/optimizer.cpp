@@ -89,17 +89,36 @@ class Coster {
       }
       case physical::POp::BindJoin: {
         Cost l = cost(node->left);
-        CostHistory::Estimate est =
-            history_ == nullptr
-                ? CostHistory::Estimate{}
-                : history_->estimate(node->repository, node->remote);
-        // The key disjunction narrows the probe to roughly one row per
-        // build key; scale the base estimate accordingly.
-        double selectivity =
-            est.rows > 0 ? std::min(1.0, l.rows / est.rows) : 1.0;
-        double probe_time =
-            source_time(node->repository, est.time_s) * selectivity;
-        double probe_rows = est.rows * selectivity;
+        double probe_time = 0;
+        double probe_rows = 0;
+        bool observed_probe = false;
+        // Prefer a direct observation of the bound probe: the runtime
+        // records probe calls under the plan's canonical probe_shape, so
+        // once a bind join has run the model knows exactly what one
+        // key-bound fetch costs here (near-constant for an indexed
+        // source, a full scan's worth otherwise).
+        if (history_ != nullptr && node->probe_shape != nullptr) {
+          CostHistory::Estimate probe_est =
+              history_->estimate(node->repository, node->probe_shape);
+          if (probe_est.basis == CostHistory::Basis::Exact ||
+              probe_est.basis == CostHistory::Basis::Close) {
+            probe_time = source_time(node->repository, probe_est.time_s);
+            probe_rows = probe_est.rows;
+            observed_probe = true;
+          }
+        }
+        if (!observed_probe) {
+          CostHistory::Estimate est =
+              history_ == nullptr
+                  ? CostHistory::Estimate{}
+                  : history_->estimate(node->repository, node->remote);
+          // The key disjunction narrows the probe to roughly one row per
+          // build key; scale the base estimate accordingly.
+          double selectivity =
+              est.rows > 0 ? std::min(1.0, l.rows / est.rows) : 1.0;
+          probe_time = source_time(node->repository, est.time_s) * selectivity;
+          probe_rows = est.rows * selectivity;
+        }
         // Sequential: keys can only ship after the build side is in.
         return Cost{l.net_s + probe_time,
                     l.cpu_s + (l.rows + probe_rows) * kCpuPerRow,
@@ -824,13 +843,28 @@ physical::PhysicalPtr try_bind_join(const Optimizer& optimizer,
                                        filtered);
   }
 
+  // Canonical one-key probe shape: probe_base with a single placeholder
+  // equality on the bind key, composed exactly as the runtime composes
+  // the real (literal-laden) probe. Cost-history observations of probe
+  // calls are recorded under this shape, and the Coster estimates the
+  // probe side from it — the §3.3 loop that notices indexed probes
+  // returning in near-constant time.
+  oql::ExprPtr placeholder =
+      oql::binary(oql::BinaryOp::Eq, right_key, right_key);
+  LogicalPtr probe_shape =
+      probe_base->op == LOp::Filter
+          ? algebra::filter(probe_base->child,
+                            oql::binary(oql::BinaryOp::And,
+                                        probe_base->predicate, placeholder))
+          : algebra::filter(probe_base, placeholder);
+
   // Residual form of the join itself (below the projection): when either
   // side is unavailable the Project node above re-wraps it (§4).
   internal_check(branch_logical->op == LOp::Project,
                  "bind join candidates come from project-topped branches");
   physical::PhysicalPtr joined = physical::make_bind_join(
       std::move(build_plan), probe.extent->repository,
-      probe.extent->wrapper, probe_base, left_key, right_key,
+      probe.extent->wrapper, probe_base, probe_shape, left_key, right_key,
       oql::conjoin(residual), branch_logical->child);
   return physical::make_project(std::move(joined), parts.projection,
                                 parts.distinct, branch_logical);

@@ -124,6 +124,7 @@ PhysicalPtr make_nl_join(PhysicalPtr left, PhysicalPtr right,
 
 PhysicalPtr make_bind_join(PhysicalPtr left, std::string repository,
                            std::string wrapper, algebra::LogicalPtr remote,
+                           algebra::LogicalPtr probe_shape,
                            oql::ExprPtr left_key, oql::ExprPtr right_key,
                            oql::ExprPtr residual_predicate,
                            algebra::LogicalPtr logical) {
@@ -136,6 +137,7 @@ PhysicalPtr make_bind_join(PhysicalPtr left, std::string repository,
   node->repository = std::move(repository);
   node->wrapper = std::move(wrapper);
   node->remote = std::move(remote);
+  node->probe_shape = std::move(probe_shape);
   node->left_key = std::move(left_key);
   node->right_key = std::move(right_key);
   node->predicate = std::move(residual_predicate);

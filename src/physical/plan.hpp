@@ -72,6 +72,14 @@ struct Physical {
   /// BindJoin: past this many distinct build-side keys the probe side is
   /// fetched whole instead (the disjunction would dwarf the data).
   size_t max_bind_keys = 100;
+  /// BindJoin: canonical shape of the probe submit — `remote` with a
+  /// single placeholder key bound on `right_key`, mirroring how the
+  /// runtime composes the real probe. Cost-history observations of the
+  /// probe are recorded under this shape (not under `remote`), so the
+  /// optimizer can later estimate "what does one bound probe cost at
+  /// this source" — the §3.3 closed loop that notices indexed probes
+  /// returning in near-constant time.
+  algebra::LogicalPtr probe_shape;
 
   PhysicalPtr child;
   PhysicalPtr left, right;
@@ -103,9 +111,12 @@ PhysicalPtr make_nl_join(PhysicalPtr left, PhysicalPtr right,
 /// Bind join: `remote` is the probe side's base expression (a get, or a
 /// filter over a get, in mediator name space) executed at
 /// `repository`/`wrapper` with the build side's keys appended as a
-/// disjunctive equality filter on `right_key`.
+/// disjunctive equality filter on `right_key`. `probe_shape` (may be
+/// null) is the canonical one-key probe expression used as the cost
+/// history record key for probe observations.
 PhysicalPtr make_bind_join(PhysicalPtr left, std::string repository,
                            std::string wrapper, algebra::LogicalPtr remote,
+                           algebra::LogicalPtr probe_shape,
                            oql::ExprPtr left_key, oql::ExprPtr right_key,
                            oql::ExprPtr residual_predicate,
                            algebra::LogicalPtr logical);

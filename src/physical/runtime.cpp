@@ -398,14 +398,20 @@ Runtime::Fetch Runtime::fetch_direct(const std::string& repository_name,
     fetch.net = context_.dispatcher->call(repository_name, rows, issue_time_,
                                           remaining, span.context());
     // admission.permit releases the token here (RAII), after the call.
+    if (fetch.net.available) {
+      fetch.net.latency_s += fetch.submit.compute_s;
+    }
   } else {
     net::CallOutcome reply =
         context_.network->call(repository_name, rows, issue_time_);
     fetch.net.attempts = 1;
-    fetch.net.latency_s = reply.latency_s;
+    // Source compute (the wrapper's opt-in cost model) delays the reply
+    // exactly like wire time: it is part of the observed latency and
+    // counts against the §4 deadline. Zero unless the wrapper opted in.
+    fetch.net.latency_s = reply.latency_s + fetch.submit.compute_s;
     if (!reply.available) {
       fetch.net.available = false;
-    } else if (reply.latency_s > context_.deadline_s) {
+    } else if (fetch.net.latency_s > context_.deadline_s) {
       fetch.net.timed_out = true;
     } else {
       fetch.net.available = true;
@@ -428,7 +434,8 @@ Runtime::Fetch Runtime::fetch_direct(const std::string& repository_name,
 Runtime::Outcome Runtime::call_source(
     const Physical* origin, const std::string& repository_name,
     const std::string& wrapper_name, const algebra::LogicalPtr& remote,
-    const algebra::LogicalPtr& logical_for_residual) {
+    const algebra::LogicalPtr& logical_for_residual,
+    const algebra::LogicalPtr& record_shape) {
   ++stats_.exec_calls;
   // Circuit-breaker admission (src/session/): a refused source turns
   // residual right here — no wrapper work, no network call, and crucially
@@ -506,7 +513,9 @@ Runtime::Outcome Runtime::call_source(
   max_latency_ = std::max(max_latency_, fetch.net.latency_s);
   stats_.rows_fetched += rows;
   if (context_.record_exec && !cache_served) {
-    context_.record_exec(repository_name, remote, fetch.net.latency_s, rows);
+    context_.record_exec(repository_name,
+                         record_shape != nullptr ? record_shape : remote,
+                         fetch.net.latency_s, rows);
   }
   if (context_.validate_rows && !cache_served &&
       remote->op != algebra::LOp::Project) {
@@ -751,6 +760,13 @@ Runtime::Outcome Runtime::eval_bind_join(const Physical& node) {
     bucket.push_back(keys.size());
     keys.push_back(key);
   }
+  // Ship the keys in key order: a sorted disjunction gives the source's
+  // ordered index a monotone probe sequence (and makes the shipped SQL
+  // canonical for identical key sets regardless of build-side order).
+  std::stable_sort(keys.begin(), keys.end(),
+                   [](const Value& a, const Value& b) {
+                     return Value::compare(a, b) < 0;
+                   });
 
   // Probe expression: base remote plus the key disjunction — unless the
   // key set is too large to be worth shipping.
@@ -777,8 +793,13 @@ Runtime::Outcome Runtime::eval_bind_join(const Physical& node) {
     }
   }
 
-  Outcome right = call_source(/*origin=*/nullptr, node.repository,
-                              node.wrapper, remote, node.logical);
+  // The probe is recorded in the cost history under the plan's canonical
+  // probe_shape (one placeholder key), not under the literal-laden
+  // disjunction — so future optimizations can ask "what does a bound
+  // probe cost here" and observe indexed probes coming back fast.
+  Outcome right =
+      call_source(/*origin=*/nullptr, node.repository, node.wrapper, remote,
+                  node.logical, node.probe_shape);
   if (!right.residuals.empty()) {
     out.residuals.push_back(node.logical);
     return out;

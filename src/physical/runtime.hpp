@@ -222,11 +222,15 @@ class Runtime {
   /// `wrapper_name`; on unavailability the residual is
   /// `logical_for_residual`. `origin` identifies the plan node for
   /// prefetch lookup (null for bind-join probes, whose remote expression
-  /// is built at eval time).
+  /// is built at eval time). `record_shape` overrides the expression the
+  /// cost history records the call under (bind-join probes record under
+  /// the plan's canonical one-key probe_shape, not the literal-laden
+  /// expression actually shipped); null records under `remote`.
   Outcome call_source(const Physical* origin, const std::string& repository,
                       const std::string& wrapper_name,
                       const algebra::LogicalPtr& remote,
-                      const algebra::LogicalPtr& logical_for_residual);
+                      const algebra::LogicalPtr& logical_for_residual,
+                      const algebra::LogicalPtr& record_shape = nullptr);
   /// Wrapper submit + simulated network call, in either mode. Touches
   /// only thread-safe components, so it can run on a pool thread. Checks
   /// the result cache first (hit / join an identical in-flight fetch /

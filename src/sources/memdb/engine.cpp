@@ -1,8 +1,10 @@
 #include "sources/memdb/engine.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/error.hpp"
@@ -132,10 +134,235 @@ Row concat(const Row& a, const Row& b) {
   return out;
 }
 
+// --- access-path classification --------------------------------------------
+//
+// A per-table conjunct can drive an index three ways:
+//   * point:  col = literal (either orientation),
+//   * batch:  an OR chain whose every disjunct is col = literal on the
+//             SAME column — the bind join's key disjunction becomes a
+//             batch of point probes instead of a per-row OR evaluation,
+//   * range:  col </<=/>/>= literal (either orientation, op flipped).
+// The index returns a candidate superset for that one conjunct; every
+// conjunct is then re-checked on each candidate (residual re-check), so
+// classification can never change answers — only skip non-candidates.
+// Index comparator == eval_pred comparator (Value::compare), so the
+// candidate set is exact for the chosen conjunct, nulls and mixed
+// Int/Double keys included.
+
+struct PointAtom {
+  int column = -1;
+  Value key;
+};
+
+std::optional<PointAtom> point_atom(const PredPtr& pred,
+                                    const std::vector<OutColumn>& layout) {
+  if (pred->kind != Pred::Kind::Cmp || pred->op != CmpOp::Eq) {
+    return std::nullopt;
+  }
+  const Operand* col = nullptr;
+  const Operand* lit = nullptr;
+  if (pred->lhs.kind == Operand::Kind::Column &&
+      pred->rhs.kind == Operand::Kind::Literal) {
+    col = &pred->lhs;
+    lit = &pred->rhs;
+  } else if (pred->rhs.kind == Operand::Kind::Column &&
+             pred->lhs.kind == Operand::Kind::Literal) {
+    col = &pred->rhs;
+    lit = &pred->lhs;
+  } else {
+    return std::nullopt;
+  }
+  int pos = find_column(layout, col->column);
+  if (pos == -1) return std::nullopt;
+  return PointAtom{pos, lit->literal};
+}
+
+/// Collects the keys of an OR chain of same-column equalities; false
+/// when any disjunct breaks the shape.
+bool batch_keys(const PredPtr& pred, const std::vector<OutColumn>& layout,
+                int* column, std::vector<Value>* keys) {
+  if (pred->kind == Pred::Kind::Or) {
+    return batch_keys(pred->left, layout, column, keys) &&
+           batch_keys(pred->right, layout, column, keys);
+  }
+  std::optional<PointAtom> atom = point_atom(pred, layout);
+  if (!atom.has_value()) return false;
+  if (*column == -1) {
+    *column = atom->column;
+  } else if (*column != atom->column) {
+    return false;
+  }
+  keys->push_back(std::move(atom->key));
+  return true;
+}
+
+struct RangeAtom {
+  int column = -1;
+  CmpOp op = CmpOp::Lt;
+  Value bound;
+};
+
+std::optional<RangeAtom> range_atom(const PredPtr& pred,
+                                    const std::vector<OutColumn>& layout) {
+  if (pred->kind != Pred::Kind::Cmp) return std::nullopt;
+  CmpOp op = pred->op;
+  if (op == CmpOp::Eq || op == CmpOp::Ne) return std::nullopt;
+  const Operand* col = nullptr;
+  const Operand* lit = nullptr;
+  bool flipped = false;
+  if (pred->lhs.kind == Operand::Kind::Column &&
+      pred->rhs.kind == Operand::Kind::Literal) {
+    col = &pred->lhs;
+    lit = &pred->rhs;
+  } else if (pred->rhs.kind == Operand::Kind::Column &&
+             pred->lhs.kind == Operand::Kind::Literal) {
+    col = &pred->rhs;
+    lit = &pred->lhs;
+    flipped = true;  // 5 < c  ==  c > 5
+  } else {
+    return std::nullopt;
+  }
+  if (flipped) {
+    switch (op) {
+      case CmpOp::Lt:
+        op = CmpOp::Gt;
+        break;
+      case CmpOp::Le:
+        op = CmpOp::Ge;
+        break;
+      case CmpOp::Gt:
+        op = CmpOp::Lt;
+        break;
+      case CmpOp::Ge:
+        op = CmpOp::Le;
+        break;
+      default:
+        break;
+    }
+  }
+  int pos = find_column(layout, col->column);
+  if (pos == -1) return std::nullopt;
+  return RangeAtom{pos, op, lit->literal};
+}
+
+void tighten_low(OrderedIndex::Bound* bound, const Value& value,
+                 bool inclusive) {
+  if (!bound->present) {
+    *bound = OrderedIndex::Bound::at(value, inclusive);
+    return;
+  }
+  int c = Value::compare(value, bound->value);
+  if (c > 0) {
+    *bound = OrderedIndex::Bound::at(value, inclusive);
+  } else if (c == 0 && bound->inclusive && !inclusive) {
+    bound->inclusive = false;
+  }
+}
+
+void tighten_high(OrderedIndex::Bound* bound, const Value& value,
+                  bool inclusive) {
+  if (!bound->present) {
+    *bound = OrderedIndex::Bound::at(value, inclusive);
+    return;
+  }
+  int c = Value::compare(value, bound->value);
+  if (c < 0) {
+    *bound = OrderedIndex::Bound::at(value, inclusive);
+  } else if (c == 0 && bound->inclusive && !inclusive) {
+    bound->inclusive = false;
+  }
+}
+
+/// Candidate row ids for the best indexable conjunct (point beats batch
+/// beats range), or nullopt when nothing qualifies. Ids come back sorted
+/// ascending so indexed output preserves scan order.
+std::optional<std::vector<size_t>> index_candidates(
+    const Table& table, const std::vector<OutColumn>& layout,
+    const std::vector<PredPtr>& preds, Engine::Stats* stats) {
+  for (const PredPtr& pred : preds) {
+    std::optional<PointAtom> atom = point_atom(pred, layout);
+    if (!atom.has_value()) continue;
+    const OrderedIndex* index =
+        table.index_on(static_cast<size_t>(atom->column));
+    if (index == nullptr) continue;
+    std::vector<size_t> ids;
+    index->probe(atom->key, &ids);
+    ++stats->index_probes;
+    return ids;  // equal-key runs are stored in row-id order
+  }
+  for (const PredPtr& pred : preds) {
+    if (pred->kind != Pred::Kind::Or) continue;
+    int column = -1;
+    std::vector<Value> keys;
+    if (!batch_keys(pred, layout, &column, &keys)) continue;
+    const OrderedIndex* index = table.index_on(static_cast<size_t>(column));
+    if (index == nullptr) continue;
+    std::vector<size_t> ids;
+    for (const Value& key : keys) index->probe(key, &ids);
+    stats->index_probes += keys.size();
+    // Unify-equal keys (1 vs 1.0) can probe the same run twice; a scan
+    // emits such rows once, so the candidate set must too.
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  }
+  // Range: fold every range conjunct on the same indexed column into the
+  // tightest interval; the first such column (conjunct order) wins.
+  int range_column = -1;
+  OrderedIndex::Bound low, high;
+  for (const PredPtr& pred : preds) {
+    std::optional<RangeAtom> atom = range_atom(pred, layout);
+    if (!atom.has_value()) continue;
+    if (table.index_on(static_cast<size_t>(atom->column)) == nullptr) {
+      continue;
+    }
+    if (range_column == -1) range_column = atom->column;
+    if (range_column != atom->column) continue;
+    switch (atom->op) {
+      case CmpOp::Gt:
+        tighten_low(&low, atom->bound, false);
+        break;
+      case CmpOp::Ge:
+        tighten_low(&low, atom->bound, true);
+        break;
+      case CmpOp::Lt:
+        tighten_high(&high, atom->bound, false);
+        break;
+      case CmpOp::Le:
+        tighten_high(&high, atom->bound, true);
+        break;
+      default:
+        break;
+    }
+  }
+  if (range_column != -1) {
+    const OrderedIndex* index =
+        table.index_on(static_cast<size_t>(range_column));
+    std::vector<size_t> ids;
+    index->range(low, high, &ids);
+    ++stats->index_probes;
+    std::sort(ids.begin(), ids.end());  // key order -> row order
+    return ids;
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 ResultSet Engine::execute_sql(const std::string& text) {
-  return execute(parse_minisql(text));
+  Statement statement = parse_statement(text);
+  if (statement.create_index.has_value()) {
+    stats_ = Stats{};
+    if (mutable_database_ == nullptr) {
+      throw ExecutionError(
+          "MiniSQL: CREATE INDEX needs a read-write engine");
+    }
+    const CreateIndexStmt& stmt = *statement.create_index;
+    mutable_database_->table(stmt.table).create_index(stmt.index,
+                                                      stmt.column);
+    return ResultSet{};
+  }
+  return execute(*statement.query);
 }
 
 Engine::Relation Engine::scan(const TableRef& ref,
@@ -146,16 +373,32 @@ Engine::Relation Engine::scan(const TableRef& ref,
   for (const Column& col : table.columns()) {
     out.columns.push_back(OutColumn{ref.alias, col.name});
   }
-  for (const Row& row : table.rows()) {
+
+  // Residual re-check: every conjunct runs on every candidate, whether
+  // the candidate came from a full scan or an index.
+  auto keep = [&](const Row& row) {
     ++stats_.rows_scanned;
-    bool keep = true;
     for (const PredPtr& pred : preds) {
-      if (!eval_pred(pred, out.columns, row)) {
-        keep = false;
-        break;
-      }
+      if (!eval_pred(pred, out.columns, row)) return false;
     }
-    if (keep) out.rows.push_back(row);
+    ++stats_.rows_matched;
+    return true;
+  };
+
+  std::optional<std::vector<size_t>> candidates;
+  if (use_indexes_ && !preds.empty() && !table.indexes().empty()) {
+    candidates = index_candidates(table, out.columns, preds, &stats_);
+  }
+  if (candidates.has_value()) {
+    stats_.index_hits += candidates->size();
+    for (size_t id : *candidates) {
+      const Row& row = table.rows()[id];
+      if (keep(row)) out.rows.push_back(row);
+    }
+  } else {
+    for (const Row& row : table.rows()) {
+      if (keep(row)) out.rows.push_back(row);
+    }
   }
   return out;
 }
@@ -291,6 +534,8 @@ Engine::Relation Engine::join(Relation left, Relation right,
 }
 
 ResultSet Engine::execute(const Query& query) {
+  // Pinned contract (see last_stats()): every execute starts from a
+  // zeroed Stats, so callers always read exactly one query's counters.
   stats_ = Stats{};
   internal_check(!query.tables.empty(), "query without tables");
 
@@ -302,6 +547,21 @@ ResultSet Engine::execute(const Query& query) {
                            "'");
     }
   }
+
+  // Reader gate: hold every referenced table shared for the whole query
+  // (Relations alias table rows until materialized). Deduped — a self
+  // join must not lock the same mutex twice — and address-ordered.
+  std::vector<const Table*> to_lock;
+  for (const TableRef& ref : query.tables) {
+    const Table* table = &database_->table(ref.table);
+    if (std::find(to_lock.begin(), to_lock.end(), table) == to_lock.end()) {
+      to_lock.push_back(table);
+    }
+  }
+  std::sort(to_lock.begin(), to_lock.end());
+  std::vector<std::shared_lock<std::shared_mutex>> guards;
+  guards.reserve(to_lock.size());
+  for (const Table* table : to_lock) guards.emplace_back(table->mutex());
 
   std::vector<PredPtr> all_conjuncts = conjuncts(query.where);
   std::vector<bool> used(all_conjuncts.size(), false);
@@ -354,6 +614,7 @@ ResultSet Engine::execute(const Query& query) {
 
   // Projection.
   if (query.star) {
+    stats_.rows_returned = acc.rows.size();
     return ResultSet{std::move(acc.columns), std::move(acc.rows)};
   }
   ResultSet out;
@@ -376,6 +637,7 @@ ResultSet Engine::execute(const Query& query) {
     for (size_t index : indexes) projected.push_back(row[index]);
     out.rows.push_back(std::move(projected));
   }
+  stats_.rows_returned = out.rows.size();
   return out;
 }
 

@@ -1,0 +1,140 @@
+#include "sources/memdb/index.hpp"
+
+#include "common/error.hpp"
+
+namespace disco::memdb {
+
+OrderedIndex::OrderedIndex(std::string name, size_t column)
+    : name_(std::move(name)),
+      column_(column),
+      head_(std::make_unique<Node>()),
+      // Structure must be reproducible: seed from the index name so two
+      // databases built the same way probe in the same number of steps.
+      rng_(fnv1a(name_.data(), name_.size()) | 1) {
+  internal_check(!name_.empty(), "index needs a name");
+}
+
+OrderedIndex::~OrderedIndex() {
+  Node* node = head_->next[0];
+  while (node != nullptr) {
+    Node* next = node->next[0];
+    delete node;
+    node = next;
+  }
+}
+
+int OrderedIndex::entry_compare(const Value& a_key, size_t a_row,
+                                const Value& b_key, size_t b_row) {
+  int c = Value::compare(a_key, b_key);
+  if (c != 0) return c;
+  if (a_row != b_row) return a_row < b_row ? -1 : 1;
+  return 0;
+}
+
+int OrderedIndex::random_level() {
+  // Geometric with p = 1/4: expected forward pointers per entry ~1.33.
+  int level = 1;
+  while (level < kMaxLevel && (rng_.next() & 3) == 0) ++level;
+  return level;
+}
+
+void OrderedIndex::insert(const Value& key, size_t row) {
+  std::array<Node*, kMaxLevel> update{};
+  Node* node = head_.get();
+  for (int l = level_ - 1; l >= 0; --l) {
+    while (node->next[l] != nullptr &&
+           entry_compare(node->next[l]->key, node->next[l]->row, key, row) <
+               0) {
+      node = node->next[l];
+    }
+    update[static_cast<size_t>(l)] = node;
+  }
+
+  int new_level = random_level();
+  if (new_level > level_) {
+    for (int l = level_; l < new_level; ++l) {
+      update[static_cast<size_t>(l)] = head_.get();
+    }
+    level_ = new_level;
+  }
+
+  Node* fresh = new Node{key, row, {}};
+  for (int l = 0; l < new_level; ++l) {
+    Node* prev = update[static_cast<size_t>(l)];
+    fresh->next[static_cast<size_t>(l)] = prev->next[static_cast<size_t>(l)];
+    prev->next[static_cast<size_t>(l)] = fresh;
+  }
+  ++size_;
+}
+
+bool OrderedIndex::erase(const Value& key, size_t row) {
+  std::array<Node*, kMaxLevel> update{};
+  Node* node = head_.get();
+  for (int l = level_ - 1; l >= 0; --l) {
+    while (node->next[l] != nullptr &&
+           entry_compare(node->next[l]->key, node->next[l]->row, key, row) <
+               0) {
+      node = node->next[l];
+    }
+    update[static_cast<size_t>(l)] = node;
+  }
+  Node* target = node->next[0];
+  if (target == nullptr ||
+      entry_compare(target->key, target->row, key, row) != 0) {
+    return false;
+  }
+  for (int l = 0; l < level_; ++l) {
+    Node* prev = update[static_cast<size_t>(l)];
+    if (prev->next[static_cast<size_t>(l)] != target) continue;
+    prev->next[static_cast<size_t>(l)] =
+        target->next[static_cast<size_t>(l)];
+  }
+  delete target;
+  while (level_ > 1 && head_->next[static_cast<size_t>(level_ - 1)] ==
+                           nullptr) {
+    --level_;
+  }
+  --size_;
+  return true;
+}
+
+void OrderedIndex::probe(const Value& key, std::vector<size_t>* out) const {
+  const Node* node = head_.get();
+  for (int l = level_ - 1; l >= 0; --l) {
+    while (node->next[l] != nullptr &&
+           Value::compare(node->next[l]->key, key) < 0) {
+      node = node->next[l];
+    }
+  }
+  for (const Node* hit = node->next[0];
+       hit != nullptr && Value::compare(hit->key, key) == 0;
+       hit = hit->next[0]) {
+    out->push_back(hit->row);
+  }
+}
+
+void OrderedIndex::range(const Bound& lo, const Bound& hi,
+                         std::vector<size_t>* out) const {
+  const Node* node = head_.get();
+  if (lo.present) {
+    for (int l = level_ - 1; l >= 0; --l) {
+      while (node->next[l] != nullptr) {
+        int c = Value::compare(node->next[l]->key, lo.value);
+        if (c < 0 || (c == 0 && !lo.inclusive)) {
+          node = node->next[l];
+        } else {
+          break;
+        }
+      }
+    }
+  }
+  for (const Node* hit = node->next[0]; hit != nullptr; hit = hit->next[0]) {
+    if (hi.present) {
+      int c = Value::compare(hit->key, hi.value);
+      if (c > 0 || (c == 0 && !hi.inclusive)) break;
+    }
+    out->push_back(hit->row);
+  }
+}
+
+}  // namespace disco::memdb

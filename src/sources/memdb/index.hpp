@@ -1,0 +1,91 @@
+// Ordered secondary index for memdb tables: a skiplist keyed on Value
+// with the engine's own comparison semantics (Value::compare — Int and
+// Double unify on the number line, null == null, strings lexicographic).
+// Using the exact comparator the predicate evaluator uses is what makes
+// an index-driven answer provably equal to a scan-driven one: a probe
+// for 1 finds rows storing 1.0, a probe for null finds null rows,
+// exactly as `WHERE c = 1` / `WHERE c = null` would.
+//
+// Entries are (key, row id) pairs ordered by key then row id, so equal
+// keys form contiguous runs and erase(key, row) is exact. Row ids are
+// positions in the table's row vector; the table keeps them dense on
+// delete by swapping the last row into the hole and re-pointing its
+// index entries (Table::remove_row).
+//
+// The skiplist's level coins come from a SplitMix64 seeded per index —
+// structure (and therefore probe cost) is reproducible run to run,
+// which the virtual-time benches rely on.
+//
+// Concurrency: none here. The owning Table serializes writers and the
+// Engine takes the table's shared lock around whole queries; the index
+// is plain single-writer data behind that gate.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "value/value.hpp"
+
+namespace disco::memdb {
+
+class OrderedIndex {
+ public:
+  /// `column` is the indexed column's position in the table layout.
+  OrderedIndex(std::string name, size_t column);
+  ~OrderedIndex();
+
+  OrderedIndex(const OrderedIndex&) = delete;
+  OrderedIndex& operator=(const OrderedIndex&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t column() const { return column_; }
+  size_t size() const { return size_; }
+
+  void insert(const Value& key, size_t row);
+  /// Removes the exact (key, row) entry; returns false when absent.
+  bool erase(const Value& key, size_t row);
+  /// All row ids whose key compares equal to `key`, appended to `out`
+  /// in row-id order (equal-key runs are stored sorted by row id).
+  void probe(const Value& key, std::vector<size_t>* out) const;
+
+  /// One side of a range scan; absent means unbounded.
+  struct Bound {
+    bool present = false;
+    bool inclusive = true;
+    Value value;
+
+    static Bound open() { return Bound{}; }
+    static Bound at(Value v, bool inclusive) {
+      return Bound{true, inclusive, std::move(v)};
+    }
+  };
+  /// Row ids with lo <= key <= hi (respecting inclusivity), appended to
+  /// `out` in key order — callers sort when they need row order.
+  void range(const Bound& lo, const Bound& hi, std::vector<size_t>* out) const;
+
+ private:
+  static constexpr int kMaxLevel = 16;
+
+  struct Node {
+    Value key;
+    size_t row = 0;
+    std::array<Node*, kMaxLevel> next{};
+  };
+
+  /// -1 / 0 / +1 of (a_key, a_row) vs (b_key, b_row).
+  static int entry_compare(const Value& a_key, size_t a_row,
+                           const Value& b_key, size_t b_row);
+  int random_level();
+
+  std::string name_;
+  size_t column_;
+  size_t size_ = 0;
+  int level_ = 1;  ///< highest level currently in use
+  std::unique_ptr<Node> head_;
+  SplitMix64 rng_;
+};
+
+}  // namespace disco::memdb

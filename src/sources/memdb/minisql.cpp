@@ -131,14 +131,42 @@ class Parser {
 
   Query run() {
     Query query = select_query();
+    finish();
+    return query;
+  }
+
+  Statement run_statement() {
+    Statement statement;
+    if (is_kw(peek(), "create")) {
+      statement.create_index = create_index();
+    } else {
+      statement.query = select_query();
+    }
+    finish();
+    return statement;
+  }
+
+ private:
+  void finish() {
     if (peek().kind == TokenKind::Semicolon) advance();
     if (peek().kind != TokenKind::End) {
       fail("unexpected trailing input");
     }
-    return query;
   }
 
- private:
+  CreateIndexStmt create_index() {
+    if (!match_kw("create")) fail("expected CREATE");
+    if (!match_kw("index")) fail("expected INDEX after CREATE");
+    CreateIndexStmt stmt;
+    stmt.index = expect_ident("index name").text;
+    if (!match_kw("on")) fail("expected ON");
+    stmt.table = expect_ident("table name").text;
+    if (!match(TokenKind::LParen)) fail("expected '('");
+    stmt.column = expect_ident("column name").text;
+    if (!match(TokenKind::RParen)) fail("expected ')'");
+    return stmt;
+  }
+
   const Token& peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
@@ -334,6 +362,10 @@ class Parser {
 
 Query parse_minisql(const std::string& text) {
   return Parser(oql::tokenize(text)).run();
+}
+
+Statement parse_statement(const std::string& text) {
+  return Parser(oql::tokenize(text)).run_statement();
 }
 
 std::vector<PredPtr> conjuncts(const PredPtr& predicate) {

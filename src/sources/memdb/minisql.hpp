@@ -91,8 +91,30 @@ struct Query {
   std::string to_sql() const;
 };
 
+/// The one DDL statement: CREATE INDEX name ON table (column). Sources
+/// own their physical design (§1.1) — the mediator never issues this;
+/// it is for the DBA loading the source (tests, benches, setup scripts).
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::string column;
+
+  std::string to_sql() const {
+    return "CREATE INDEX " + index + " ON " + table + " (" + column + ")";
+  }
+};
+
+/// A full MiniSQL statement: either a query or CREATE INDEX.
+struct Statement {
+  std::optional<Query> query;
+  std::optional<CreateIndexStmt> create_index;
+};
+
 /// Parses MiniSQL text; throws ParseError / LexError.
 Query parse_minisql(const std::string& text);
+
+/// Like parse_minisql but also accepts CREATE INDEX.
+Statement parse_statement(const std::string& text);
 
 /// Splits a predicate into top-level AND conjuncts.
 std::vector<PredPtr> conjuncts(const PredPtr& predicate);

@@ -1,5 +1,7 @@
 #include "sources/memdb/table.hpp"
 
+#include <mutex>
+
 #include "common/error.hpp"
 
 namespace disco::memdb {
@@ -58,7 +60,7 @@ bool conforms(const Value& value, ColumnType type) {
 
 }  // namespace
 
-void Table::insert(Row row) {
+void Table::check_row(const Row& row) const {
   if (row.size() != columns_.size()) {
     throw TypeError("table '" + name_ + "' expects " +
                     std::to_string(columns_.size()) + " values, got " +
@@ -71,11 +73,87 @@ void Table::insert(Row row) {
                       ", got " + to_string(row[i].kind()));
     }
   }
+}
+
+void Table::insert(Row row) {
+  check_row(row);
+  std::unique_lock lock(*mutex_);
+  for (const std::unique_ptr<OrderedIndex>& index : indexes_) {
+    index->insert(row[index->column()], rows_.size());
+  }
   rows_.push_back(std::move(row));
 }
 
 void Table::insert_all(std::vector<Row> rows) {
   for (Row& row : rows) insert(std::move(row));
+}
+
+void Table::remove_row(size_t row) {
+  std::unique_lock lock(*mutex_);
+  if (row >= rows_.size()) {
+    throw ExecutionError("table '" + name_ + "' has no row " +
+                         std::to_string(row));
+  }
+  const size_t last = rows_.size() - 1;
+  for (const std::unique_ptr<OrderedIndex>& index : indexes_) {
+    index->erase(rows_[row][index->column()], row);
+  }
+  if (row != last) {
+    // Swap-pop keeps ids dense; the moved row's entries must re-point.
+    for (const std::unique_ptr<OrderedIndex>& index : indexes_) {
+      index->erase(rows_[last][index->column()], last);
+      index->insert(rows_[last][index->column()], row);
+    }
+    rows_[row] = std::move(rows_[last]);
+  }
+  rows_.pop_back();
+}
+
+void Table::update_row(size_t row, Row values) {
+  check_row(values);
+  std::unique_lock lock(*mutex_);
+  if (row >= rows_.size()) {
+    throw ExecutionError("table '" + name_ + "' has no row " +
+                         std::to_string(row));
+  }
+  for (const std::unique_ptr<OrderedIndex>& index : indexes_) {
+    const Value& before = rows_[row][index->column()];
+    const Value& after = values[index->column()];
+    if (Value::compare(before, after) == 0) continue;
+    index->erase(before, row);
+    index->insert(after, row);
+  }
+  rows_[row] = std::move(values);
+}
+
+OrderedIndex& Table::create_index(const std::string& index_name,
+                                  const std::string& column) {
+  int col = column_index(column);
+  if (col == -1) {
+    throw CatalogError("cannot index unknown column '" + column +
+                       "' of table '" + name_ + "'");
+  }
+  std::unique_lock lock(*mutex_);
+  for (const std::unique_ptr<OrderedIndex>& index : indexes_) {
+    if (index->name() == index_name) {
+      throw CatalogError("index '" + index_name + "' already exists on "
+                         "table '" + name_ + "'");
+    }
+  }
+  auto index = std::make_unique<OrderedIndex>(index_name,
+                                              static_cast<size_t>(col));
+  for (size_t row = 0; row < rows_.size(); ++row) {
+    index->insert(rows_[row][index->column()], row);
+  }
+  indexes_.push_back(std::move(index));
+  return *indexes_.back();
+}
+
+const OrderedIndex* Table::index_on(size_t column) const {
+  for (const std::unique_ptr<OrderedIndex>& index : indexes_) {
+    if (index->column() == column) return index.get();
+  }
+  return nullptr;
 }
 
 }  // namespace disco::memdb

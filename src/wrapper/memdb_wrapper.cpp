@@ -306,6 +306,26 @@ SubmitResult MemDbWrapper::submit(const catalog::Repository& repository,
   memdb::Engine engine(db_it->second);
   memdb::ResultSet rs = engine.execute_sql(translation.sql);
 
+  const memdb::Engine::Stats& q = engine.last_stats();
+  {
+    std::lock_guard<std::mutex> lock(last_sql_mutex_);
+    stats_.rows_scanned += q.rows_scanned;
+    stats_.rows_matched += q.rows_matched;
+    stats_.rows_returned += q.rows_returned;
+    stats_.index_hits += q.index_hits;
+    stats_.index_probes += q.index_probes;
+    stats_.rows_joined += q.rows_joined;
+    stats_.hash_joins += q.hash_joins;
+    stats_.merge_joins += q.merge_joins;
+    stats_.nested_loop_joins += q.nested_loop_joins;
+  }
+  double compute_s = 0;
+  if (cost_model_.enabled) {
+    compute_s = cost_model_.base_s +
+                cost_model_.per_row_scanned_s * double(q.rows_scanned) +
+                cost_model_.per_index_probe_s * double(q.index_probes);
+  }
+
   std::vector<Value> items;
   items.reserve(rs.rows.size());
   switch (translation.shape) {
@@ -342,7 +362,20 @@ SubmitResult MemDbWrapper::submit(const catalog::Repository& repository,
       break;
     }
   }
-  return SubmitResult::ok(Value::bag(std::move(items)));
+  SubmitResult out = SubmitResult::ok(Value::bag(std::move(items)));
+  out.compute_s = compute_s;
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MemDbWrapper::stat_gauges()
+    const {
+  const memdb::Engine::Stats s = stats();
+  return {{"memdb.rows_scanned", s.rows_scanned},
+          {"memdb.rows_matched", s.rows_matched},
+          {"memdb.rows_returned", s.rows_returned},
+          {"memdb.index_hits", s.index_hits},
+          {"memdb.index_probes", s.index_probes},
+          {"memdb.rows_joined", s.rows_joined}};
 }
 
 }  // namespace disco::wrapper

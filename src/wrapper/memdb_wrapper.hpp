@@ -39,11 +39,26 @@ class MemDbWrapper : public Wrapper {
   /// Grammar::parse, like the paper's §3.2 examples).
   void set_grammar(grammar::Grammar grammar);
 
+  /// Optional source-compute cost model. When enabled, submit() reports
+  /// SubmitResult::compute_s derived from the engine's per-query counters,
+  /// so the mediator's cost history observes that an indexed selection is
+  /// cheaper than a full scan of the same extent. Disabled by default:
+  /// existing virtual-latency experiments price transfer only.
+  struct CostModel {
+    bool enabled = false;
+    double base_s = 0;                  ///< fixed per-query overhead
+    double per_row_scanned_s = 1e-7;    ///< per candidate row examined
+    double per_index_probe_s = 2e-6;    ///< per index descent (log n-ish)
+  };
+  void set_cost_model(CostModel model) { cost_model_ = model; }
+
   grammar::Grammar capabilities() const override;
   SubmitResult submit(const catalog::Repository& repository,
                       const algebra::LogicalPtr& expr,
                       const BindingMap& bindings) override;
   std::string kind() const override { return "minisql"; }
+  /// stats() as memdb.* gauges for Mediator::obs_snapshot().
+  std::vector<std::pair<std::string, uint64_t>> stat_gauges() const override;
 
   /// The last MiniSQL text shipped to a source — observable evidence that
   /// translation crossed the language boundary. For tests and benches.
@@ -53,12 +68,22 @@ class MemDbWrapper : public Wrapper {
     return last_sql_;
   }
 
+  /// Engine counters accumulated over every submit() since construction
+  /// (the engine itself resets per query; the wrapper is the accumulator).
+  /// Feeds the mediator's `memdb.*` observability gauges.
+  memdb::Engine::Stats stats() const {
+    std::lock_guard<std::mutex> lock(last_sql_mutex_);
+    return stats_;
+  }
+
  private:
   grammar::CapabilitySet capability_set_;
   std::optional<grammar::Grammar> grammar_override_;
   std::unordered_map<std::string, memdb::Database*> databases_;
+  CostModel cost_model_;
   mutable std::mutex last_sql_mutex_;
   std::string last_sql_;
+  memdb::Engine::Stats stats_;
 };
 
 }  // namespace disco::wrapper

@@ -24,6 +24,8 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "algebra/logical.hpp"
 #include "catalog/catalog.hpp"
@@ -50,6 +52,14 @@ struct SubmitResult {
   Status status = Status::Ok;
   Value data;          ///< when Ok
   std::string detail;  ///< when Refused: why
+  /// Source-side compute time in simulated seconds. The network model
+  /// prices only bytes on the wire; a wrapper that knows how much work
+  /// the source did (rows scanned, index probes) reports it here and the
+  /// runtime adds it to the observed latency — this is what lets the
+  /// cost history tell an indexed selection from a full scan even when
+  /// both return the same rows. Zero (the default) keeps the old
+  /// pure-transfer behaviour.
+  double compute_s = 0;
 
   static SubmitResult ok(Value data) {
     return SubmitResult{Status::Ok, std::move(data), ""};
@@ -75,6 +85,14 @@ class Wrapper {
 
   /// Short human-readable kind ("minisql", "csv", "mediator").
   virtual std::string kind() const = 0;
+
+  /// Source-side observability gauges, already namespaced by source kind
+  /// (e.g. "memdb.rows_scanned"). Mediator::obs_snapshot() sums these
+  /// across every registered wrapper, so a federation with several memdb
+  /// wrappers reports one federation-wide memdb.* family. Default: none.
+  virtual std::vector<std::pair<std::string, uint64_t>> stat_gauges() const {
+    return {};
+  }
 };
 
 /// Builds the BindingMap for `expr` from the catalog (looks up every get

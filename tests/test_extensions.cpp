@@ -235,6 +235,123 @@ TEST_F(BindJoinTest, BuildOutageMakesJoinResidual) {
   EXPECT_EQ(a.data().size(), 0u);
 }
 
+// ------------------------------------------------------ cost closed loop ---
+
+// The §3.3 loop closed over an *indexed* source: the cost history first
+// observes that fetching the probe extent whole is expensive, flips the
+// plan to a bind join, then observes that one key-bound probe against the
+// ordered index is near-constant and locks the choice in with an Exact
+// probe-shape estimate. Same answers at every step.
+class CostLoopTest : public ::testing::Test {
+ protected:
+  CostLoopTest() {
+    auto& orders = db0_.create_table("orders",
+                                     {{"cid", memdb::ColumnType::Int},
+                                      {"item", memdb::ColumnType::Text}});
+    orders.insert({Value::integer(11), Value::string("disk")});
+    orders.insert({Value::integer(42), Value::string("tape")});
+    orders.insert({Value::integer(11), Value::string("cpu")});
+    auto& customers = db1_.create_table(
+        "customers", {{"id", memdb::ColumnType::Int},
+                      {"cname", memdb::ColumnType::Text}});
+    for (int i = 0; i < 5000; ++i) {
+      customers.insert({Value::integer(i),
+                        Value::string("c" + std::to_string(i))});
+    }
+    customers.create_index("customers_id", "id");
+
+    Mediator::Options options;
+    options.optimizer.enable_bind_join = true;
+    mediator_ = std::make_unique<Mediator>(options);
+    auto w = std::make_shared<wrapper::MemDbWrapper>();
+    wrapper_ = w.get();
+    // Report source compute so the history can tell an indexed probe
+    // from a scan even when both return the same rows.
+    w->set_cost_model(wrapper::MemDbWrapper::CostModel{.enabled = true});
+    w->attach_database("r0", &db0_);
+    w->attach_database("r1", &db1_);
+    mediator_->register_wrapper("w0", std::move(w));
+    mediator_->register_repository(
+        catalog::Repository{"r0", "a", "db", "1.0.0.1"},
+        net::LatencyModel{0.005, 0.0001, 0});
+    mediator_->register_repository(
+        catalog::Repository{"r1", "b", "db", "1.0.0.2"},
+        net::LatencyModel{0.005, 0.0001, 0});
+    mediator_->execute_odl(R"(
+      interface Order { attribute Short cid; attribute String item; };
+      interface Customer { attribute Short id; attribute String cname; };
+      extent orders of Order wrapper w0 repository r0;
+      extent customers of Customer wrapper w0 repository r1;
+    )");
+    // NOTE: no warm-up query — the loop must discover everything itself.
+  }
+
+  bool chosen_uses_bind_join(const Mediator::ExplainReport& report) const {
+    for (const auto& candidate : report.candidates) {
+      if (candidate.chosen && candidate.bind_join) return true;
+    }
+    return false;
+  }
+
+  const std::string join_query_ =
+      "select struct(who: c.cname, what: o.item) "
+      "from o in orders, c in customers where o.cid = c.id";
+
+  memdb::Database db0_{"db0"};
+  memdb::Database db1_{"db1"};
+  std::unique_ptr<Mediator> mediator_;
+  wrapper::MemDbWrapper* wrapper_ = nullptr;
+};
+
+TEST_F(CostLoopTest, HistoryFlipsPlanToIndexDrivenBindJoin) {
+  // Cold: no observations, the default estimates make the probe side
+  // look tiny, and a bind join must be *strictly* cheaper to win.
+  EXPECT_FALSE(chosen_uses_bind_join(mediator_->explain_report(join_query_)));
+
+  // First execution fetches the probe extent whole; the history now
+  // knows r1's customers cost ~half a simulated second to move.
+  Answer first = mediator_->query(join_query_);
+  ASSERT_TRUE(first.complete());
+  ASSERT_EQ(first.data().size(), 3u);
+
+  // The loop closes: re-optimizing the same text flips to the bind join.
+  EXPECT_TRUE(chosen_uses_bind_join(mediator_->explain_report(join_query_)));
+
+  // The flipped plan answers identically — and its probe went through
+  // the ordered index, not a scan of 5000 rows.
+  uint64_t probes_before = wrapper_->stats().index_probes;
+  Answer second = mediator_->query(join_query_);
+  ASSERT_TRUE(second.complete());
+  EXPECT_EQ(first.data(), second.data());
+  EXPECT_GT(wrapper_->stats().index_probes, probes_before);
+
+  // Once a bind join has run, the probe call is recorded under the
+  // plan's canonical probe shape: the estimate for one bound probe is
+  // now Exact and near-constant, so the choice is locked in.
+  Mediator::ExplainReport report = mediator_->explain_report(join_query_);
+  EXPECT_TRUE(chosen_uses_bind_join(report));
+  bool saw_probe_submit = false;
+  for (const auto& submit : report.submits) {
+    if (!submit.bind_join) continue;
+    saw_probe_submit = true;
+    EXPECT_EQ(submit.learned.basis, optimizer::CostHistory::Basis::Exact);
+    EXPECT_LT(submit.learned.time_s, 0.05);
+    EXPECT_LT(submit.learned.rows, 100.0);
+  }
+  EXPECT_TRUE(saw_probe_submit);
+}
+
+TEST_F(CostLoopTest, MemdbGaugesSurfaceInObsSnapshot) {
+  mediator_->query(join_query_);
+  mediator_->query(join_query_);
+  obs::RegistrySnapshot snap = mediator_->obs_snapshot();
+  EXPECT_GT(snap.counter("memdb.rows_scanned"), 0u);
+  EXPECT_GT(snap.counter("memdb.rows_returned"), 0u);
+  // The second run bind-joins through the ordered index.
+  EXPECT_GT(snap.counter("memdb.index_probes"), 0u);
+  EXPECT_GT(snap.counter("memdb.index_hits"), 0u);
+}
+
 TEST_F(BindJoinTest, LargeKeySetFallsBackToFullFetch) {
   // Make every customer relevant: 5000 distinct keys exceed the cap, so
   // the probe side is fetched whole — still correct.

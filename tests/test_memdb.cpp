@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "sources/memdb/database.hpp"
 #include "sources/memdb/engine.hpp"
+#include "sources/memdb/index.hpp"
 #include "sources/memdb/minisql.hpp"
 
 namespace disco::memdb {
@@ -331,6 +335,427 @@ TEST_F(EngineTest, NonEquiJoinFallsBackToNestedLoop) {
   ResultSet rs = engine.execute_sql("SELECT * FROM l, r WHERE l.k < r.k");
   EXPECT_EQ(rs.rows.size(), 190u);  // 20*19/2
   EXPECT_EQ(engine.last_stats().nested_loop_joins, 1u);
+}
+
+// --------------------------------------------------------------- indexes ---
+
+TEST(OrderedIndexTest, ProbeFindsEqualRun) {
+  OrderedIndex index("ix", 0);
+  index.insert(Value::integer(5), 2);
+  index.insert(Value::integer(5), 0);
+  index.insert(Value::integer(3), 1);
+  index.insert(Value::integer(9), 3);
+  std::vector<size_t> hits;
+  index.probe(Value::integer(5), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{0, 2}));  // equal keys in row order
+  hits.clear();
+  index.probe(Value::integer(4), &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(index.size(), 4u);
+}
+
+TEST(OrderedIndexTest, IntAndDoubleUnifyOnTheNumberLine) {
+  OrderedIndex index("ix", 0);
+  index.insert(Value::integer(1), 0);
+  index.insert(Value::real(1.0), 1);
+  index.insert(Value::real(1.5), 2);
+  std::vector<size_t> hits;
+  // Probing with either representation finds both rows storing "1".
+  index.probe(Value::real(1.0), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{0, 1}));
+  hits.clear();
+  index.probe(Value::integer(1), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{0, 1}));
+}
+
+TEST(OrderedIndexTest, NullIsAnIndexableKey) {
+  OrderedIndex index("ix", 0);
+  index.insert(Value::null(), 0);
+  index.insert(Value::integer(1), 1);
+  std::vector<size_t> hits;
+  index.probe(Value::null(), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{0}));
+}
+
+TEST(OrderedIndexTest, RangeRespectsBoundInclusivity) {
+  OrderedIndex index("ix", 0);
+  for (size_t i = 0; i < 10; ++i) {
+    index.insert(Value::integer(static_cast<int64_t>(i)), i);
+  }
+  std::vector<size_t> hits;
+  index.range(OrderedIndex::Bound::at(Value::integer(3), true),
+              OrderedIndex::Bound::at(Value::integer(6), false), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{3, 4, 5}));
+  hits.clear();
+  index.range(OrderedIndex::Bound::at(Value::integer(3), false),
+              OrderedIndex::Bound::open(), &hits);
+  EXPECT_EQ(hits.size(), 6u);  // 4..9
+  hits.clear();
+  index.range(OrderedIndex::Bound::open(), OrderedIndex::Bound::open(),
+              &hits);
+  EXPECT_EQ(hits.size(), 10u);
+}
+
+TEST(OrderedIndexTest, EraseIsExactOnKeyAndRow) {
+  OrderedIndex index("ix", 0);
+  index.insert(Value::integer(7), 0);
+  index.insert(Value::integer(7), 1);
+  EXPECT_FALSE(index.erase(Value::integer(7), 9));  // absent row id
+  EXPECT_TRUE(index.erase(Value::integer(7), 0));
+  EXPECT_FALSE(index.erase(Value::integer(7), 0));  // already gone
+  std::vector<size_t> hits;
+  index.probe(Value::integer(7), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{1}));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(TableIndexTest, CreateIndexBackfillsAndValidates) {
+  Table t("t", {{"a", ColumnType::Int}, {"b", ColumnType::Text}});
+  t.insert({Value::integer(1), Value::string("x")});
+  t.insert({Value::integer(2), Value::string("y")});
+  const OrderedIndex& ix = t.create_index("t_a", "a");
+  EXPECT_EQ(ix.size(), 2u);
+  EXPECT_EQ(t.index_on(0), &ix);
+  EXPECT_EQ(t.index_on(1), nullptr);
+  EXPECT_THROW(t.create_index("t_a", "b"), CatalogError);   // dup name
+  EXPECT_THROW(t.create_index("t_zz", "zz"), CatalogError); // unknown col
+}
+
+TEST(TableIndexTest, InsertMaintainsEveryIndex) {
+  Table t("t", {{"a", ColumnType::Int}, {"b", ColumnType::Int}});
+  t.create_index("t_a", "a");
+  t.create_index("t_b", "b");
+  t.insert({Value::integer(1), Value::integer(10)});
+  t.insert({Value::integer(2), Value::integer(20)});
+  std::vector<size_t> hits;
+  t.index_on(1)->probe(Value::integer(20), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{1}));
+}
+
+TEST(TableIndexTest, RemoveRowSwapPopsAndRepointsIndexEntries) {
+  Table t("t", {{"a", ColumnType::Int}});
+  t.create_index("t_a", "a");
+  for (int64_t i = 0; i < 4; ++i) t.insert({Value::integer(i * 100)});
+  t.remove_row(1);  // row 3 (key 300) swaps into slot 1
+  ASSERT_EQ(t.row_count(), 3u);
+  EXPECT_EQ(t.rows()[1][0], Value::integer(300));
+  std::vector<size_t> hits;
+  t.index_on(0)->probe(Value::integer(300), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{1}));
+  hits.clear();
+  t.index_on(0)->probe(Value::integer(100), &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_THROW(t.remove_row(7), ExecutionError);
+}
+
+TEST(TableIndexTest, RemoveLastRowNeedsNoSwap) {
+  Table t("t", {{"a", ColumnType::Int}});
+  t.create_index("t_a", "a");
+  t.insert({Value::integer(1)});
+  t.insert({Value::integer(2)});
+  t.remove_row(1);
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.index_on(0)->size(), 1u);
+}
+
+TEST(TableIndexTest, UpdateRowRekeysChangedColumnsOnly) {
+  Table t("t", {{"a", ColumnType::Int}, {"b", ColumnType::Int}});
+  t.create_index("t_a", "a");
+  t.create_index("t_b", "b");
+  t.insert({Value::integer(1), Value::integer(10)});
+  t.update_row(0, {Value::integer(1), Value::integer(99)});
+  std::vector<size_t> hits;
+  t.index_on(0)->probe(Value::integer(1), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{0}));
+  hits.clear();
+  t.index_on(1)->probe(Value::integer(10), &hits);
+  EXPECT_TRUE(hits.empty());
+  hits.clear();
+  t.index_on(1)->probe(Value::integer(99), &hits);
+  EXPECT_EQ(hits, (std::vector<size_t>{0}));
+  EXPECT_THROW(t.update_row(5, {Value::integer(0), Value::integer(0)}),
+               ExecutionError);
+  EXPECT_THROW(t.update_row(0, {Value::integer(0)}), TypeError);
+}
+
+TEST(MiniSqlParse, CreateIndexStatement) {
+  Statement s = parse_statement("CREATE INDEX person_id ON person0 (id)");
+  ASSERT_TRUE(s.create_index.has_value());
+  EXPECT_EQ(s.create_index->index, "person_id");
+  EXPECT_EQ(s.create_index->table, "person0");
+  EXPECT_EQ(s.create_index->column, "id");
+  EXPECT_EQ(parse_statement(s.create_index->to_sql()).create_index->to_sql(),
+            s.create_index->to_sql());
+  // parse_statement still takes plain queries; parse_minisql does not
+  // take DDL.
+  EXPECT_TRUE(parse_statement("SELECT * FROM t").query.has_value());
+  EXPECT_THROW(parse_minisql("CREATE INDEX i ON t (c)"), ParseError);
+  EXPECT_THROW(parse_statement("CREATE INDEX i ON t"), ParseError);
+  EXPECT_THROW(parse_statement("CREATE TABLE t (c)"), ParseError);
+  EXPECT_THROW(parse_statement("CREATE INDEX i ON t (c) junk"), ParseError);
+}
+
+class IndexedEngineTest : public ::testing::Test {
+ protected:
+  IndexedEngineTest() : engine_(&db_) {
+    Table& t = db_.create_table("t", {{"k", ColumnType::Int},
+                                      {"x", ColumnType::Real},
+                                      {"s", ColumnType::Text}});
+    for (int64_t i = 0; i < 100; ++i) {
+      t.insert({Value::integer(i % 50),  // duplicate keys
+                i % 10 == 0 ? Value::null() : Value::real(i / 2.0),
+                Value::string("s" + std::to_string(i % 7))});
+    }
+    engine_.execute_sql("CREATE INDEX t_k ON t (k)");
+    engine_.execute_sql("CREATE INDEX t_x ON t (x)");
+  }
+  ResultSet run(const std::string& sql) { return engine_.execute_sql(sql); }
+  Database db_{"db"};
+  Engine engine_;
+};
+
+TEST_F(IndexedEngineTest, PointSelectionProbesInsteadOfScanning) {
+  ResultSet rs = run("SELECT * FROM t WHERE k = 7");
+  EXPECT_EQ(rs.rows.size(), 2u);  // 7 and 57
+  const Engine::Stats& s = engine_.last_stats();
+  EXPECT_EQ(s.index_probes, 1u);
+  EXPECT_EQ(s.index_hits, 2u);
+  EXPECT_EQ(s.rows_scanned, 2u);  // candidates only, not 100
+  EXPECT_EQ(s.rows_returned, 2u);
+}
+
+TEST_F(IndexedEngineTest, FlippedOperandStillUsesTheIndex) {
+  ResultSet rs = run("SELECT * FROM t WHERE 7 = k");
+  EXPECT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(engine_.last_stats().index_probes, 1u);
+}
+
+TEST_F(IndexedEngineTest, OrChainBecomesBatchOfProbes) {
+  ResultSet rs = run("SELECT * FROM t WHERE k = 1 OR k = 3 OR k = 5");
+  EXPECT_EQ(rs.rows.size(), 6u);
+  const Engine::Stats& s = engine_.last_stats();
+  EXPECT_EQ(s.index_probes, 3u);
+  EXPECT_EQ(s.rows_scanned, 6u);
+}
+
+TEST_F(IndexedEngineTest, BatchDedupesUnifyEqualKeys) {
+  // 1 and 1.0 probe the same equal-key run; a scan emits those rows
+  // once, so the batch must too.
+  ResultSet rs = run("SELECT * FROM t WHERE k = 1 OR k = 1.0");
+  EXPECT_EQ(rs.rows.size(), 2u);  // rows 1 and 51, once each
+  EXPECT_EQ(engine_.last_stats().index_probes, 2u);
+}
+
+TEST_F(IndexedEngineTest, MixedColumnOrChainFallsBackToScan) {
+  ResultSet rs = run("SELECT * FROM t WHERE k = 1 OR s = \"s3\"");
+  EXPECT_EQ(engine_.last_stats().index_probes, 0u);
+  EXPECT_EQ(engine_.last_stats().rows_scanned, 100u);
+  EXPECT_GT(rs.rows.size(), 0u);
+}
+
+TEST_F(IndexedEngineTest, RangeSelectionWalksTheInterval) {
+  ResultSet rs = run("SELECT * FROM t WHERE k >= 45 AND k < 48");
+  EXPECT_EQ(rs.rows.size(), 6u);  // 45,46,47 twice each
+  const Engine::Stats& s = engine_.last_stats();
+  EXPECT_EQ(s.index_probes, 1u);
+  EXPECT_EQ(s.rows_scanned, 6u);
+}
+
+TEST_F(IndexedEngineTest, FlippedRangeBoundIsNormalized) {
+  // 47 > k is k < 47; combined with k >= 45 the interval is [45, 47).
+  ResultSet rs = run("SELECT * FROM t WHERE 47 > k AND k >= 45");
+  EXPECT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(engine_.last_stats().index_probes, 1u);
+}
+
+TEST_F(IndexedEngineTest, ResidualConjunctsRecheckCandidates) {
+  ResultSet rs = run("SELECT * FROM t WHERE k = 7 AND s = \"s0\"");
+  ASSERT_EQ(rs.rows.size(), 1u);  // row 7 has s0; row 57 has s1
+  const Engine::Stats& s = engine_.last_stats();
+  EXPECT_EQ(s.index_probes, 1u);
+  EXPECT_EQ(s.rows_scanned, 2u);
+  EXPECT_EQ(s.rows_matched, 1u);
+}
+
+TEST_F(IndexedEngineTest, NullProbeFindsNullRows) {
+  ResultSet indexed = run("SELECT * FROM t WHERE x = null");
+  EXPECT_EQ(engine_.last_stats().index_probes, 1u);
+  engine_.set_use_indexes(false);
+  ResultSet scanned = run("SELECT * FROM t WHERE x = null");
+  EXPECT_EQ(indexed.rows.size(), scanned.rows.size());
+  EXPECT_EQ(indexed.rows.size(), 10u);
+}
+
+TEST_F(IndexedEngineTest, ForcedScanAnswersIdentically) {
+  const char* queries[] = {
+      "SELECT * FROM t WHERE k = 7",
+      "SELECT * FROM t WHERE k = 1 OR k = 3 OR k = 5",
+      "SELECT s FROM t WHERE k >= 40 AND k <= 45 AND s <> \"s1\"",
+      "SELECT * FROM t WHERE x > 10.5 AND x <= 30",
+  };
+  for (const char* sql : queries) {
+    ResultSet indexed = run(sql);
+    EXPECT_GT(engine_.last_stats().index_probes, 0u) << sql;
+    engine_.set_use_indexes(false);
+    ResultSet scanned = run(sql);
+    EXPECT_EQ(engine_.last_stats().index_probes, 0u) << sql;
+    engine_.set_use_indexes(true);
+    ASSERT_EQ(indexed.rows.size(), scanned.rows.size()) << sql;
+    for (size_t i = 0; i < indexed.rows.size(); ++i) {
+      EXPECT_EQ(Value::list(indexed.rows[i]), Value::list(scanned.rows[i]))
+          << sql;  // same rows in the same (row-id) order
+    }
+  }
+}
+
+TEST_F(IndexedEngineTest, CreateIndexNeedsReadWriteEngine) {
+  Engine read_only(static_cast<const Database*>(&db_));
+  EXPECT_THROW(read_only.execute_sql("CREATE INDEX zz ON t (k)"),
+               ExecutionError);
+  EXPECT_NO_THROW(read_only.execute_sql("SELECT * FROM t WHERE k = 1"));
+}
+
+// The pinned Stats contract (engine.hpp last_stats()): every execute
+// starts from a zeroed Stats — callers read exactly one query's
+// counters, never an accumulation.
+TEST_F(IndexedEngineTest, StatsResetPerExecute) {
+  run("SELECT * FROM t WHERE k = 7");
+  Engine::Stats first = engine_.last_stats();
+  EXPECT_EQ(first.index_probes, 1u);
+  run("SELECT * FROM t");
+  const Engine::Stats& second = engine_.last_stats();
+  EXPECT_EQ(second.index_probes, 0u);   // not 1: no accumulation
+  EXPECT_EQ(second.rows_scanned, 100u);
+  EXPECT_EQ(second.rows_returned, 100u);
+  // CREATE INDEX also resets: a stats reader after DDL sees zeroes.
+  engine_.execute_sql("CREATE INDEX t_s ON t (s)");
+  EXPECT_EQ(engine_.last_stats().rows_scanned, 0u);
+}
+
+TEST_F(IndexedEngineTest, RowsReturnedCountsProjectedResult) {
+  run("SELECT s FROM t WHERE k = 7");
+  const Engine::Stats& s = engine_.last_stats();
+  EXPECT_EQ(s.rows_matched, 2u);
+  EXPECT_EQ(s.rows_returned, 2u);
+}
+
+// Property: indexed and forced-scan execution are answer-equal (as bags,
+// nulls and mixed Int/Double keys included) across generated predicates,
+// and stay equal after insert/delete/update churn re-keys the indexes.
+TEST(IndexedScanPropertyTest, IndexedEqualsScanUnderChurn) {
+  SplitMix64 rng(20260808);
+  Database db("prop");
+  Table& t = db.create_table("t", {{"a", ColumnType::Int},
+                                   {"b", ColumnType::Real},
+                                   {"c", ColumnType::Text}});
+  auto random_row = [&]() -> Row {
+    Row row;
+    row.push_back(rng.next_in(0, 10) == 0
+                      ? Value::null()
+                      : Value::integer(rng.next_in(-20, 20)));
+    switch (rng.next_in(0, 4)) {
+      case 0:
+        row.push_back(Value::null());
+        break;
+      case 1:  // an Int living in a Real column: unified ordering
+        row.push_back(Value::integer(rng.next_in(-10, 10)));
+        break;
+      default:
+        row.push_back(Value::real(rng.next_in(-40, 40) / 2.0));
+        break;
+    }
+    row.push_back(Value::string("w" + std::to_string(rng.next_in(0, 6))));
+    return row;
+  };
+  for (int i = 0; i < 200; ++i) t.insert(random_row());
+  t.create_index("t_a", "a");
+  t.create_index("t_b", "b");
+  t.create_index("t_c", "c");
+
+  auto random_literal = [&](int col) {
+    switch (col) {
+      case 0:
+        return rng.next_in(0, 8) == 0 ? Value::null()
+                                      : Value::integer(rng.next_in(-20, 20));
+      case 1:
+        return rng.next_in(0, 2) == 0
+                   ? Value::integer(rng.next_in(-10, 10))
+                   : Value::real(rng.next_in(-40, 40) / 2.0);
+      default:
+        return Value::string("w" + std::to_string(rng.next_in(0, 6)));
+    }
+  };
+  const char* names[] = {"a", "b", "c"};
+  const char* ops[] = {"=", "<", "<=", ">", ">="};
+  // MiniSQL spells the null literal `null`; Value::to_oql prints `nil`.
+  auto render = [](const Value& v) {
+    return v.is_null() ? std::string("null") : v.to_oql();
+  };
+  auto random_predicate = [&]() {
+    int col = static_cast<int>(rng.next_in(0, 2));
+    std::string lit = render(random_literal(col));
+    switch (rng.next_in(0, 5)) {
+      case 0:  // point
+        return std::string(names[col]) + " = " + lit;
+      case 1: {  // OR chain of points on one column
+        std::string out = std::string(names[col]) + " = " + lit;
+        for (int64_t k = rng.next_in(1, 4); k > 0; --k) {
+          out += " OR " + std::string(names[col]) + " = " +
+                 render(random_literal(col));
+        }
+        return out;
+      }
+      case 2: {  // range, possibly flipped operand order
+        const char* op = ops[rng.next_in(1, 4)];
+        return rng.next_in(0, 2) == 0
+                   ? std::string(names[col]) + " " + op + " " + lit
+                   : lit + " " + op + " " + names[col];
+      }
+      case 3: {  // closed interval on one column + residual on another
+        int other = static_cast<int>(rng.next_in(0, 2));
+        return std::string(names[col]) + " >= " + lit + " AND " +
+               names[col] + " <= " + render(random_literal(col)) +
+               " AND " + names[other] + " <> " +
+               render(random_literal(other));
+      }
+      default:  // negation: never indexable, pure scan both ways
+        return "NOT " + std::string(names[col]) + " = " + lit;
+    }
+  };
+
+  auto to_bag = [](const ResultSet& rs) {
+    std::vector<Value> items;
+    for (const Row& row : rs.rows) items.push_back(Value::list(row));
+    return Value::bag(std::move(items));
+  };
+
+  Engine engine(&db);
+  for (int round = 0; round < 120; ++round) {
+    std::string sql = "SELECT * FROM t WHERE " + random_predicate();
+    engine.set_use_indexes(true);
+    ResultSet indexed = engine.execute_sql(sql);
+    engine.set_use_indexes(false);
+    ResultSet scanned = engine.execute_sql(sql);
+    ASSERT_EQ(to_bag(indexed), to_bag(scanned)) << sql;
+
+    // Churn between rounds: inserts, swap-pop deletes, in-place updates.
+    switch (rng.next_in(0, 3)) {
+      case 0:
+        t.insert(random_row());
+        break;
+      case 1:
+        if (t.row_count() > 50) {
+          t.remove_row(static_cast<size_t>(
+              rng.next_in(0, static_cast<int64_t>(t.row_count()) - 1)));
+        }
+        break;
+      default:
+        t.update_row(static_cast<size_t>(rng.next_in(
+                         0, static_cast<int64_t>(t.row_count()) - 1)),
+                     random_row());
+        break;
+    }
+  }
 }
 
 }  // namespace
