@@ -10,8 +10,9 @@
 #   DISCO_BENCH=1 scripts/ci.sh   # additionally run the experiment
 #                                 # benches (writes BENCH_*.json)
 #   DISCO_COVERAGE=1 scripts/ci.sh  # additionally build instrumented,
-#                                   # run the vec suites and gate src/vec
-#                                   # line coverage at 90%
+#                                   # run the vec/memdb/docstore suites
+#                                   # and gate their line coverage
+#                                   # (src/vec 90%, sources 85%)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,13 +36,17 @@ echo "== index smoke (point/range/bind-join + plan flip, small table) =="
 cmake --build "$repo/build" -j "$(nproc)" --target bench_index
 "$repo/build/bench/bench_index" --smoke
 
+echo "== docsource smoke (path probes + pushdown twins, small collection) =="
+cmake --build "$repo/build" -j "$(nproc)" --target bench_docsource
+"$repo/build/bench/bench_docsource" --smoke
+
 if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
   echo "== ThreadSanitizer pass (concurrency label) =="
   cmake -B "$repo/build-tsan" -S "$repo" -DDISCO_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$(nproc)" \
     --target test_exec test_session test_obs test_cache test_sched \
              test_server test_fedcat test_vec_differential \
-             test_memdb_concurrency
+             test_memdb_concurrency test_doc_differential
   ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
 fi
 
@@ -73,14 +78,17 @@ if [[ "${DISCO_BENCH:-0}" != "0" ]]; then
   echo "== vectorized bench (batch kernels vs row loops, 3x bar) =="
   cmake --build "$repo/build" -j "$(nproc)" --target bench_vectorized
   "$repo/build/bench/bench_vectorized" "$repo/BENCH_vectorized.json"
+  echo "== docsource bench (path pushdown vs whole-doc fetch, 5x bar) =="
+  "$repo/build/bench/bench_docsource" "$repo/BENCH_docsource.json"
 fi
 
 if [[ "${DISCO_COVERAGE:-0}" != "0" ]]; then
-  echo "== coverage gate: src/vec >= 90%, src/sources/memdb >= 85% =="
+  echo "== coverage gate: src/vec >= 90%, src/sources/memdb >= 85%, src/sources/docstore >= 85% =="
   cmake -B "$repo/build-cov" -S "$repo" -DDISCO_COVERAGE=ON
   cmake --build "$repo/build-cov" -j "$(nproc)" \
     --target test_vec test_vec_differential test_memdb \
-             test_memdb_concurrency test_differential
+             test_memdb_concurrency test_differential \
+             test_docstore test_doc_differential
   # Stale counters from an earlier run would inflate the numbers.
   find "$repo/build-cov" -name '*.gcda' -delete
   ctest --test-dir "$repo/build-cov" -L vec --output-on-failure
@@ -89,6 +97,10 @@ if [[ "${DISCO_COVERAGE:-0}" != "0" ]]; then
   "$repo/build-cov/tests/test_memdb"
   "$repo/build-cov/tests/test_memdb_concurrency"
   "$repo/build-cov/tests/test_differential"
+  # The docstore suites (path/store/wrapper units + the doc-vs-relational
+  # differential) drive src/sources/docstore.
+  "$repo/build-cov/tests/test_docstore"
+  "$repo/build-cov/tests/test_doc_differential"
   # gcov is handed the .gcda files directly: CMake names the counters
   # <source>.cpp.gcda, which gcov's source-name lookup does not find.
   gate_coverage() {
@@ -115,6 +127,9 @@ if [[ "${DISCO_COVERAGE:-0}" != "0" ]]; then
   gate_coverage \
     "$repo/build-cov/src/sources/memdb/CMakeFiles/disco_memdb.dir" \
     "src/sources/memdb/" 85
+  gate_coverage \
+    "$repo/build-cov/src/sources/docstore/CMakeFiles/disco_docstore.dir" \
+    "src/sources/docstore/" 85
 fi
 
 echo "ci OK"

@@ -20,7 +20,7 @@ if [[ "${DISCO_TSAN:-0}" != "0" ]]; then
   cmake --build "$repo/build-tsan" -j "$(nproc)" \
     --target test_exec test_session test_obs test_cache test_sched \
              test_server test_fedcat test_vec_differential \
-             test_memdb_concurrency
+             test_memdb_concurrency test_doc_differential
   ctest --test-dir "$repo/build-tsan" -L concurrency --output-on-failure
 fi
 

@@ -1,5 +1,8 @@
 #include "catalog/type_map.hpp"
 
+#include <algorithm>
+#include <cctype>
+
 #include "common/error.hpp"
 
 namespace disco::catalog {
@@ -55,7 +58,16 @@ std::string TypeMap::to_odl(const std::string& extent_name) const {
   std::string out = "((" + source_relation(extent_name) + "=" + extent_name +
                     ")";
   for (const auto& [source, mediator] : fields_) {
-    out += ",(" + source + "=" + mediator + ")";
+    // Source sides that are path expressions with steps the ODL lexer
+    // cannot spell bare (array steps like items[*].id) print quoted, the
+    // same form map_clause parses back.
+    const bool plain =
+        !source.empty() &&
+        std::all_of(source.begin(), source.end(), [](unsigned char c) {
+          return std::isalnum(c) != 0 || c == '_' || c == '.';
+        });
+    out += ",(" + (plain ? source : "\"" + source + "\"") + "=" + mediator +
+           ")";
   }
   out += ")";
   return out;

@@ -13,8 +13,10 @@
 #include "session/health.hpp"         // circuit breakers & probing
 #include "session/session.hpp"        // async QueryHandle sessions
 #include "sources/csv/csv_source.hpp" // CSV data sources
+#include "sources/docstore/doc_store.hpp" // JSON document data sources
 #include "sources/kvstore/kv_store.hpp" // key-value data sources
 #include "sources/memdb/database.hpp" // memdb relational data sources
 #include "wrapper/csv_wrapper.hpp"
+#include "wrapper/doc_wrapper.hpp"
 #include "wrapper/kv_wrapper.hpp"
 #include "wrapper/memdb_wrapper.hpp"

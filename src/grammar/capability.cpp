@@ -32,6 +32,12 @@ const char* to_string(Terminal terminal) {
       return "COMMA";
     case Terminal::Source:
       return "SOURCE";
+    case Terminal::Path:
+      return "PATH";
+    case Terminal::PathEqPredicate:
+      return "PATHEQPREDICATE";
+    case Terminal::PathPredicate:
+      return "PATHPREDICATE";
   }
   return "?";
 }
@@ -50,7 +56,33 @@ std::optional<Terminal> terminal_from_name(const std::string& name) {
   if (name == "EQPREDICATE") return Terminal::EqPredicate;
   if (name == "COMMA") return Terminal::Comma;
   if (name == "SOURCE") return Terminal::Source;
+  if (name == "PATH") return Terminal::Path;
+  if (name == "PATHEQPREDICATE") return Terminal::PathEqPredicate;
+  if (name == "PATHPREDICATE") return Terminal::PathPredicate;
   return std::nullopt;
+}
+
+/// Scan-time subsumption: a grammar symbol matches its own token plus
+/// every token that denotes a *special case* of it. An equality-only
+/// predicate is a predicate; a flat attribute is a (degenerate) path; a
+/// flat predicate is a path predicate with depth-1 paths. The reverse
+/// never holds — PREDICATE does not match PATHPREDICATE tokens, so flat
+/// wrappers never receive nested paths.
+bool scan_matches(Terminal symbol, Terminal token) {
+  if (symbol == token) return true;
+  switch (symbol) {
+    case Terminal::Predicate:
+      return token == Terminal::EqPredicate;
+    case Terminal::Path:
+      return token == Terminal::Attribute;
+    case Terminal::PathEqPredicate:
+      return token == Terminal::EqPredicate;
+    case Terminal::PathPredicate:
+      return token == Terminal::PathEqPredicate ||
+             token == Terminal::Predicate || token == Terminal::EqPredicate;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -162,14 +194,11 @@ bool Grammar::recognizes(const std::vector<Terminal>& tokens) const {
       }
       const Symbol& next = production.body[item.dot];
       if (next.is_terminal) {
-        // Scan. EQPREDICATE tokens are a special case of PREDICATE: a
-        // grammar that accepts arbitrary predicates accepts equality-only
-        // ones too.
+        // Scan with subsumption: e.g. EQPREDICATE tokens are a special
+        // case of PREDICATE, flat ATTRIBUTE tokens of PATH (see
+        // scan_matches for the full matrix).
         bool matches =
-            position < n &&
-            (tokens[position] == next.terminal ||
-             (next.terminal == Terminal::Predicate &&
-              tokens[position] == Terminal::EqPredicate));
+            position < n && scan_matches(next.terminal, tokens[position]);
         if (matches) {
           add(position + 1, Item{item.production, item.dot + 1, item.origin});
         }
@@ -208,8 +237,37 @@ bool equality_only(const oql::ExprPtr& expr) {
   return false;
 }
 
+/// True when `expr` contains a path that descends more than one level
+/// (x.doc.a — a Path whose base is itself a Path). Those serialize to
+/// the PATH* terminals, which only path-capable wrappers advertise.
+bool has_nested_path(const oql::ExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (expr->kind == oql::ExprKind::Path &&
+      expr->child != nullptr && expr->child->kind == oql::ExprKind::Path) {
+    return true;
+  }
+  for (const oql::ExprPtr* part : {&expr->child, &expr->left, &expr->right}) {
+    if (has_nested_path(*part)) return true;
+  }
+  for (const oql::ExprPtr& arg : expr->args) {
+    if (has_nested_path(arg)) return true;
+  }
+  for (const auto& [name, field] : expr->struct_fields) {
+    if (has_nested_path(field)) return true;
+  }
+  return false;
+}
+
 Terminal predicate_terminal(const oql::ExprPtr& expr) {
-  return equality_only(expr) ? Terminal::EqPredicate : Terminal::Predicate;
+  const bool eq = equality_only(expr);
+  if (has_nested_path(expr)) {
+    return eq ? Terminal::PathEqPredicate : Terminal::PathPredicate;
+  }
+  return eq ? Terminal::EqPredicate : Terminal::Predicate;
+}
+
+Terminal attribute_terminal(const oql::ExprPtr& projection) {
+  return has_nested_path(projection) ? Terminal::Path : Terminal::Attribute;
 }
 
 /// `as_argument` distinguishes the paper's two uses of a source: a bare
@@ -232,7 +290,8 @@ bool serialize_impl(const algebra::LogicalPtr& expr,
       return true;
     case LOp::Project: {
       out.insert(out.end(), {Terminal::Project, Terminal::Open,
-                             Terminal::Attribute, Terminal::Comma});
+                             attribute_terminal(expr->projection),
+                             Terminal::Comma});
       if (!serialize_impl(expr->child, out, true)) return false;
       out.push_back(Terminal::Close);
       return true;

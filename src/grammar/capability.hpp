@@ -51,6 +51,20 @@ enum class Terminal {
   EqPredicate,
   Comma,
   Source,
+  /// Nested-path forms, produced when a projection or predicate descends
+  /// more than one level into an attribute (x.doc.a.b). Semi-structured
+  /// wrappers (src/wrapper/doc_wrapper.*) advertise these; the flat
+  /// relational grammars never match them, which is what keeps the
+  /// optimizer from pushing nested paths to a wrapper that cannot
+  /// flatten them (those predicates stay mediator-side per §4).
+  /// Subsumption at scan time (see recognizes()):
+  ///   PATH            matches {PATH, ATTRIBUTE} tokens
+  ///   PATHEQPREDICATE matches {PATHEQPREDICATE, EQPREDICATE} tokens
+  ///   PATHPREDICATE   matches {PATHPREDICATE, PATHEQPREDICATE,
+  ///                            PREDICATE, EQPREDICATE} tokens
+  Path,
+  PathEqPredicate,
+  PathPredicate,
 };
 
 const char* to_string(Terminal terminal);
@@ -104,11 +118,13 @@ class Grammar {
 
 /// Serializes a logical expression into the wrapper terminal language:
 ///   get(e, x)            -> get ( SOURCE )
-///   project(p, X)        -> project ( ATTRIBUTE , <X> )
-///   select(pred, X)      -> select ( PREDICATE|EQPREDICATE , <X> )
-///   join(L, R, pred)     -> join ( <L> , <R> , PREDICATE|EQPREDICATE )
+///   project(p, X)        -> project ( ATTRIBUTE|PATH , <X> )
+///   select(pred, X)      -> select ( PREDICATE|EQPREDICATE|PATH... , <X> )
+///   join(L, R, pred)     -> join ( <L> , <R> , PREDICATE|... )
 /// A predicate serializes as EQPREDICATE when it is a conjunction of
-/// equality comparisons only.
+/// equality comparisons only, and to the PATH* variants when it contains
+/// a path deeper than one level (x.doc.a); a projection containing such
+/// a path serializes as PATH instead of ATTRIBUTE.
 /// Returns false when the expression contains operators outside the
 /// wrapper language (union, const, submit).
 bool serialize(const algebra::LogicalPtr& expr, std::vector<Terminal>& out);

@@ -139,6 +139,12 @@ class Parser {
 
   /// map ((person0=personprime0),(name=n),(salary=s))
   /// First pair: source relation = extent name; rest: source = mediator.
+  /// The source side of a field pair may be a *path expression* into a
+  /// semi-structured source: dotted names parse directly
+  /// ((meta.site=site)) and anything the lexer cannot spell — array
+  /// steps like items[*].id — is written as a string literal
+  /// (("items[*].id"=ids)). The docstore wrapper interprets these with
+  /// docstore::DocPath; flat sources never see them.
   catalog::TypeMap map_clause(const std::string& extent_name) {
     expect(TokenKind::LParen, "'(' after map");
     std::string source_relation;
@@ -146,7 +152,15 @@ class Parser {
     bool first = true;
     do {
       expect(TokenKind::LParen, "'(' opening a map pair");
-      std::string lhs = expect(TokenKind::Ident, "map name").text;
+      std::string lhs;
+      if (peek().kind == TokenKind::StringLit) {
+        lhs = advance().text;
+      } else {
+        lhs = expect(TokenKind::Ident, "map name").text;
+        while (match(TokenKind::Dot)) {
+          lhs += "." + expect(TokenKind::Ident, "map path step").text;
+        }
+      }
       expect(TokenKind::Eq, "'='");
       std::string rhs = expect(TokenKind::Ident, "map name").text;
       expect(TokenKind::RParen, "')' closing a map pair");

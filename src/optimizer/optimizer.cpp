@@ -324,6 +324,25 @@ class GrammarCache {
 
 }  // namespace
 
+namespace {
+
+/// True for a path chain rooted in one of `vars`: x.attr, x.doc.a.b, ...
+/// Depth-1 chains serialize to ATTRIBUTE/PREDICATE terminals; deeper
+/// ones to the PATH* terminals that only path-capable wrappers (the
+/// docstore) advertise — flat wrappers reject them at the grammar check
+/// and the predicate stays mediator-side.
+bool is_var_path(const oql::ExprPtr& e, const std::set<std::string>& vars) {
+  const oql::Expr* cursor = e.get();
+  if (cursor == nullptr || cursor->kind != oql::ExprKind::Path) return false;
+  while (cursor->kind == oql::ExprKind::Path) {
+    cursor = cursor->child.get();
+    if (cursor == nullptr) return false;
+  }
+  return cursor->kind == oql::ExprKind::Ident && vars.contains(cursor->name);
+}
+
+}  // namespace
+
 bool is_pushable_predicate(const oql::ExprPtr& expr,
                            const std::set<std::string>& vars) {
   using oql::BinaryOp;
@@ -350,9 +369,7 @@ bool is_pushable_predicate(const oql::ExprPtr& expr,
               return !e->literal.is_collection() &&
                      e->literal.kind() != ValueKind::Struct;
             }
-            return e->kind == ExprKind::Path &&
-                   e->child->kind == ExprKind::Ident &&
-                   vars.contains(e->child->name);
+            return is_var_path(e, vars);
           };
           return operand_ok(expr->left) && operand_ok(expr->right);
         }
@@ -370,9 +387,7 @@ bool is_pushable_projection(const oql::ExprPtr& expr,
   using oql::ExprKind;
   if (expr == nullptr) return false;
   auto path_ok = [&vars](const oql::ExprPtr& e) {
-    return e->kind == ExprKind::Path &&
-           e->child->kind == ExprKind::Ident &&
-           vars.contains(e->child->name);
+    return is_var_path(e, vars);
   };
   if (path_ok(expr)) return true;
   if (expr->kind == ExprKind::StructCtor) {

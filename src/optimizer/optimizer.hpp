@@ -174,17 +174,19 @@ class Optimizer {
   HealthFn health_;
 };
 
-/// True when `expr` is a predicate every wrapper in this system can
-/// evaluate: comparisons between bound-variable attribute paths and
-/// scalar literals, combined with and/or/not. The capability grammar
-/// abstracts predicates as a single PREDICATE terminal; this check keeps
-/// the optimizer from shipping predicates the source language cannot
-/// express (wrappers still re-check and refuse at run time).
+/// True when `expr` is a predicate some wrapper could evaluate:
+/// comparisons between bound-variable paths (flat var.attr or nested
+/// var.doc.a.b chains) and scalar literals, combined with and/or/not.
+/// The capability grammar abstracts predicates as PREDICATE/PATH*
+/// terminals — nested chains serialize to the PATH* forms, which only
+/// path-capable wrappers advertise, so flat sources reject them at the
+/// grammar check and they stay mediator-side (wrappers still re-check
+/// and refuse at run time).
 bool is_pushable_predicate(const oql::ExprPtr& expr,
                            const std::set<std::string>& vars);
 
-/// True when `expr` is a projection expressible at a source: var.attr or
-/// struct(f1: var.a1, ...).
+/// True when `expr` is a projection expressible at a source: a
+/// var-rooted path chain or struct(f1: <chain>, ...).
 bool is_pushable_projection(const oql::ExprPtr& expr,
                             const std::set<std::string>& vars);
 

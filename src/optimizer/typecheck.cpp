@@ -76,6 +76,19 @@ bool type_has_attribute(const std::string& type, const std::string& attr,
   return false;
 }
 
+/// Declared scalar type of `attr` on `type`, or nullopt when absent (or
+/// when `type` is the metaextent pseudo-interface, whose fields are all
+/// strings and never Json).
+std::optional<ScalarType> attribute_type(const std::string& type,
+                                         const std::string& attr,
+                                         const catalog::Catalog& catalog) {
+  if (type == kMetaExtentType) return std::nullopt;
+  for (const Attribute& candidate : catalog.types().all_attributes(type)) {
+    if (candidate.name == attr) return candidate.type;
+  }
+  return std::nullopt;
+}
+
 class Checker {
  public:
   explicit Checker(const catalog::Catalog& catalog) : catalog_(catalog) {}
@@ -153,8 +166,19 @@ class Checker {
     if (base->kind == oql::ExprKind::Path &&
         base->child->kind == oql::ExprKind::Ident &&
         lookup(base->child->name).has_value()) {
-      // base is a *checked* scalar attribute: descending further is wrong.
       check_path(base);
+      // Descent past a Json attribute is unchecked (the shape is only
+      // known at the source); past any other attribute it is wrong —
+      // those are scalars.
+      VarTypes types = lookup(base->child->name);
+      bool all_json = true;
+      for (const std::string& type : *types) {
+        if (attribute_type(type, base->name, catalog_) != ScalarType::Json) {
+          all_json = false;
+          break;
+        }
+      }
+      if (all_json) return;
       throw TypeError("attribute '" + base->name +
                       "' is scalar; '." + expr->name +
                       "' cannot be applied (in " + oql::to_oql(expr) + ")");

@@ -36,12 +36,21 @@ Value Evaluator::eval(const Expr& expr, const Env& env) const {
     }
     case ExprKind::Path: {
       Value base = eval(expr.child, env);
+      // Semi-structured leniency: nil propagates through paths and a
+      // missing struct field reads as nil ("null is a member of every
+      // type, modelling unavailable attribute data" — type_registry).
+      // Heterogeneous document rows legitimately lack fields; a path
+      // over a non-struct non-nil value is still a type error. Wrapper
+      // path evaluation (docstore::DocPath) mirrors these rules exactly
+      // so pushed predicates agree with mediator-side residuals.
+      if (base.kind() == ValueKind::Null) return Value::null();
       if (base.kind() != ValueKind::Struct) {
         throw ExecutionError("path '." + expr.name +
                              "' applied to non-struct value " +
                              base.to_oql());
       }
-      return base.field(expr.name);
+      if (const Value* found = base.find_field(expr.name)) return *found;
+      return Value::null();
     }
     case ExprKind::Unary: {
       Value operand = eval(expr.child, env);

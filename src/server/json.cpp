@@ -429,7 +429,12 @@ class Parser {
       }
       // Out of int64 range: fall through to double.
     }
-    return Value::real(std::strtod(token.c_str(), nullptr));
+    const double parsed = std::strtod(token.c_str(), nullptr);
+    // Overflow (e.g. "1e999") yields inf: a non-finite Double would
+    // corrupt the mediator's total order, and dump() could not round-trip
+    // it anyway (JSON has no inf/nan literals). Strict parse rejects it.
+    if (!std::isfinite(parsed)) fail("number out of range: " + token);
+    return Value::real(parsed);
   }
 
   const std::string& text_;

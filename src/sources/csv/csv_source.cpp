@@ -1,6 +1,7 @@
 #include "sources/csv/csv_source.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -11,45 +12,83 @@ namespace disco::csv {
 
 namespace {
 
-/// Splits one CSV record honouring quoted fields.
-std::vector<std::string> split_record(const std::string& line,
-                                      std::vector<bool>& quoted) {
+/// One raw record: field texts plus whether each field was quoted
+/// (quoted fields are always strings; unquoted ones go through type
+/// inference).
+struct RawRecord {
   std::vector<std::string> fields;
-  quoted.clear();
+  std::vector<bool> quoted;
+};
+
+/// Splits the raw text into records with RFC-4180 quote awareness. A
+/// quoted field may contain embedded newlines (CRLF or LF), commas and
+/// `""` escapes, so record boundaries cannot be found line-by-line —
+/// this scans the text once, tracking quote state. Outside quotes, a
+/// record ends at `\n` (a preceding `\r` belongs to the terminator and
+/// is stripped); a `"` that appears mid-field in unquoted context is
+/// kept as a literal character rather than silently opening quote mode.
+std::vector<RawRecord> split_records(const std::string& text) {
+  std::vector<RawRecord> records;
+  RawRecord record;
   std::string current;
   bool in_quotes = false;
   bool was_quoted = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
+  bool at_field_start = true;
+
+  auto end_field = [&]() {
+    record.fields.push_back(std::move(current));
+    record.quoted.push_back(was_quoted);
+    current.clear();
+    was_quoted = false;
+    at_field_start = true;
+  };
+  auto end_record = [&]() {
+    end_field();
+    // Blank lines between records are skipped, but a lone quoted empty
+    // field ("" on its own line) is a real one-field record.
+    bool blank = record.fields.size() == 1 && record.fields[0].empty() &&
+                 !record.quoted[0];
+    if (!blank) records.push_back(std::move(record));
+    record = RawRecord{};
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
           current += '"';
           ++i;
         } else {
-          in_quotes = false;
+          in_quotes = false;  // closed; any tail chars append unquoted
         }
       } else {
-        current += c;
+        current += c;  // newlines and commas are literal inside quotes
       }
-    } else if (c == '"') {
+    } else if (c == '"' && at_field_start) {
       in_quotes = true;
       was_quoted = true;
+      at_field_start = false;
     } else if (c == ',') {
-      fields.push_back(std::move(current));
-      quoted.push_back(was_quoted);
-      current.clear();
-      was_quoted = false;
+      end_field();
+    } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      ++i;  // \r\n terminator: the \r is not part of the field
+      end_record();
+    } else if (c == '\n') {
+      end_record();
     } else {
-      current += c;
+      current += c;  // includes literal '"' mid-field and lone '\r'
+      at_field_start = false;
     }
   }
   if (in_quotes) {
-    throw ExecutionError("CSV: unterminated quoted field: " + line);
+    throw ExecutionError("CSV: unterminated quoted field: " + current);
   }
-  fields.push_back(std::move(current));
-  quoted.push_back(was_quoted);
-  return fields;
+  // Flush a final record with no trailing newline.
+  if (!current.empty() || was_quoted || !record.fields.empty()) {
+    end_record();
+  }
+  return records;
 }
 
 Value infer_value(const std::string& field, bool was_quoted) {
@@ -66,7 +105,11 @@ Value infer_value(const std::string& field, bool was_quoted) {
   {
     double v = 0;
     auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
-    if (ec == std::errc() && p == text.data() + text.size()) {
+    if (ec == std::errc() && p == text.data() + text.size() &&
+        std::isfinite(v)) {
+      // from_chars accepts "nan"/"inf"/"-inf" spellings; a non-finite
+      // Double would corrupt the federation's total order and obs JSON,
+      // so those stay String (the finite check rejects them).
       return Value::real(v);
     }
   }
@@ -84,41 +127,31 @@ Value CsvTable::as_row_bag() const {
 CsvTable parse_csv(const std::string& name, const std::string& text) {
   CsvTable table;
   table.name = name;
-  std::istringstream stream(text);
-  std::string line;
-  bool header_done = false;
-  std::vector<bool> quoted;
-  while (std::getline(stream, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() && !header_done) continue;
-    if (!header_done) {
-      for (std::string& field : split_record(line, quoted)) {
-        std::string column = trim(field);
-        if (column.empty()) {
-          throw ExecutionError("CSV '" + name + "': empty header field");
-        }
-        table.columns.push_back(std::move(column));
-      }
-      header_done = true;
-      continue;
+  std::vector<RawRecord> records = split_records(text);
+  if (records.empty()) {
+    throw ExecutionError("CSV '" + name + "': missing header line");
+  }
+  for (std::string& field : records.front().fields) {
+    std::string column = trim(field);
+    if (column.empty()) {
+      throw ExecutionError("CSV '" + name + "': empty header field");
     }
-    if (line.empty()) continue;
-    std::vector<std::string> fields = split_record(line, quoted);
-    if (fields.size() != table.columns.size()) {
+    table.columns.push_back(std::move(column));
+  }
+  for (size_t r = 1; r < records.size(); ++r) {
+    RawRecord& record = records[r];
+    if (record.fields.size() != table.columns.size()) {
       throw ExecutionError("CSV '" + name + "': row with " +
-                           std::to_string(fields.size()) +
+                           std::to_string(record.fields.size()) +
                            " fields, expected " +
                            std::to_string(table.columns.size()));
     }
     std::vector<Value> row;
-    row.reserve(fields.size());
-    for (size_t i = 0; i < fields.size(); ++i) {
-      row.push_back(infer_value(fields[i], quoted[i]));
+    row.reserve(record.fields.size());
+    for (size_t i = 0; i < record.fields.size(); ++i) {
+      row.push_back(infer_value(record.fields[i], record.quoted[i]));
     }
     table.rows.push_back(std::move(row));
-  }
-  if (!header_done) {
-    throw ExecutionError("CSV '" + name + "': missing header line");
   }
   return table;
 }

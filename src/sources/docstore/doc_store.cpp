@@ -1,0 +1,179 @@
+#include "sources/docstore/doc_store.hpp"
+
+#include "common/error.hpp"
+#include "server/json.hpp"
+
+namespace disco::docstore {
+
+Value doc_from_json(const server::json::Value& json) {
+  using JKind = server::json::Value::Kind;
+  switch (json.kind()) {
+    case JKind::Null:
+      return Value::null();
+    case JKind::Bool:
+      return Value::boolean(json.as_bool());
+    case JKind::Int:
+      return Value::integer(json.as_int64());
+    case JKind::Double:
+      return Value::real(json.as_double());
+    case JKind::String:
+      return Value::string(json.as_string());
+    case JKind::Array: {
+      std::vector<Value> items;
+      items.reserve(json.items().size());
+      for (const server::json::Value& item : json.items()) {
+        items.push_back(doc_from_json(item));
+      }
+      return Value::list(std::move(items));
+    }
+    case JKind::Object: {
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.reserve(json.members().size());
+      for (const auto& [key, member] : json.members()) {
+        for (const auto& [seen, unused] : fields) {
+          if (seen == key) {
+            throw ExecutionError("docstore: duplicate key '" + key +
+                                 "' in JSON object");
+          }
+        }
+        fields.emplace_back(key, doc_from_json(member));
+      }
+      return Value::strct(std::move(fields));
+    }
+  }
+  throw InternalError("corrupt JSON value kind");
+}
+
+void DocCollection::insert(Value doc) {
+  if (doc.kind() != ValueKind::Struct) {
+    throw TypeError("docstore '" + name_ + "': documents are struct values, got " +
+                    doc.to_oql());
+  }
+  const size_t position = docs_.size();
+  for (auto& [path_text, index] : indexes_) {
+    index[index_paths_.at(path_text).eval(doc)].push_back(position);
+  }
+  docs_.push_back(std::move(doc));
+  store_->documents_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t DocCollection::load_json(const std::string& text) {
+  server::json::Value parsed;
+  try {
+    parsed = server::json::parse(text);
+  } catch (const server::json::JsonError& e) {
+    throw ExecutionError("docstore '" + name_ + "': " + e.what());
+  }
+  auto insert_object = [&](const server::json::Value& json) {
+    if (json.kind() != server::json::Value::Kind::Object) {
+      throw ExecutionError("docstore '" + name_ +
+                           "': documents must be JSON objects");
+    }
+    insert(doc_from_json(json));
+  };
+  if (parsed.kind() == server::json::Value::Kind::Array) {
+    for (const server::json::Value& item : parsed.items()) {
+      insert_object(item);
+    }
+    return parsed.items().size();
+  }
+  insert_object(parsed);
+  return 1;
+}
+
+void DocCollection::create_index(const std::string& path_text) {
+  if (indexes_.count(path_text) != 0) return;
+  DocPath path = DocPath::parse(path_text);
+  if (path.has_wildcard()) {
+    throw ExecutionError("docstore '" + name_ + "': cannot index wildcard path '" +
+                         path_text + "'");
+  }
+  std::map<Value, std::vector<size_t>> index;
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    index[path.eval(docs_[i])].push_back(i);
+  }
+  indexes_.emplace(path_text, std::move(index));
+  index_paths_.emplace(path_text, std::move(path));
+}
+
+bool DocCollection::has_index(const std::string& path_text) const {
+  return indexes_.count(path_text) != 0;
+}
+
+std::vector<size_t> DocCollection::find_equal(const DocPath& path,
+                                              const Value& key,
+                                              bool* used_index,
+                                              size_t* docs_examined) const {
+  auto it = indexes_.find(path.to_text());
+  if (it != indexes_.end() && store_->use_indexes()) {
+    store_->index_probes_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<size_t> out;
+    auto entry = it->second.find(key);
+    if (entry != it->second.end()) out = entry->second;
+    store_->index_hits_.fetch_add(out.size(), std::memory_order_relaxed);
+    if (used_index != nullptr) *used_index = true;
+    if (docs_examined != nullptr) *docs_examined = out.size();
+    return out;
+  }
+  store_->scans_.fetch_add(1, std::memory_order_relaxed);
+  store_->docs_scanned_.fetch_add(docs_.size(), std::memory_order_relaxed);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    if (Value::compare(path.eval(docs_[i]), key) == 0) out.push_back(i);
+  }
+  if (used_index != nullptr) *used_index = false;
+  if (docs_examined != nullptr) *docs_examined = docs_.size();
+  return out;
+}
+
+const std::vector<Value>& DocCollection::scan() const {
+  store_->scans_.fetch_add(1, std::memory_order_relaxed);
+  store_->docs_scanned_.fetch_add(docs_.size(), std::memory_order_relaxed);
+  return docs_;
+}
+
+DocCollection& DocStore::create_collection(const std::string& collection) {
+  if (collections_.count(collection) != 0) {
+    throw ExecutionError("docstore '" + name_ + "': collection '" + collection +
+                         "' already exists");
+  }
+  auto owned = std::unique_ptr<DocCollection>(
+      new DocCollection(collection, this));
+  DocCollection& ref = *owned;
+  collections_.emplace(collection, std::move(owned));
+  return ref;
+}
+
+bool DocStore::has_collection(const std::string& collection) const {
+  return collections_.count(collection) != 0;
+}
+
+DocCollection& DocStore::collection(const std::string& collection) {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    throw ExecutionError("docstore '" + name_ + "': no collection '" +
+                         collection + "'");
+  }
+  return *it->second;
+}
+
+const DocCollection& DocStore::collection(const std::string& collection) const {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    throw ExecutionError("docstore '" + name_ + "': no collection '" +
+                         collection + "'");
+  }
+  return *it->second;
+}
+
+DocStore::Stats DocStore::stats() const {
+  Stats out;
+  out.scans = scans_.load(std::memory_order_relaxed);
+  out.docs_scanned = docs_scanned_.load(std::memory_order_relaxed);
+  out.index_probes = index_probes_.load(std::memory_order_relaxed);
+  out.index_hits = index_hits_.load(std::memory_order_relaxed);
+  out.documents = documents_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace disco::docstore

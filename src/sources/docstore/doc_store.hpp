@@ -1,0 +1,143 @@
+// Semi-structured document source.
+//
+// A fourth kind of server in the heterogeneity spectrum (§2.2: "the
+// DISCO model can be applied to a variety of information servers"): a
+// store of named collections of JSON documents. Documents are
+// heterogeneous — two documents in one collection may have different
+// fields, nesting depth, or array shapes — and surface in the mediator's
+// object model as struct values (nested objects -> struct, arrays ->
+// List), with absent fields reading as nil.
+//
+// Native access paths, advertised by the doc wrapper's capability
+// grammar (src/wrapper/doc_wrapper.*):
+//   * full collection scan;
+//   * path-equality probe, optionally served by a secondary index keyed
+//     on a DocPath's value per document (create_index).
+//
+// Ingestion is the strict boundary: JSON text goes through the
+// server/json parser (which rejects non-finite numbers — the same
+// hazard the CSV source closes by refusing to type nan/inf as Double),
+// and object-to-struct conversion rejects duplicate keys instead of
+// silently dropping one. Programmatic insert() is permissive: a NaN
+// Double built in-process is storable because Value's total order gives
+// it a stable position (NaN == NaN, after every number).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sources/docstore/doc_path.hpp"
+#include "value/value.hpp"
+
+namespace disco::server::json {
+class Value;
+}  // namespace disco::server::json
+
+namespace disco::docstore {
+
+/// Converts a parsed JSON document into the mediator object model:
+/// object -> struct (member order preserved; duplicate keys rejected
+/// with ExecutionError), array -> List, scalars -> the matching Value.
+Value doc_from_json(const server::json::Value& json);
+
+class DocStore;
+
+/// One named collection of documents (struct values).
+class DocCollection {
+ public:
+  const std::string& name() const { return name_; }
+
+  /// Inserts one document (a struct value); maintains all indexes.
+  /// Throws TypeError for non-struct values.
+  void insert(Value doc);
+
+  /// Parses `text` — one JSON object, or a JSON array of objects — and
+  /// inserts each document. Returns the number inserted. Throws
+  /// ExecutionError on malformed JSON (including non-finite numbers) or
+  /// non-object documents.
+  size_t load_json(const std::string& text);
+
+  const std::vector<Value>& docs() const { return docs_; }
+  size_t size() const { return docs_.size(); }
+
+  /// Builds a secondary index keyed on the path's value per document
+  /// (nil for documents lacking the path, so nil probes answer
+  /// consistently with scans). Wildcard paths are not indexable; the
+  /// path must apply to every current document (the type errors DocPath
+  /// raises propagate). Idempotent for an already-indexed path.
+  void create_index(const std::string& path_text);
+  bool has_index(const std::string& path_text) const;
+
+  /// Document positions whose `path` value equals `key` under Value's
+  /// total order (so a NaN probe finds NaN entries). Served by the index
+  /// when one exists on `path.to_text()` and the store allows indexes;
+  /// otherwise a counted scan. `used_index`/`docs_examined` report the
+  /// access path taken for the caller's cost accounting.
+  std::vector<size_t> find_equal(const DocPath& path, const Value& key,
+                                 bool* used_index = nullptr,
+                                 size_t* docs_examined = nullptr) const;
+
+  /// Full scan (counts toward store stats).
+  const std::vector<Value>& scan() const;
+
+ private:
+  friend class DocStore;
+  DocCollection(std::string name, DocStore* store)
+      : name_(std::move(name)), store_(store) {}
+
+  std::string name_;
+  DocStore* store_;
+  std::vector<Value> docs_;
+  /// path text -> (path value -> document positions)
+  std::map<std::string, std::map<Value, std::vector<size_t>>> indexes_;
+  std::map<std::string, DocPath> index_paths_;
+};
+
+/// A repository of document collections.
+class DocStore {
+ public:
+  explicit DocStore(std::string name = "docstore") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  DocCollection& create_collection(const std::string& collection);
+  bool has_collection(const std::string& collection) const;
+  DocCollection& collection(const std::string& collection);
+  const DocCollection& collection(const std::string& collection) const;
+
+  /// When false, find_equal ignores indexes and always scans — the
+  /// forced-scan mode the differential tests use to pin index answers
+  /// against scan answers. Queries may run concurrently; toggling and
+  /// mutation (insert / create_index / load) are setup-time operations.
+  void set_use_indexes(bool v) { use_indexes_.store(v); }
+  bool use_indexes() const { return use_indexes_.load(); }
+
+  /// Access-path counters (evidence for the pushdown experiments).
+  /// Atomic: the mediator runs wrapper submits from worker threads.
+  struct Stats {
+    uint64_t scans = 0;          ///< full-scan accesses
+    uint64_t docs_scanned = 0;   ///< documents examined by scans
+    uint64_t index_probes = 0;   ///< index lookups
+    uint64_t index_hits = 0;     ///< documents returned by index lookups
+    uint64_t documents = 0;      ///< documents currently stored
+  };
+  Stats stats() const;
+
+ private:
+  friend class DocCollection;
+
+  std::string name_;
+  std::map<std::string, std::unique_ptr<DocCollection>> collections_;
+  std::atomic<bool> use_indexes_{true};
+  mutable std::atomic<uint64_t> scans_{0};
+  mutable std::atomic<uint64_t> docs_scanned_{0};
+  mutable std::atomic<uint64_t> index_probes_{0};
+  mutable std::atomic<uint64_t> index_hits_{0};
+  std::atomic<uint64_t> documents_{0};
+};
+
+}  // namespace disco::docstore

@@ -18,6 +18,8 @@ const char* to_string(ScalarType type) {
       return "Double";
     case ScalarType::String:
       return "String";
+    case ScalarType::Json:
+      return "Json";
   }
   return "Unknown";
 }
@@ -29,6 +31,7 @@ std::optional<ScalarType> scalar_type_from_name(std::string_view name) {
   if (name == "Float") return ScalarType::Float;
   if (name == "Double") return ScalarType::Double;
   if (name == "String") return ScalarType::String;
+  if (name == "Json") return ScalarType::Json;
   return std::nullopt;
 }
 
@@ -45,6 +48,8 @@ bool value_conforms(const Value& value, ScalarType type) {
       return value.is_numeric();
     case ScalarType::String:
       return value.kind() == ValueKind::String;
+    case ScalarType::Json:
+      return true;  // any nested shape inhabits Json
   }
   return false;
 }

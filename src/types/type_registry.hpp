@@ -23,8 +23,12 @@
 namespace disco {
 
 /// Scalar attribute types from ODMG ODL. Short/Long both map to Int values;
-/// Float/Double to Double values.
-enum class ScalarType { Bool, Short, Long, Float, Double, String };
+/// Float/Double to Double values. Json is the semi-structured escape
+/// hatch: an attribute whose value may be any nested shape (structs,
+/// lists, scalars — what a document source's wrapper flattens out of a
+/// JSON document). Every value conforms to Json, and the typechecker
+/// allows arbitrary path descent past a Json attribute.
+enum class ScalarType { Bool, Short, Long, Float, Double, String, Json };
 
 const char* to_string(ScalarType type);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -202,7 +203,20 @@ int kind_rank(ValueKind kind) {
   return 8;
 }
 
+/// NaN ordering rule: IEEE NaN compares unordered against everything,
+/// which would make this function return 0 for NaN vs *any* number and
+/// silently corrupt every structure built on the total order (the
+/// skiplist index, std::map keyed on Value, set dedup, bag sorting).
+/// We give NaN a stable position instead: NaN == NaN, and NaN sorts
+/// after every other number, +inf included. Value::hash canonicalizes
+/// NaN bit patterns to match.
 int compare_doubles(double a, double b) {
+  const bool a_nan = std::isnan(a);
+  const bool b_nan = std::isnan(b);
+  if (a_nan || b_nan) {
+    if (a_nan && b_nan) return 0;
+    return a_nan ? 1 : -1;
+  }
   if (a < b) return -1;
   if (a > b) return 1;
   return 0;
@@ -288,6 +302,9 @@ uint64_t Value::hash() const {
     case ValueKind::Double: {
       double d = as_double();
       if (d == 0.0) d = 0.0;  // normalize -0.0
+      // All NaN bit patterns are one equivalence class under compare()
+      // (NaN == NaN), so they must hash alike.
+      if (std::isnan(d)) d = std::numeric_limits<double>::quiet_NaN();
       uint64_t bits;
       static_assert(sizeof(bits) == sizeof(d));
       std::memcpy(&bits, &d, sizeof(bits));

@@ -78,6 +78,9 @@ class Value {
 
   /// Total order over all values (kind-major, then content). Used to
   /// normalize sets and to give deterministic printing of bags in tests.
+  /// NaN has a stable position in the order: NaN == NaN, and NaN sorts
+  /// after every other number (+inf included) — IEEE unordered semantics
+  /// would corrupt every index and dedup structure built on this order.
   static int compare(const Value& a, const Value& b);
   friend bool operator<(const Value& a, const Value& b) {
     return compare(a, b) < 0;

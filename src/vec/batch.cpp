@@ -1,6 +1,8 @@
 #include "vec/batch.hpp"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -197,7 +199,16 @@ int cell_rank(ColType type) {
   return 4;
 }
 
+/// Mirror of value.cpp's compare_doubles, NaN rule included: NaN == NaN
+/// and NaN sorts after every other number (+inf included), so batch
+/// kernels and the row path agree on the total order.
 int compare_doubles(double a, double b) {
+  const bool a_nan = std::isnan(a);
+  const bool b_nan = std::isnan(b);
+  if (a_nan || b_nan) {
+    if (a_nan && b_nan) return 0;
+    return a_nan ? 1 : -1;
+  }
   if (a < b) return -1;
   if (a > b) return 1;
   return 0;
@@ -302,6 +313,7 @@ uint64_t Column::hash_cell(size_t row) const {
       double d = type_ == ColType::Int ? static_cast<double>(ints_[row])
                                        : doubles_[row];
       if (d == 0.0) d = 0.0;
+      if (std::isnan(d)) d = std::numeric_limits<double>::quiet_NaN();
       uint64_t bits;
       std::memcpy(&bits, &d, sizeof(bits));
       bits *= 0xff51afd7ed558ccdULL;

@@ -53,6 +53,72 @@ TEST(Csv, Errors) {
   EXPECT_THROW(load_csv_file("m", "/no/such/file.csv"), ExecutionError);
 }
 
+TEST(CsvEdge, QuotedFieldsSpanLines) {
+  // RFC-4180: a quoted field may contain record separators. The old
+  // line-by-line scanner split these into two ragged rows.
+  CsvTable t = parse_csv("m", "a,b\n\"line one\nline two\",2\n3,4\n");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], Value::string("line one\nline two"));
+  EXPECT_EQ(t.rows[0][1], Value::integer(2));
+  EXPECT_EQ(t.rows[1][0], Value::integer(3));
+}
+
+TEST(CsvEdge, CrLfInsideQuotesIsLiteralOutsideIsTerminator) {
+  CsvTable t = parse_csv("m", "a,b\r\n\"x\r\ny\",\"z\"\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], Value::string("x\r\ny"));
+  // Quoted field directly followed by \r\n: the terminator is consumed,
+  // not appended to the field.
+  EXPECT_EQ(t.rows[0][1], Value::string("z"));
+}
+
+TEST(CsvEdge, NonFiniteNumbersStayStrings) {
+  // strtod accepts "nan"/"inf", but a Double field holding NaN would
+  // poison comparisons downstream; the ingestion boundary types these as
+  // String instead.
+  CsvTable t = parse_csv(
+      "m", "a,b,c,d\nnan,inf,-Infinity,NaN\n");
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.rows[0][i].kind(), ValueKind::String) << "column " << i;
+  }
+  EXPECT_EQ(t.rows[0][0], Value::string("nan"));
+  // Ordinary numbers still infer.
+  CsvTable n = parse_csv("m", "a\n1e308\n");
+  EXPECT_EQ(n.rows[0][0], Value::real(1e308));
+  // Overflowing literals are not finite doubles either -> String.
+  CsvTable o = parse_csv("m", "a\n1e999\n");
+  EXPECT_EQ(o.rows[0][0], Value::string("1e999"));
+}
+
+TEST(CsvEdge, QuotedEmptyIsStringUnquotedEmptyIsNull) {
+  CsvTable t = parse_csv("m", "a,b\n\"\",\n");
+  EXPECT_EQ(t.rows[0][0], Value::string(""));
+  EXPECT_TRUE(t.rows[0][1].is_null());
+}
+
+TEST(CsvEdge, MidFieldQuotesAreLiteralInUnquotedContext) {
+  // A quote that does not open the field is field text (the old parser
+  // silently swallowed it).
+  CsvTable t = parse_csv("m", "a,b\nit\"s,5\"6\n");
+  EXPECT_EQ(t.rows[0][0], Value::string("it\"s"));
+  EXPECT_EQ(t.rows[0][1], Value::string("5\"6"));
+}
+
+TEST(CsvEdge, MixedQuotedAndUnquotedFields) {
+  CsvTable t = parse_csv("m", "a,b,c\n1,\"x,\"\"y\",3.5\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], Value::integer(1));
+  EXPECT_EQ(t.rows[0][1], Value::string("x,\"y"));
+  EXPECT_EQ(t.rows[0][2], Value::real(3.5));
+}
+
+TEST(CsvEdge, LoneQuotedEmptyFieldIsARecord) {
+  // "" alone on a line is one empty-string field, not a blank line.
+  CsvTable t = parse_csv("m", "a\n\"\"\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], Value::string(""));
+}
+
 TEST(Csv, AsRowBag) {
   CsvTable t = parse_csv("m", "site,ph\nriver,7.1\n");
   Value bag = t.as_row_bag();

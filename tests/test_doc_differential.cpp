@@ -1,0 +1,406 @@
+// The doc-vs-relational differential: the proof obligation for the
+// document source (src/sources/docstore/).
+//
+// One seeded generator builds a random flat federation — 1-2 interfaces
+// of 2-4 attributes, 1-3 member extents each, 0-25 rows per extent with
+// occasional nils in the payload attributes — and materializes the SAME
+// logical data twice: as memdb tables behind the MiniSQL wrapper, and as
+// document collections (structs with identical field order, k-indexed)
+// behind the doc wrapper. Both federations answer the same generated
+// OQL — filters, projections, distinct, joins, unions via the
+// collective extent, aggregates — and every query must agree:
+//
+//   * same answer bag (compared as sorted OQL row texts);
+//   * same completeness and, when partial, the same residual queries;
+//   * when one side throws, the other must throw too.
+//
+// The access paths differ wildly (the doc side probes DocPath indexes
+// or scans documents and refuses range pushdown; the relational side
+// ships MiniSQL text), which is exactly the point: answers must not
+// depend on which kind of source holds the data (§2.2's heterogeneity
+// promise).
+//
+// The §4 resubmission differential trips the repository mid-world on
+// both sides, compares the partial answers, restores it and resubmits
+// each partial's to_oql(). A wall-clock world (exec.workers = 2) runs
+// the same comparison so the docstore submit path (atomic store
+// counters included) is exercised by the TSan concurrency sweep — the
+// suite carries the `docstore-concurrency` label, matched by both
+// `ctest -L docstore` and `ctest -L concurrency`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/disco.hpp"
+
+namespace disco {
+namespace {
+
+enum class AttrKind { Long, Dbl, Str, Boolean };
+
+struct AttrSpec {
+  std::string name;
+  AttrKind kind;
+};
+
+struct IfaceSpec {
+  std::string name;
+  std::string collective;
+  std::vector<AttrSpec> attrs;
+  std::vector<std::string> members;  ///< extent == table == collection name
+};
+
+const char* odl_type(AttrKind kind) {
+  switch (kind) {
+    case AttrKind::Long:
+      return "Long";
+    case AttrKind::Dbl:
+      return "Double";
+    case AttrKind::Str:
+      return "String";
+    case AttrKind::Boolean:
+      return "Boolean";
+  }
+  return "Long";
+}
+
+memdb::ColumnType memdb_type(AttrKind kind) {
+  switch (kind) {
+    case AttrKind::Long:
+      return memdb::ColumnType::Int;
+    case AttrKind::Dbl:
+      return memdb::ColumnType::Real;
+    case AttrKind::Str:
+      return memdb::ColumnType::Text;
+    case AttrKind::Boolean:
+      return memdb::ColumnType::Bool;
+  }
+  return memdb::ColumnType::Int;
+}
+
+/// Small domains on purpose: joins must hit, distinct must dedup.
+Value random_cell(std::mt19937& rng, AttrKind kind, int null_pct) {
+  if (static_cast<int>(rng() % 100) < null_pct) return Value::null();
+  switch (kind) {
+    case AttrKind::Long:
+      return Value::integer(static_cast<int64_t>(rng() % 8));
+    case AttrKind::Dbl:
+      return Value::real(static_cast<double>(rng() % 16) / 2.0);
+    case AttrKind::Str:
+      return Value::string("s" + std::to_string(rng() % 5));
+    case AttrKind::Boolean:
+      return Value::boolean(rng() % 2 == 0);
+  }
+  return Value::null();
+}
+
+std::string random_literal(std::mt19937& rng, AttrKind kind) {
+  switch (kind) {
+    case AttrKind::Long:
+      return std::to_string(rng() % 8);
+    case AttrKind::Dbl:
+      return std::to_string(rng() % 8) + ".5";
+    case AttrKind::Str:
+      return "\"s" + std::to_string(rng() % 5) + "\"";
+    case AttrKind::Boolean:
+      return rng() % 2 == 0 ? "true" : "false";
+  }
+  return "0";
+}
+
+/// One random federation, materialized twice over the same generated
+/// rows: `rel` (memdb tables) and `doc` (document collections).
+struct TwinWorld {
+  explicit TwinWorld(uint32_t seed, size_t workers = 0) {
+    std::mt19937 rng(seed);
+    db = std::make_unique<memdb::Database>("db");
+    store = std::make_unique<docstore::DocStore>("docs");
+
+    const size_t num_ifaces = 1 + rng() % 2;
+    for (size_t i = 0; i < num_ifaces; ++i) {
+      IfaceSpec iface;
+      iface.name = "I" + std::to_string(i);
+      iface.collective = "c" + std::to_string(i);
+      // k is never nil: ordering predicates use k only, and a nil under
+      // an ordering comparison is mediator-side for the doc wrapper but
+      // source-side for MiniSQL — the twins could legitimately disagree
+      // on *which* error surfaces. Equality (total, nil included) runs
+      // over every attribute.
+      iface.attrs.push_back({"k", AttrKind::Long});
+      const size_t extra = 1 + rng() % 3;
+      for (size_t a = 0; a < extra; ++a) {
+        iface.attrs.push_back(
+            {"a" + std::to_string(a), static_cast<AttrKind>(rng() % 4)});
+      }
+      const size_t members = 1 + rng() % 3;
+      for (size_t m = 0; m < members; ++m) {
+        iface.members.push_back(iface.collective + "_" + std::to_string(m));
+      }
+      ifaces.push_back(std::move(iface));
+    }
+
+    // Generate rows once; both sources load identical data with
+    // identical field order (struct order matters for Value equality).
+    for (const IfaceSpec& iface : ifaces) {
+      for (const std::string& member : iface.members) {
+        std::vector<memdb::Column> defs;
+        for (const AttrSpec& attr : iface.attrs) {
+          defs.push_back({attr.name, memdb_type(attr.kind)});
+        }
+        memdb::Table& table = db->create_table(member, defs);
+        docstore::DocCollection& collection = store->create_collection(member);
+        const size_t rows = rng() % 26;
+        for (size_t r = 0; r < rows; ++r) {
+          std::vector<Value> cells;
+          std::vector<std::pair<std::string, Value>> fields;
+          for (const AttrSpec& attr : iface.attrs) {
+            Value cell =
+                random_cell(rng, attr.kind, attr.name == "k" ? 0 : 12);
+            cells.push_back(cell);
+            fields.emplace_back(attr.name, std::move(cell));
+          }
+          table.insert(std::move(cells));
+          collection.insert(Value::strct(std::move(fields)));
+        }
+        // The doc side serves k equalities from a DocPath index; the
+        // relational side scans. Answers must not care.
+        collection.create_index("k");
+      }
+    }
+
+    std::string odl;
+    for (const IfaceSpec& iface : ifaces) {
+      odl += "interface " + iface.name + " (extent " + iface.collective +
+             ") {";
+      for (const AttrSpec& attr : iface.attrs) {
+        odl += " attribute " + std::string(odl_type(attr.kind)) + " " +
+               attr.name + ";";
+      }
+      odl += " };\n";
+      for (const std::string& member : iface.members) {
+        odl += "extent " + member + " of " + iface.name +
+               " wrapper w0 repository r0;\n";
+      }
+    }
+
+    Mediator::Options options;
+    options.network_seed = seed;
+    options.exec.workers = workers;
+
+    rel = std::make_unique<Mediator>(options);
+    auto mw = std::make_shared<wrapper::MemDbWrapper>();
+    mw->attach_database("r0", db.get());
+    rel->register_wrapper("w0", std::move(mw));
+    rel->register_repository(catalog::Repository{"r0", "h", "db", "10.0.0.1"},
+                             net::LatencyModel{0.010, 0.0001, 0});
+    rel->execute_odl(odl);
+
+    doc = std::make_unique<Mediator>(options);
+    auto dw = std::make_shared<wrapper::DocWrapper>();
+    dw->attach_store("r0", store.get());
+    doc->register_wrapper("w0", std::move(dw));
+    doc->register_repository(catalog::Repository{"r0", "h", "docs",
+                                                 "10.0.0.2"},
+                             net::LatencyModel{0.010, 0.0001, 0});
+    doc->execute_odl(odl);
+  }
+
+  std::unique_ptr<memdb::Database> db;
+  std::unique_ptr<docstore::DocStore> store;
+  std::vector<IfaceSpec> ifaces;
+  std::unique_ptr<Mediator> rel;
+  std::unique_ptr<Mediator> doc;
+};
+
+struct Outcome {
+  bool threw = false;
+  bool complete = false;
+  std::vector<std::string> rows;
+  std::vector<std::string> residuals;
+  std::string to_oql;
+};
+
+Outcome run(Mediator& mediator, const std::string& query) {
+  Outcome outcome;
+  try {
+    Answer answer = mediator.query(query);
+    outcome.complete = answer.complete();
+    for (const Value& item : answer.data().items()) {
+      outcome.rows.push_back(item.to_oql());
+    }
+    std::sort(outcome.rows.begin(), outcome.rows.end());
+    outcome.residuals = answer.residual_queries();
+    std::sort(outcome.residuals.begin(), outcome.residuals.end());
+    outcome.to_oql = answer.to_oql();
+  } catch (const DiscoError&) {
+    outcome.threw = true;
+  }
+  return outcome;
+}
+
+std::pair<Outcome, Outcome> expect_equivalent(TwinWorld& world,
+                                              const std::string& query,
+                                              size_t* compared) {
+  Outcome r = run(*world.rel, query);
+  Outcome d = run(*world.doc, query);
+  EXPECT_EQ(r.threw, d.threw) << query;
+  if (!r.threw && !d.threw) {
+    EXPECT_EQ(r.complete, d.complete) << query;
+    EXPECT_EQ(r.rows, d.rows) << query;
+    EXPECT_EQ(r.residuals, d.residuals) << query;
+  }
+  ++*compared;
+  return {std::move(r), std::move(d)};
+}
+
+std::string random_query(std::mt19937& rng, const TwinWorld& world,
+                         int shape) {
+  const IfaceSpec& iface = world.ifaces[rng() % world.ifaces.size()];
+  auto extent = [&](const IfaceSpec& i) -> std::string {
+    if (rng() % 2 == 0) return i.collective;
+    return i.members[rng() % i.members.size()];
+  };
+  const AttrSpec& attr = iface.attrs[rng() % iface.attrs.size()];
+  const AttrSpec& attr2 = iface.attrs[rng() % iface.attrs.size()];
+  switch (shape % 8) {
+    case 0:
+      return "select x from x in " + extent(iface);
+    case 1:
+      return "select x." + attr.name + " from x in " + extent(iface);
+    case 2:
+      return "select distinct x." + attr.name + " from x in " +
+             extent(iface);
+    case 3:
+      // Equality is total (nil included) and pushes down on both sides
+      // (EQPREDICATE for MiniSQL, subsumed by PATHEQPREDICATE for the
+      // doc wrapper — k equalities hit the DocPath index).
+      return "select x from x in " + extent(iface) + " where x." +
+             attr.name + " = " + random_literal(rng, attr.kind);
+    case 4:
+      // Ordering over the never-nil key: pushes to MiniSQL, stays a
+      // mediator-side filter for the doc wrapper (outside its grammar).
+      return "select struct(p: x." + attr.name + ", q: x." + attr2.name +
+             ") from x in " + extent(iface) + " where x.k >= " +
+             std::to_string(rng() % 8);
+    case 5: {
+      const IfaceSpec& other = world.ifaces[rng() % world.ifaces.size()];
+      const AttrSpec& rattr = other.attrs[rng() % other.attrs.size()];
+      return "select struct(l: x." + attr.name + ", r: y." + rattr.name +
+             ") from x in " + extent(iface) + ", y in " + extent(other) +
+             " where x.k = y.k";
+    }
+    case 6: {
+      const IfaceSpec& other = world.ifaces[rng() % world.ifaces.size()];
+      return "select struct(l: x.k, r: y.k) from x in " + extent(iface) +
+             ", y in " + extent(other) + " where x.k = y.k and x.k > " +
+             std::to_string(rng() % 6);
+    }
+    default: {
+      static const char* fns[] = {"count", "sum", "min", "max", "avg"};
+      const char* fn = fns[rng() % 5];
+      return std::string(fn) + "(select x.k from x in " + extent(iface) +
+             " where x.k != " + std::to_string(rng() % 8) + ")";
+    }
+  }
+}
+
+TEST(DocDifferential, HundredsOfRandomQueriesAgree) {
+  size_t compared = 0;
+  for (uint32_t seed = 1; seed <= 15; ++seed) {
+    TwinWorld world(seed);
+    std::mt19937 rng(seed * 977);
+    for (int q = 0; q < 8; ++q) {
+      expect_equivalent(world, random_query(rng, world, q), &compared);
+    }
+  }
+  EXPECT_GE(compared, 100u);
+}
+
+TEST(DocDifferential, ForcedScanAgreesWithIndexedAnswers) {
+  // The same doc federation answers with indexes disabled: every k
+  // equality falls back to a whole-collection scan and nothing may
+  // change but the access-path counters.
+  size_t compared = 0;
+  for (uint32_t seed = 50; seed <= 54; ++seed) {
+    TwinWorld world(seed);
+    std::mt19937 rng(seed * 13);
+    std::vector<std::string> queries;
+    for (int q = 0; q < 6; ++q) {
+      queries.push_back(random_query(rng, world, 3));  // equality shapes
+    }
+    std::vector<Outcome> indexed;
+    for (const std::string& q : queries) {
+      indexed.push_back(run(*world.doc, q));
+    }
+    world.store->set_use_indexes(false);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Outcome scanned = run(*world.doc, queries[i]);
+      EXPECT_EQ(indexed[i].threw, scanned.threw) << queries[i];
+      EXPECT_EQ(indexed[i].rows, scanned.rows) << queries[i];
+      ++compared;
+    }
+  }
+  EXPECT_EQ(compared, 30u);
+}
+
+TEST(DocDifferential, PartialAnswersAndResubmissionAgree) {
+  size_t compared = 0;
+  for (uint32_t seed = 100; seed <= 109; ++seed) {
+    TwinWorld world(seed);
+    std::mt19937 rng(seed * 31);
+    world.rel->network().set_availability("r0",
+                                          net::Availability::always_down());
+    world.doc->network().set_availability("r0",
+                                          net::Availability::always_down());
+
+    std::vector<std::pair<Outcome, Outcome>> partials;
+    for (int q = 0; q < 4; ++q) {
+      partials.push_back(
+          expect_equivalent(world, random_query(rng, world, q), &compared));
+    }
+
+    world.rel->network().set_availability("r0",
+                                          net::Availability::always_up());
+    world.doc->network().set_availability("r0",
+                                          net::Availability::always_up());
+    for (const auto& [r, d] : partials) {
+      if (r.threw || r.complete) continue;
+      // Each side resubmits its own partial text; outcomes must agree
+      // and complete now that the source is back.
+      auto [r2, d2] = expect_equivalent(world, r.to_oql, &compared);
+      EXPECT_TRUE(r2.threw || r2.complete) << r.to_oql;
+      Outcome d3 = run(*world.doc, d.to_oql);
+      EXPECT_EQ(d2.threw, d3.threw);
+      if (!d2.threw && !d3.threw) {
+        EXPECT_EQ(d2.rows, d3.rows) << d.to_oql;
+        EXPECT_EQ(d2.complete, d3.complete);
+      }
+    }
+  }
+  EXPECT_GE(compared, 40u);
+}
+
+TEST(DocDifferential, WallClockWorkersStayEquivalent) {
+  // exec.workers = 2: source calls fan out over the thread pool, so the
+  // doc wrapper's submit path and the store's atomic counters run under
+  // real concurrency — the TSan entry point for src/sources/docstore/.
+  size_t compared = 0;
+  for (uint32_t seed = 200; seed <= 201; ++seed) {
+    TwinWorld world(seed, /*workers=*/2);
+    std::mt19937 rng(seed);
+    for (int q = 0; q < 8; ++q) {
+      auto [r, d] = expect_equivalent(world, random_query(rng, world, q % 4),
+                                      &compared);
+      EXPECT_FALSE(r.threw) << "wall-clock world should stay healthy";
+    }
+  }
+  EXPECT_EQ(compared, 16u);
+}
+
+}  // namespace
+}  // namespace disco

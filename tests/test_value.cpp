@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 #include "value/value.hpp"
 
@@ -263,6 +266,54 @@ TEST(ValueDeepSize, SharedPayloadsCountAtEveryReference) {
   const Value twice = Value::bag({inner, inner});
   EXPECT_EQ(twice.deep_size(),
             Value::bag({}).deep_size() + 2 * inner.deep_size());
+}
+
+TEST(ValueNaN, TotalOrderPlacesNaNAfterEveryNumber) {
+  // compare() is a total order even over NaN: NaN == NaN and NaN sorts
+  // after every number, including +inf (value.cpp compare_doubles).
+  const Value nan = Value::real(std::nan(""));
+  const Value inf = Value::real(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Value::compare(nan, nan), 0);
+  EXPECT_GT(Value::compare(nan, inf), 0);
+  EXPECT_LT(Value::compare(inf, nan), 0);
+  EXPECT_GT(Value::compare(nan, Value::real(1e308)), 0);
+  EXPECT_GT(Value::compare(nan, Value::integer(42)), 0);
+  EXPECT_LT(Value::compare(Value::real(-1.0), nan), 0);
+  // IEEE would say NaN != NaN; the store's order says equal, so indexes
+  // and sets treat NaN as one key.
+  EXPECT_EQ(nan, Value::real(std::nan("")));
+}
+
+TEST(ValueNaN, HashConsistentWithEquality) {
+  // Different NaN bit patterns (quiet, signalling-ish payloads, negative)
+  // compare equal, so they must hash equal too.
+  const Value a = Value::real(std::numeric_limits<double>::quiet_NaN());
+  const Value b = Value::real(-std::numeric_limits<double>::quiet_NaN());
+  const Value c = Value::real(std::nan("0x12345"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(ValueNaN, SetDeduplicatesNaN) {
+  const Value s = Value::set({Value::real(std::nan("")), Value::integer(1),
+                              Value::real(-std::numeric_limits<double>::quiet_NaN())});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(ValueNaN, SortsDeterministically) {
+  // Set normalization orders members; NaN lands after every number, and
+  // repeated normalization is stable (no compare(x, NaN) == 0 ~ x trap).
+  const Value s = Value::set({Value::real(std::nan("")), Value::integer(7),
+                              Value::real(std::numeric_limits<double>::infinity()),
+                              Value::real(-2.5)});
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.items()[0], Value::real(-2.5));
+  EXPECT_EQ(s.items()[1], Value::integer(7));
+  EXPECT_EQ(s.items()[2],
+            Value::real(std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(std::isnan(s.items()[3].as_double()));
 }
 
 TEST(Value, NestedStructures) {
